@@ -1,0 +1,248 @@
+(* svt_sim: command-line front end to the SVt simulator.
+
+   Every experiment of the paper's evaluation is available as a
+   subcommand with its parameters exposed, e.g.:
+
+       svt_sim cpuid  --mode hw-svt --level l2
+       svt_sim rr     --mode baseline --transactions 500
+       svt_sim etc    --qps 15000 --mode sw-svt --duration-ms 100
+       svt_sim video  --fps 120 --seconds 300
+       svt_sim blocked-demo
+
+   (The bench harness `bench/main.exe` drives the same code to regenerate
+   the paper's tables and figures wholesale.) *)
+
+open Cmdliner
+module Time = Svt_engine.Time
+module Mode = Svt_core.Mode
+module System = Svt_core.System
+module Guest = Svt_core.Guest
+module Vcpu = Svt_hyp.Vcpu
+module Breakdown = Svt_hyp.Breakdown
+
+(* ---- common arguments ---- *)
+
+let mode_conv =
+  let parse = function
+    | "baseline" -> Ok Mode.Baseline
+    | "sw-svt" | "sw" -> Ok Mode.sw_svt_default
+    | "sw-svt-polling" -> Ok (Mode.Sw_svt { wait = Mode.Polling; placement = Mode.Smt_sibling })
+    | "sw-svt-mutex" -> Ok (Mode.Sw_svt { wait = Mode.Mutex; placement = Mode.Smt_sibling })
+    | "hw-svt" | "hw" -> Ok Mode.Hw_svt
+    | "hw-full-nesting" | "full" -> Ok Mode.Hw_full_nesting
+    | s -> Error (`Msg (Printf.sprintf "unknown mode %S" s))
+  in
+  Arg.conv (parse, fun ppf m -> Fmt.string ppf (Mode.name m))
+
+let level_conv =
+  let parse = function
+    | "l0" | "native" -> Ok System.L0_native
+    | "l1" -> Ok System.L1_leaf
+    | "l2" | "nested" -> Ok System.L2_nested
+    | s -> Error (`Msg (Printf.sprintf "unknown level %S" s))
+  in
+  Arg.conv (parse, fun ppf l -> Fmt.string ppf (System.level_name l))
+
+let mode_arg =
+  Arg.(value & opt mode_conv Mode.Baseline
+       & info [ "m"; "mode" ] ~docv:"MODE"
+           ~doc:"Run mode: baseline, sw-svt, sw-svt-polling, sw-svt-mutex, hw-svt.")
+
+let level_arg =
+  Arg.(value & opt level_conv System.L2_nested
+       & info [ "l"; "level" ] ~docv:"LEVEL"
+           ~doc:"Where the guest under test runs: l0 (native), l1, l2 (nested).")
+
+let duration_ms =
+  Arg.(value & opt int 100
+       & info [ "duration-ms" ] ~docv:"MS" ~doc:"Run duration in simulated ms.")
+
+let make_sys ?(n_vcpus = 1) mode level = System.create ~mode ~level ~n_vcpus ()
+
+(* ---- cpuid ---- *)
+
+let cpuid_cmd =
+  let run mode level workload =
+    let sys = make_sys mode level in
+    let r = Svt_workloads.Microbench.measure_cpuid ~workload sys in
+    Printf.printf "cpuid at %s under %s: %.2f us/op (%d samples)\n"
+      (System.level_name level) (Mode.name mode) r.Svt_workloads.Microbench.per_op_us
+      r.Svt_workloads.Microbench.stats.Svt_stats.Convergence.samples_used;
+    List.iter
+      (fun (name, t, pct) ->
+        Printf.printf "  %-28s %10s  %5.1f%%\n" name (Time.to_string t) pct)
+      r.Svt_workloads.Microbench.breakdown
+  in
+  let workload =
+    Arg.(value & opt int 0
+         & info [ "workload" ] ~docv:"N" ~doc:"Dependent increments per iteration.")
+  in
+  Cmd.v
+    (Cmd.info "cpuid" ~doc:"The cpuid micro-benchmark (Table 1 / Figure 6).")
+    Term.(const run $ mode_arg $ level_arg $ workload)
+
+(* ---- network ---- *)
+
+let rr_cmd =
+  let run mode level transactions =
+    let sys = make_sys mode level in
+    let r = Svt_workloads.Netperf.run_rr ~transactions sys in
+    Printf.printf "TCP_RR (%s, %s): mean %.1f us, p99 %.1f us over %d transactions\n"
+      (System.level_name level) (Mode.name mode) r.Svt_workloads.Netperf.mean_rtt_us
+      r.Svt_workloads.Netperf.p99_rtt_us r.Svt_workloads.Netperf.transactions
+  in
+  let transactions =
+    Arg.(value & opt int 300 & info [ "transactions" ] ~docv:"N" ~doc:"Round trips.")
+  in
+  Cmd.v
+    (Cmd.info "rr" ~doc:"netperf TCP_RR latency (Figure 7).")
+    Term.(const run $ mode_arg $ level_arg $ transactions)
+
+let stream_cmd =
+  let run mode level ms =
+    let sys = make_sys mode level in
+    let r = Svt_workloads.Netperf.run_stream ~duration:(Time.of_ms ms) sys in
+    Printf.printf "TCP_STREAM (%s, %s): %.0f Mbps (%d packets)\n"
+      (System.level_name level) (Mode.name mode) r.Svt_workloads.Netperf.mbps
+      r.Svt_workloads.Netperf.packets
+  in
+  Cmd.v
+    (Cmd.info "stream" ~doc:"netperf TCP_STREAM throughput (Figure 7).")
+    Term.(const run $ mode_arg $ level_arg $ duration_ms)
+
+(* ---- disk ---- *)
+
+let op_conv =
+  let parse = function
+    | "randread" | "read" -> Ok Svt_workloads.Disk.Randread
+    | "randwrite" | "write" -> Ok Svt_workloads.Disk.Randwrite
+    | s -> Error (`Msg (Printf.sprintf "unknown op %S" s))
+  in
+  Arg.conv (parse, fun ppf o -> Fmt.string ppf (Svt_workloads.Disk.op_name o))
+
+let op_arg =
+  Arg.(value & opt op_conv Svt_workloads.Disk.Randread
+       & info [ "op" ] ~docv:"OP" ~doc:"randread or randwrite.")
+
+let ops_arg = Arg.(value & opt int 250 & info [ "ops" ] ~docv:"N" ~doc:"Operations.")
+
+let ioping_cmd =
+  let run mode level op ops =
+    let sys = make_sys mode level in
+    let r = Svt_workloads.Disk.run_ioping ~ops ~op sys in
+    Printf.printf "ioping %s (%s, %s): mean %.1f us, p99 %.1f us\n"
+      (Svt_workloads.Disk.op_name op) (System.level_name level) (Mode.name mode)
+      r.Svt_workloads.Disk.mean_us r.Svt_workloads.Disk.p99_us
+  in
+  Cmd.v
+    (Cmd.info "ioping" ~doc:"512 B disk latency at QD1 (Figure 7).")
+    Term.(const run $ mode_arg $ level_arg $ op_arg $ ops_arg)
+
+let fio_cmd =
+  let run mode level op ops depth =
+    let sys = make_sys mode level in
+    let r = Svt_workloads.Disk.run_fio ~ops ~depth ~op sys in
+    Printf.printf "fio %s QD%d (%s, %s): %.0f KB/s\n"
+      (Svt_workloads.Disk.op_name op) depth (System.level_name level)
+      (Mode.name mode) r.Svt_workloads.Disk.kb_per_sec
+  in
+  let depth = Arg.(value & opt int 8 & info [ "depth" ] ~docv:"N" ~doc:"Queue depth.") in
+  Cmd.v
+    (Cmd.info "fio" ~doc:"4 KB disk bandwidth (Figure 7).")
+    Term.(const run $ mode_arg $ level_arg $ op_arg $ ops_arg $ depth)
+
+(* ---- applications ---- *)
+
+let etc_cmd =
+  let run mode qps ms =
+    let sys = System.create ~mode ~level:System.L2_nested ~n_vcpus:2 () in
+    let r =
+      Svt_workloads.Etc_workload.run_point ~duration:(Time.of_ms ms)
+        ~qps:(float_of_int qps) sys
+    in
+    Printf.printf
+      "ETC at %d qps (%s): achieved %.0f qps, avg %.1f us, p99 %.1f us (%d requests)\n"
+      qps (Mode.name mode) r.Svt_workloads.Etc_workload.achieved_qps
+      r.Svt_workloads.Etc_workload.avg_us r.Svt_workloads.Etc_workload.p99_us
+      r.Svt_workloads.Etc_workload.requests
+  in
+  let qps = Arg.(value & opt int 15000 & info [ "qps" ] ~docv:"QPS" ~doc:"Offered load.") in
+  Cmd.v
+    (Cmd.info "etc" ~doc:"memcached with Facebook's ETC workload (Figure 8).")
+    Term.(const run $ mode_arg $ qps $ duration_ms)
+
+let tpcc_cmd =
+  let run mode ms =
+    let sys = make_sys mode System.L2_nested in
+    let r = Svt_workloads.Tpcc.run ~duration:(Time.of_ms ms) sys in
+    Printf.printf "TPC-C (%s): %.0f tpm (%d transactions, %d new-order)\n"
+      (Mode.name mode) r.Svt_workloads.Tpcc.tpm r.Svt_workloads.Tpcc.transactions
+      r.Svt_workloads.Tpcc.new_orders
+  in
+  Cmd.v
+    (Cmd.info "tpcc" ~doc:"TPC-C over the mini storage engine (Figure 9).")
+    Term.(const run $ mode_arg $ duration_ms)
+
+let video_cmd =
+  let run mode fps seconds =
+    let sys = make_sys mode System.L2_nested in
+    let r = Svt_workloads.Video.run ~seconds ~fps sys in
+    Printf.printf
+      "video %d fps for %ds (%s): %d dropped of %d frames (idle %.0f%%)\n" fps
+      seconds (Mode.name mode) r.Svt_workloads.Video.dropped
+      r.Svt_workloads.Video.frames
+      (100.0 *. r.Svt_workloads.Video.idle_fraction)
+  in
+  let fps = Arg.(value & opt int 120 & info [ "fps" ] ~docv:"FPS" ~doc:"Frame rate.") in
+  let seconds =
+    Arg.(value & opt int 300 & info [ "seconds" ] ~docv:"S" ~doc:"Playback length.")
+  in
+  Cmd.v
+    (Cmd.info "video" ~doc:"Soft-realtime video playback (Figure 10).")
+    Term.(const run $ mode_arg $ fps $ seconds)
+
+(* ---- demos ---- *)
+
+(* Reproduce the §5.3 scenario: an interrupt for L1 arrives while L0₀
+   waits on the SVt-thread; without SVT_BLOCKED this deadlocks, with it
+   the event is serviced mid-episode. *)
+let blocked_demo_cmd =
+  let run () =
+    let sys = make_sys Mode.sw_svt_default System.L2_nested in
+    let vcpu = System.vcpu0 sys in
+    let serviced_at = ref Time.zero in
+    Vcpu.spawn_program vcpu (fun v ->
+        ignore (Guest.cpuid v ~leaf:1);
+        let sim = Svt_engine.Simulator.Proc.sim () in
+        ignore
+          (Svt_engine.Simulator.schedule sim ~after:(Time.of_us 3) (fun () ->
+               Printf.printf "[%s] IPI for L1 arrives while L0 waits on the SVt-thread\n"
+                 (Time.to_string (Svt_engine.Simulator.now sim));
+               Vcpu.enqueue_host_event v ~vector:0x31 (fun () ->
+                   serviced_at := Svt_engine.Simulator.Proc.now ())));
+        ignore (Guest.cpuid v ~leaf:1);
+        Printf.printf "[%s] episode complete, no deadlock\n"
+          (Time.to_string (Svt_engine.Simulator.Proc.now ())));
+    System.run sys;
+    Printf.printf "[%s] interrupt serviced through SVT_BLOCKED (%d injection)\n"
+      (Time.to_string !serviced_at)
+      (Svt_core.Nested.blocked_injections (System.nested_path sys 0))
+  in
+  Cmd.v
+    (Cmd.info "blocked-demo"
+       ~doc:"Demonstrate the SVT_BLOCKED deadlock-avoidance protocol (section 5.3).")
+    Term.(const run $ const ())
+
+let default =
+  Term.(ret (const (`Help (`Pager, None))))
+
+let () =
+  let info =
+    Cmd.info "svt_sim" ~version:"1.0.0"
+      ~doc:"Simulator for 'Using SMT to Accelerate Nested Virtualization' (ISCA'19)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ cpuid_cmd; rr_cmd; stream_cmd; ioping_cmd; fio_cmd; etc_cmd;
+            tpcc_cmd; video_cmd; blocked_demo_cmd ]))

@@ -1,0 +1,1 @@
+examples/io_latency.ml: List Printf String Svt_core Svt_engine Svt_stats Svt_workloads

@@ -1,0 +1,1 @@
+examples/memcached_sla.ml: List Printf String Svt_core Svt_engine Svt_workloads

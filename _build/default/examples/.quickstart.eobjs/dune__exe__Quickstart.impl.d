@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Svt_arch Svt_core Svt_engine Svt_hyp

@@ -1,0 +1,1 @@
+examples/video_playback.ml: List Printf Svt_core Svt_workloads

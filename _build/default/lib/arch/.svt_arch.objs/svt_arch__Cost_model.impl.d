@@ -1,0 +1,1 @@
+lib/arch/cost_model.ml: Exit_reason Svt_engine

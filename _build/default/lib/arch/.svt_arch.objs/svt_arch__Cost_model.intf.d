@@ -1,0 +1,1 @@
+lib/arch/cost_model.mli: Exit_reason Svt_engine

@@ -1,0 +1,1 @@
+lib/arch/cpuid_db.mli:

@@ -1,0 +1,1 @@
+lib/arch/exit_reason.ml: Fmt Stdlib

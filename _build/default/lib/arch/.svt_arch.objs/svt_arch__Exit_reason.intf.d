@@ -1,0 +1,1 @@
+lib/arch/exit_reason.mli: Format

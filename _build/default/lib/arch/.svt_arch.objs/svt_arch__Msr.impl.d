@@ -1,0 +1,1 @@
+lib/arch/msr.ml: Fmt Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/arch/reg.ml: Fmt List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/arch/regfile.ml: Array List Map Reg

@@ -1,0 +1,1 @@
+lib/arch/smt_core.ml: Array Reg Regfile Svt_engine

@@ -1,0 +1,1 @@
+lib/arch/smt_core.mli: Reg Regfile Svt_engine

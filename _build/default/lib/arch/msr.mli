@@ -1,0 +1,53 @@
+(** Model-specific registers the workloads and hypervisors touch. Guest
+    accesses trap unless the MSR bitmap passes them through, which is
+    how timer re-arming (IA32_TSC_DEADLINE) becomes the MSR_WRITE exit
+    traffic the paper profiles (§6.3.1, §6.3.3). *)
+
+type t =
+  | Ia32_tsc
+  | Ia32_tsc_deadline
+  | Ia32_apic_base
+  | Ia32_efer
+  | Ia32_sysenter_cs
+  | Ia32_sysenter_esp
+  | Ia32_sysenter_eip
+  | Ia32_star
+  | Ia32_lstar
+  | Ia32_gs_base
+  | Ia32_kernel_gs_base
+  | Ia32_spec_ctrl
+  | Ia32_pred_cmd
+  | Other of int
+
+val encode : t -> int
+(** The architectural MSR index. *)
+
+val of_code : int -> t
+val name : t -> string
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** A per-context MSR value file. *)
+module File : sig
+  type msr := t
+  type t
+
+  val create : unit -> t
+  val read : t -> msr -> int64
+  val write : t -> msr -> int64 -> unit
+end
+
+(** MSR intercept bitmap: which accesses trap. *)
+module Bitmap : sig
+  type msr := t
+  type t
+
+  val intercept_all : unit -> t
+  val allow_read : t -> msr -> unit
+  val allow_write : t -> msr -> unit
+  val read_traps : t -> msr -> bool
+  val write_traps : t -> msr -> bool
+
+  val kvm_default : unit -> t
+  (** TSC reads (and GS base) pass through; everything else traps. *)
+end

@@ -1,0 +1,96 @@
+(* Shared physical register file with per-context rename maps.
+
+   This mirrors the SMT structure the paper leans on (§4): all hardware
+   contexts of a core share one physical register file; each context owns a
+   rename map from architectural register names to physical entries. A
+   cross-context access (SVt's ctxtld/ctxtst) therefore indexes the
+   *target* context's rename map and reads or writes the shared file —
+   no memory traffic, no extra ports, because only one context executes at
+   a time under SVt. *)
+
+type phys_index = int
+
+module Rmap = Map.Make (struct
+  type t = Reg.t
+
+  let compare = Reg.compare
+end)
+
+type context_map = { mutable map : phys_index Rmap.t }
+
+type t = {
+  entries : int64 array;
+  mutable free : phys_index list;
+  contexts : context_map array;
+}
+
+let create ~contexts ~physical_entries =
+  if physical_entries < contexts * Reg.switched_count then
+    invalid_arg "Regfile.create: physical file too small for all contexts";
+  let free = List.init physical_entries (fun i -> i) in
+  let t =
+    {
+      entries = Array.make physical_entries 0L;
+      free;
+      contexts = Array.init contexts (fun _ -> { map = Rmap.empty });
+    }
+  in
+  (* Give every context an initial mapping for the switched register set,
+     as hardware does at reset. *)
+  Array.iter
+    (fun ctx ->
+      List.iter
+        (fun reg ->
+          match t.free with
+          | [] -> assert false
+          | idx :: rest ->
+              t.free <- rest;
+              ctx.map <- Rmap.add reg idx ctx.map)
+        Reg.switched_set)
+    t.contexts;
+  t
+
+let context_count t = Array.length t.contexts
+
+let check_ctx t ctx =
+  if ctx < 0 || ctx >= Array.length t.contexts then
+    invalid_arg "Regfile: bad context index"
+
+let phys_of t ~ctx reg =
+  check_ctx t ctx;
+  match Rmap.find_opt reg t.contexts.(ctx).map with
+  | Some idx -> idx
+  | None -> invalid_arg ("Regfile: unmapped register " ^ Reg.name reg)
+
+let read t ~ctx reg = t.entries.(phys_of t ~ctx reg)
+let write t ~ctx reg v = t.entries.(phys_of t ~ctx reg) <- v
+
+(* Rename: allocate a fresh physical entry for [reg] in [ctx] (as an
+   out-of-order core would on each writing instruction), freeing the old
+   one. Exercised by tests to show cross-context reads still resolve
+   through the current map. *)
+let rename t ~ctx reg =
+  check_ctx t ctx;
+  match t.free with
+  | [] -> None
+  | idx :: rest ->
+      let cm = t.contexts.(ctx) in
+      let old = Rmap.find_opt reg cm.map in
+      t.free <- rest;
+      (match old with
+      | Some o ->
+          t.entries.(idx) <- t.entries.(o);
+          t.free <- t.free @ [ o ]
+      | None -> ());
+      cm.map <- Rmap.add reg idx cm.map;
+      Some idx
+
+let free_entries t = List.length t.free
+
+(* Copy the whole switched set between contexts through the register file
+   (what SVt's ctxtld/ctxtst loop does when a hypervisor populates a
+   subordinate VM's context). *)
+let copy_switched_set t ~from_ctx ~to_ctx =
+  List.iter
+    (fun reg -> write t ~ctx:to_ctx reg (read t ~ctx:from_ctx reg))
+    Reg.switched_set

@@ -1,0 +1,139 @@
+(* SMT core model with the SVt extensions of paper §4 / Table 2.
+
+   A core has [n] hardware contexts (SMT threads). In SVt mode only one
+   context fetches instructions at a time; the per-core µ-registers below
+   decide which, and VM trap / VM resume events switch the fetch target by
+   copying SVt_visor / SVt_vm into SVt_current. Context indices seen by a
+   guest hypervisor are virtual; L0 virtualizes them through the SVt_vm /
+   SVt_nested fields of the VMCS it runs that hypervisor on. *)
+
+type ctx_state = Active | Stalled | Halted
+
+type mode = Smt_mode | Svt_mode
+
+(* Per-core µ-registers (Table 2). [invalid_ctx] encodes the "invalid
+   value" the paper stores in unused SVt fields. *)
+let invalid_ctx = -1
+
+type t = {
+  id : int;
+  n_contexts : int;
+  regfile : Regfile.t;
+  mutable mode : mode;
+  mutable svt_current : int;
+  mutable svt_visor : int;
+  mutable svt_vm : int;
+  mutable svt_nested : int;
+  mutable is_vm : bool;
+  states : ctx_state array;
+  (* How many sibling contexts are actively consuming fetch/issue slots
+     (e.g. a polling waiter in the SW prototype); drives the interference
+     multiplier on compute time. *)
+  mutable polling_siblings : int;
+  mutable switches : int; (* stall/resume events, for tests/metrics *)
+}
+
+let create ?(n_contexts = 2) ?(physical_entries = 168) ~id () =
+  if n_contexts < 1 then invalid_arg "Smt_core.create";
+  {
+    id;
+    n_contexts;
+    regfile =
+      Regfile.create ~contexts:n_contexts
+        ~physical_entries:
+          (max physical_entries (n_contexts * Reg.switched_count));
+    mode = Svt_mode;
+    svt_current = 0;
+    svt_visor = 0;
+    svt_vm = invalid_ctx;
+    svt_nested = invalid_ctx;
+    is_vm = false;
+    states = Array.make n_contexts Stalled;
+    polling_siblings = 0;
+    switches = 0;
+  }
+
+let id t = t.id
+let n_contexts t = t.n_contexts
+let regfile t = t.regfile
+let current t = t.svt_current
+let is_vm t = t.is_vm
+let switches t = t.switches
+
+let check_ctx t ctx =
+  if ctx < 0 || ctx >= t.n_contexts then
+    invalid_arg "Smt_core: bad hardware context index"
+
+let state t ctx =
+  check_ctx t ctx;
+  t.states.(ctx)
+
+(* Load the cached µ-registers from a VMCS's SVt fields, as VMPTRLD does
+   (paper §4 step B). *)
+let load_svt_fields t ~visor ~vm ~nested =
+  t.svt_visor <- visor;
+  t.svt_vm <- vm;
+  t.svt_nested <- nested
+
+let activate t ctx =
+  check_ctx t ctx;
+  Array.iteri
+    (fun i s -> if i <> ctx && s = Active then t.states.(i) <- Stalled)
+    t.states;
+  if t.svt_current <> ctx then t.switches <- t.switches + 1;
+  t.svt_current <- ctx;
+  t.states.(ctx) <- Active
+
+(* A VM resume event: stall the current context and start fetching from
+   SVt_vm; sets is_vm (paper §4 step C). *)
+let vm_resume t =
+  if t.svt_vm = invalid_ctx then invalid_arg "Smt_core.vm_resume: no SVt_vm";
+  activate t t.svt_vm;
+  t.is_vm <- true
+
+(* A VM trap event: stall the current context and resume SVt_visor. *)
+let vm_trap t =
+  if t.svt_visor = invalid_ctx then
+    invalid_arg "Smt_core.vm_trap: no SVt_visor";
+  activate t t.svt_visor;
+  t.is_vm <- false
+
+(* Resolve the target hardware context of a ctxtld/ctxtst instruction from
+   its virtualized [lvl] argument (paper §4): on the host (is_vm = 0),
+   lvl 1 → SVt_vm, lvl 2 → SVt_nested; in a guest hypervisor (is_vm = 1),
+   lvl 1 → SVt_nested. Any other combination traps so L0 can emulate
+   deeper hierarchies. *)
+let resolve_ctxt_level t ~lvl =
+  let target =
+    match (t.is_vm, lvl) with
+    | false, 1 -> t.svt_vm
+    | false, 2 -> t.svt_nested
+    | true, 1 -> t.svt_nested
+    | _ -> invalid_ctx
+  in
+  if target = invalid_ctx then Error `Trap_to_hypervisor else Ok target
+
+let ctxtld t ~lvl reg =
+  match resolve_ctxt_level t ~lvl with
+  | Error _ as e -> e
+  | Ok ctx -> Ok (Regfile.read t.regfile ~ctx reg)
+
+let ctxtst t ~lvl reg v =
+  match resolve_ctxt_level t ~lvl with
+  | Error _ as e -> e
+  | Ok ctx ->
+      Regfile.write t.regfile ~ctx reg v;
+      Ok ()
+
+(* SMT interference: while a sibling context spins (polling), the active
+   thread loses issue slots. The multiplier model follows the qualitative
+   §6.1 finding that polling "consumes execution cycles from the computing
+   thread". *)
+let set_polling_siblings t n = t.polling_siblings <- max 0 n
+
+let interference_factor t =
+  match t.mode with
+  | Svt_mode when t.polling_siblings = 0 -> 1.0
+  | _ -> 1.0 +. (0.35 *. float_of_int t.polling_siblings)
+
+let scale_compute t span = Svt_engine.Time.scale span (interference_factor t)

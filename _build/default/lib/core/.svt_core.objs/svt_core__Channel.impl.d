@@ -1,0 +1,1 @@
+lib/core/channel.ml: Array Hashtbl List Mode Option Printf Svt_arch Svt_engine Svt_hyp Svt_mem Wait

@@ -1,0 +1,1 @@
+lib/core/channel.mli: Mode Svt_arch Svt_engine Svt_hyp Svt_mem

@@ -1,0 +1,1 @@
+lib/core/guest.ml: Int64 Option Svt_arch Svt_engine Svt_hyp Svt_mem

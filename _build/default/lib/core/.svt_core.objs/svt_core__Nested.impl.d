@@ -1,0 +1,1 @@
+lib/core/nested.ml: Array Channel Fmt Int64 List Mode Printf Single_level Svt_arch Svt_engine Svt_fields Svt_hyp Svt_mem Svt_stats Svt_vmcs

@@ -1,0 +1,1 @@
+lib/core/nested.mli: Mode Svt_hyp Svt_vmcs

@@ -1,0 +1,1 @@
+lib/core/single_level.mli: Mode Svt_arch Svt_engine Svt_hyp

@@ -1,0 +1,1 @@
+lib/core/svt_fields.ml: Int64 Svt_arch Svt_vmcs

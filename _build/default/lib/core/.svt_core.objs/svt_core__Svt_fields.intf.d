@@ -1,0 +1,1 @@
+lib/core/svt_fields.mli: Svt_arch Svt_vmcs

@@ -1,0 +1,1 @@
+lib/core/system.ml: Array List Mode Nested Printf Single_level Svt_arch Svt_engine Svt_hyp Svt_interrupt Svt_virtio Svt_vmcs

@@ -1,0 +1,1 @@
+lib/core/system.mli: Mode Nested Svt_arch Svt_engine Svt_hyp Svt_stats Svt_virtio Svt_vmcs

@@ -1,0 +1,1 @@
+lib/core/wait.ml: Mode Svt_arch Svt_engine

@@ -1,0 +1,1 @@
+lib/core/wait.mli: Mode Svt_arch Svt_engine

@@ -1,0 +1,186 @@
+(* SW SVt shared-memory command channels (paper §5.2, Figure 5).
+
+   Each L2 vCPU gets two unidirectional command rings living in guest
+   memory (exposed to L1 through an ivshmem-style PCI BAR): L0 posts
+   CMD_VM_TRAP with the trap identifier and general-purpose register
+   payload; the SVt-thread in L1 answers with CMD_VM_RESUME. Entries are
+   serialized into simulated memory for real — the payload travels through
+   the same bytes both sides map.
+
+   Waiting is modeled per the chosen mechanism (polling / mwait / mutex)
+   and placement: the consumer pays the response latency on wake-up, and a
+   polling consumer additionally steals issue slots from its SMT sibling
+   for as long as it spins. *)
+
+module Time = Svt_engine.Time
+module Simulator = Svt_engine.Simulator
+module Proc = Simulator.Proc
+module Signal = Simulator.Signal
+module Gpa = Svt_mem.Addr.Gpa
+module Aspace = Svt_mem.Address_space
+module Breakdown = Svt_hyp.Breakdown
+
+type command =
+  | Vm_trap of { reason : Svt_arch.Exit_reason.t; qual : int64; regs : int64 array }
+  | Vm_resume of { regs : int64 array }
+  | Blocked (* SVT_BLOCKED injection notification (§5.3) *)
+
+let regs_count = 16
+let entry_bytes = 4 + 4 + 8 + (8 * regs_count)
+let ring_entries = 16
+let header_bytes = 8 (* head u32 | tail u32 *)
+
+type ring = {
+  aspace : Aspace.t;
+  base : Gpa.t;
+  signal : Signal.t;
+  mutable posts : int;
+}
+
+type t = {
+  cost : Svt_arch.Cost_model.t;
+  wait : Mode.wait_mechanism;
+  placement : Mode.placement;
+  core : Svt_arch.Smt_core.t; (* core whose sibling a poller would slow *)
+  to_svt : ring; (* L0 -> SVt-thread *)
+  from_svt : ring; (* SVt-thread -> L0 *)
+}
+
+let make_ring sim aspace =
+  let pages = (header_bytes + (ring_entries * entry_bytes) + Svt_mem.Addr.page_size - 1)
+              / Svt_mem.Addr.page_size in
+  { aspace;
+    base = Aspace.alloc_guest_pages aspace pages;
+    signal = Signal.create sim;
+    posts = 0 }
+
+let create ~machine ~aspace ~wait ~placement ~core =
+  let sim = Svt_hyp.Machine.sim machine in
+  {
+    cost = Svt_hyp.Machine.cost machine;
+    wait;
+    placement;
+    core;
+    to_svt = make_ring sim aspace;
+    from_svt = make_ring sim aspace;
+  }
+
+let head r = Aspace.read_u32 r.aspace r.base
+let tail r = Aspace.read_u32 r.aspace (Gpa.add r.base 4)
+let set_head r v = Aspace.write_u32 r.aspace r.base (v land 0xFFFF)
+let set_tail r v = Aspace.write_u32 r.aspace (Gpa.add r.base 4) (v land 0xFFFF)
+
+let entry_addr r i =
+  Gpa.add r.base (header_bytes + (i mod ring_entries * entry_bytes))
+
+let code_of = function Vm_trap _ -> 1 | Vm_resume _ -> 2 | Blocked -> 3
+
+let serialize r i cmd =
+  let a = entry_addr r i in
+  Aspace.write_u32 r.aspace a (code_of cmd);
+  let reason_num, qual, regs =
+    match cmd with
+    | Vm_trap { reason; qual; regs } ->
+        (Svt_arch.Exit_reason.basic_number reason, qual, regs)
+    | Vm_resume { regs } -> (0, 0L, regs)
+    | Blocked -> (0, 0L, [||])
+  in
+  Aspace.write_u32 r.aspace (Gpa.add a 4) reason_num;
+  Aspace.write_u64 r.aspace (Gpa.add a 8) qual;
+  Array.iteri
+    (fun j v -> Aspace.write_u64 r.aspace (Gpa.add a (16 + (8 * j))) v)
+    (Array.sub regs 0 (min regs_count (Array.length regs)))
+
+let reason_table =
+  (* reverse mapping from basic exit numbers, for deserialization *)
+  let tbl = Hashtbl.create 64 in
+  let open Svt_arch.Exit_reason in
+  List.iter
+    (fun r -> Hashtbl.replace tbl (basic_number r) r)
+    [ Cpuid; Msr_read; Msr_write; Ept_misconfig; Ept_violation;
+      Io_instruction; Hlt; External_interrupt; Eoi_induced; Vmcall;
+      Apic_write; Apic_access; Pause_exit; Interrupt_window; Exception_nmi;
+      Preemption_timer; Mwait_exit ];
+  tbl
+
+let deserialize r i =
+  let a = entry_addr r i in
+  let code = Aspace.read_u32 r.aspace a in
+  let reason_num = Aspace.read_u32 r.aspace (Gpa.add a 4) in
+  let qual = Aspace.read_u64 r.aspace (Gpa.add a 8) in
+  let regs =
+    Array.init regs_count (fun j -> Aspace.read_u64 r.aspace (Gpa.add a (16 + (8 * j))))
+  in
+  match code with
+  | 1 ->
+      let reason =
+        Option.value
+          (Hashtbl.find_opt reason_table reason_num)
+          ~default:Svt_arch.Exit_reason.Vmcall
+      in
+      Vm_trap { reason; qual; regs }
+  | 2 -> Vm_resume { regs }
+  | 3 -> Blocked
+  | n -> failwith (Printf.sprintf "Channel: corrupt command code %d" n)
+
+(* Producer: serialize, publish, and ding the monitored line. Charged to
+   the caller's timeline and the given breakdown bucket. *)
+let post t ring bd cmd =
+  Breakdown.charge bd Breakdown.Channel t.cost.Svt_arch.Cost_model.ring_write;
+  let h = head ring in
+  if (h - tail ring) land 0xFFFF >= ring_entries then
+    failwith "Channel: ring overflow";
+  serialize ring h cmd;
+  set_head ring (h + 1);
+  ring.posts <- ring.posts + 1;
+  Signal.broadcast ring.signal
+
+let pending ring = (head ring - tail ring) land 0xFFFF > 0
+
+(* Consume the next command without waiting; caller pays the read cost. *)
+let try_recv t ring bd =
+  if pending ring then begin
+    Breakdown.charge bd Breakdown.Channel t.cost.Svt_arch.Cost_model.ring_read;
+    let tl = tail ring in
+    let cmd = deserialize ring tl in
+    set_tail ring (tl + 1);
+    Some cmd
+  end
+  else None
+
+(* The wake-up penalty of the configured wait mechanism, paid once per
+   successful wait. *)
+let charge_wake t bd =
+  Breakdown.charge bd Breakdown.Channel
+    (Wait.response_latency t.cost ~wait:t.wait ~placement:t.placement)
+
+(* Blocking receive with the full waiting-mechanism model. [on_idle] runs
+   each time the consumer wakes without a command present (used by L0 to
+   service interrupts for L1 while blocked — the SVT_BLOCKED protocol). *)
+let recv t ring bd ?(on_idle = fun () -> ()) () =
+  Breakdown.charge bd Breakdown.Channel (Wait.enter_cost t.cost t.wait);
+  if Wait.steals_cycles t.wait then
+    Svt_arch.Smt_core.set_polling_siblings t.core 1;
+  let rec loop () =
+    match try_recv t ring bd with
+    | Some cmd ->
+        if Wait.steals_cycles t.wait then
+          Svt_arch.Smt_core.set_polling_siblings t.core 0;
+        cmd
+    | None ->
+        on_idle ();
+        if pending ring then loop ()
+        else begin
+          Signal.wait ring.signal;
+          charge_wake t bd;
+          loop ()
+        end
+  in
+  loop ()
+
+let to_svt t = t.to_svt
+let from_svt t = t.from_svt
+let posts ring = ring.posts
+let wait_mechanism t = t.wait
+let ring_signal ring = ring.signal
+let pending_ring = pending

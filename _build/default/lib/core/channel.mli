@@ -1,0 +1,65 @@
+(** SW SVt shared-memory command channels (§5.2, Figure 5).
+
+    Each L2 vCPU gets a pair of unidirectional command rings living in
+    (simulated) guest memory: L0 posts [CMD_VM_TRAP] with the trap
+    identifier and register payload, and the SVt-thread answers with
+    [CMD_VM_RESUME]. Commands are serialized into the ring bytes for
+    real, so payloads genuinely travel through shared memory. Waiting is
+    charged per the configured mechanism and placement ({!Wait}), and a
+    polling consumer slows its SMT sibling down while it spins. *)
+
+type command =
+  | Vm_trap of {
+      reason : Svt_arch.Exit_reason.t;
+      qual : int64;
+      regs : int64 array;
+    }  (** L0 → SVt-thread: handle this L2 exit *)
+  | Vm_resume of { regs : int64 array }
+      (** SVt-thread → L0: handling complete, restart L2 *)
+  | Blocked
+      (** L0 → L1₀: the SVT_BLOCKED injection notification (§5.3) *)
+
+type ring
+type t
+
+val create :
+  machine:Svt_hyp.Machine.t ->
+  aspace:Svt_mem.Address_space.t ->
+  wait:Mode.wait_mechanism ->
+  placement:Mode.placement ->
+  core:Svt_arch.Smt_core.t ->
+  t
+(** Allocate both rings in [aspace] (the ivshmem-style shared pages of
+    §5.2). [core] is the core whose sibling a polling waiter would slow. *)
+
+val to_svt : t -> ring
+(** The L0 → SVt-thread direction. *)
+
+val from_svt : t -> ring
+(** The SVt-thread → L0 direction. *)
+
+val post : t -> ring -> Svt_hyp.Breakdown.t -> command -> unit
+(** Serialize, publish, and ding the monitored line. Charges the ring
+    write to the breakdown's channel bucket; must run in a process.
+    Raises on ring overflow. *)
+
+val pending : ring -> bool
+val pending_ring : ring -> bool
+
+val try_recv : t -> ring -> Svt_hyp.Breakdown.t -> command option
+(** Consume the next command without waiting (charges the ring read). *)
+
+val recv :
+  t -> ring -> Svt_hyp.Breakdown.t -> ?on_idle:(unit -> unit) -> unit -> command
+(** Blocking receive with the full waiting-mechanism model. [on_idle]
+    runs on spurious wake-ups (L0 uses it to service interrupts for L1
+    while blocked — the SVT_BLOCKED protocol). *)
+
+val charge_wake : t -> Svt_hyp.Breakdown.t -> unit
+(** Pay the wake-up penalty of the configured wait mechanism. *)
+
+val ring_signal : ring -> Svt_engine.Simulator.Signal.t
+(** The "monitored cache line": broadcast on every {!post}. *)
+
+val posts : ring -> int
+val wait_mechanism : t -> Mode.wait_mechanism

@@ -1,0 +1,105 @@
+(* The guest-program API: what workload code running "inside" a guest can
+   do. Every operation here is exactly one architectural event — either
+   plain computation or a privileged instruction that takes whatever trap
+   path the system wired for this vCPU. Workloads are therefore ordinary
+   OCaml functions over this API, and the exit traffic they generate is
+   mechanistic. *)
+
+module Time = Svt_engine.Time
+module Vcpu = Svt_hyp.Vcpu
+module Exit = Svt_hyp.Exit
+module Reg = Svt_arch.Reg
+module Regfile = Svt_arch.Regfile
+module Smt_core = Svt_arch.Smt_core
+
+let compute = Vcpu.compute
+
+let compute_us vcpu us = Vcpu.compute vcpu (Time.of_us_f us)
+
+(* A register-dependency chain of [n] increments — the variable-workload
+   loop body of the paper's micro-benchmarks (§6.1). ~1 cycle each at
+   2.4 GHz. *)
+let dependent_increments vcpu n =
+  if n > 0 then begin
+    let rf = Smt_core.regfile (Vcpu.core vcpu) in
+    let ctx = Vcpu.hw_ctx vcpu in
+    let v = Regfile.read rf ~ctx (Reg.Gpr Reg.RAX) in
+    Regfile.write rf ~ctx (Reg.Gpr Reg.RAX) (Int64.add v (Int64.of_int n));
+    compute vcpu (Time.of_ns (int_of_float (float_of_int n /. 2.4 +. 0.5)))
+  end
+
+let cpuid vcpu ~leaf =
+  (* the instruction's own execution time (Table 1 part ⓪), then the trap *)
+  compute vcpu
+    (Svt_hyp.Machine.cost (Vcpu.machine vcpu)).Svt_arch.Cost_model.guest_cpuid;
+  (* the instruction takes its leaf in RAX *)
+  let rf = Smt_core.regfile (Vcpu.core vcpu) in
+  Regfile.write rf ~ctx:(Vcpu.hw_ctx vcpu) (Reg.Gpr Reg.RAX) (Int64.of_int leaf);
+  let reply = ref None in
+  Vcpu.trap vcpu (Exit.of_action (Exit.Emulate_cpuid { leaf; subleaf = 0; reply }));
+  match !reply with
+  | Some regs -> regs
+  | None -> failwith "Guest.cpuid: hypervisor did not complete the emulation"
+
+let wrmsr vcpu msr value =
+  Vcpu.trap vcpu (Exit.of_action (Exit.Wrmsr { msr; value }))
+
+let rdmsr vcpu msr =
+  let reply = ref None in
+  Vcpu.trap vcpu (Exit.of_action (Exit.Rdmsr { msr; reply }));
+  match !reply with
+  | Some v -> v
+  | None -> failwith "Guest.rdmsr: hypervisor did not complete the emulation"
+
+(* Arm the TSC-deadline timer [span] from now (TSC == ns, see Semantics). *)
+let arm_timer vcpu ~after =
+  let deadline =
+    Time.add (Svt_engine.Simulator.Proc.now ()) after
+  in
+  wrmsr vcpu Svt_arch.Msr.Ia32_tsc_deadline
+    (Svt_hyp.Semantics.tsc_of_time deadline)
+
+let mmio_write32 vcpu gpa value =
+  Vcpu.trap vcpu
+    (Exit.of_action
+       ~qualification:(Int64.of_int (Svt_mem.Addr.Gpa.to_int gpa))
+       (Exit.Mmio_write { gpa; value = Int64.of_int value; size = 4 }))
+
+let mmio_read32 vcpu gpa =
+  let reply = ref None in
+  Vcpu.trap vcpu
+    (Exit.of_action
+       ~qualification:(Int64.of_int (Svt_mem.Addr.Gpa.to_int gpa))
+       (Exit.Mmio_read { gpa; size = 4; reply }));
+  Option.value ~default:0L !reply
+
+let io_write vcpu ~port value =
+  Vcpu.trap vcpu
+    (Exit.of_action (Exit.Io_write { port; value = Int64.of_int value; size = 4 }))
+
+let io_read vcpu ~port =
+  let reply = ref None in
+  Vcpu.trap vcpu (Exit.of_action (Exit.Io_read { port; size = 4; reply }));
+  Option.value ~default:0L !reply
+
+let vmcall vcpu ~nr ~arg =
+  let reply = ref None in
+  Vcpu.trap vcpu (Exit.of_action (Exit.Vmcall { nr; arg; reply }));
+  !reply
+
+(* Touch a fresh page (e.g. a new page-cache page for a buffered write):
+   the first access faults in the EPT. *)
+let page_fault vcpu gpa =
+  Vcpu.trap vcpu
+    (Exit.of_action
+       ~qualification:(Int64.of_int (Svt_mem.Addr.Gpa.to_int gpa))
+       (Exit.Page_fault { gpa }))
+
+(* HLT: take the exit, then idle until an interrupt arrives. *)
+let hlt vcpu =
+  Vcpu.trap vcpu (Exit.of_action Exit.Halt);
+  Vcpu.wait_for_interrupt vcpu
+
+(* A guest syscall's kernel-side work (socket/block layer), pure compute. *)
+let syscall vcpu cost_model =
+  compute vcpu cost_model.Svt_arch.Cost_model.guest_syscall

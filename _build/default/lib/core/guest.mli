@@ -1,0 +1,56 @@
+(** The guest-program API.
+
+    Workload code running "inside" a guest is plain OCaml over these
+    operations, executed in the vCPU's simulator process (spawn it with
+    {!Svt_hyp.Vcpu.spawn_program}). Each operation is exactly one
+    architectural event: plain computation, or a privileged instruction
+    that takes the full trap path of the run mode the system was built
+    with. The exit traffic a workload generates is therefore mechanistic,
+    not scripted. *)
+
+val compute : Svt_hyp.Vcpu.t -> Svt_engine.Time.t -> unit
+(** Straight-line guest computation. Interruptible: pending interrupts
+    and host events are delivered at slice boundaries, and the span is
+    inflated by SMT interference if a sibling thread is polling. *)
+
+val compute_us : Svt_hyp.Vcpu.t -> float -> unit
+(** [compute] with the span in microseconds. *)
+
+val dependent_increments : Svt_hyp.Vcpu.t -> int -> unit
+(** A chain of [n] dependent register increments (~1 cycle each at
+    2.4 GHz) — the variable-workload loop body of the paper's
+    micro-benchmarks (§6.1). Actually writes the vCPU's RAX. *)
+
+val cpuid : Svt_hyp.Vcpu.t -> leaf:int -> Svt_arch.Cpuid_db.regs
+(** Execute a cpuid: always trapped and emulated by the hypervisor stack
+    (the paper's canonical minimal trap, §2.3). Returns the leaf data of
+    the guest's (masked) CPUID view. *)
+
+val wrmsr : Svt_hyp.Vcpu.t -> Svt_arch.Msr.t -> int64 -> unit
+(** Write an MSR (traps unless the MSR bitmap passes it through). *)
+
+val rdmsr : Svt_hyp.Vcpu.t -> Svt_arch.Msr.t -> int64
+
+val arm_timer : Svt_hyp.Vcpu.t -> after:Svt_engine.Time.t -> unit
+(** Arm the TSC-deadline timer [after] from now: a IA32_TSC_DEADLINE
+    write, i.e. one MSR_WRITE exit plus the LAPIC arming semantics. *)
+
+val mmio_write32 : Svt_hyp.Vcpu.t -> Svt_mem.Addr.Gpa.t -> int -> unit
+(** Store to an MMIO region (e.g. a virtio doorbell): an EPT_MISCONFIG
+    exit whose semantic effect is dispatched to the owning device. *)
+
+val mmio_read32 : Svt_hyp.Vcpu.t -> Svt_mem.Addr.Gpa.t -> int64
+val io_write : Svt_hyp.Vcpu.t -> port:int -> int -> unit
+val io_read : Svt_hyp.Vcpu.t -> port:int -> int64
+
+val vmcall : Svt_hyp.Vcpu.t -> nr:int -> arg:int64 -> int64 option
+(** Hypercall; [None] if the VM registered no handler for [nr]. *)
+
+val page_fault : Svt_hyp.Vcpu.t -> Svt_mem.Addr.Gpa.t -> unit
+(** First touch of an unmapped guest page: an EPT_VIOLATION exit. *)
+
+val hlt : Svt_hyp.Vcpu.t -> unit
+(** Take the HLT exit, then idle until an interrupt or host event. *)
+
+val syscall : Svt_hyp.Vcpu.t -> Svt_arch.Cost_model.t -> unit
+(** The kernel-side compute of one guest syscall (socket/block layer). *)

@@ -1,0 +1,48 @@
+(* Run modes of the evaluation (paper §6): the unmodified nested baseline,
+   the software-only prototype on existing SMT hardware (§5.2), and the
+   proposed hardware design (§4). SW SVt is parameterized by the waiting
+   mechanism of its command channels and by where the SVt-thread is
+   placed, the two axes of the §6.1 channel microbenchmark. *)
+
+type wait_mechanism = Polling | Mwait | Mutex
+
+type placement =
+  | Smt_sibling (* same core, other hardware thread — the paper's choice *)
+  | Same_numa_core (* different core, same socket *)
+  | Cross_numa (* different socket *)
+
+type t =
+  | Baseline
+  | Sw_svt of { wait : wait_mechanism; placement : placement }
+  | Hw_svt
+  | Hw_full_nesting
+    (* the alternative design point the paper positions SVt against (§3):
+       full architectural support for nested virtualization, where an L2
+       trap is delivered straight to L1 without involving L0 at all. Far
+       more invasive hardware; included as the upper-bound comparison. *)
+
+let sw_svt_default = Sw_svt { wait = Mwait; placement = Smt_sibling }
+
+let wait_name = function
+  | Polling -> "polling"
+  | Mwait -> "mwait"
+  | Mutex -> "mutex"
+
+let placement_name = function
+  | Smt_sibling -> "smt-sibling"
+  | Same_numa_core -> "same-numa-core"
+  | Cross_numa -> "cross-numa"
+
+let name = function
+  | Baseline -> "baseline"
+  | Sw_svt { wait; placement = Smt_sibling } ->
+      Printf.sprintf "sw-svt(%s)" (wait_name wait)
+  | Sw_svt { wait; placement } ->
+      Printf.sprintf "sw-svt(%s,%s)" (wait_name wait) (placement_name placement)
+  | Hw_svt -> "hw-svt"
+  | Hw_full_nesting -> "hw-full-nesting"
+
+let is_svt = function
+  | Baseline | Hw_full_nesting -> false
+  | Sw_svt _ | Hw_svt -> true
+let pp ppf t = Fmt.string ppf (name t)

@@ -1,0 +1,43 @@
+(** Run modes of the evaluation (paper §6).
+
+    A mode selects how the trap-handling machinery moves control and
+    state between virtualization levels; the guest-visible semantics are
+    identical across modes. *)
+
+(** How the SW SVt command-channel consumer waits (§6.1). *)
+type wait_mechanism = Polling | Mwait | Mutex
+
+(** Where the SVt-thread runs relative to the vCPU it serves (§6.1). *)
+type placement =
+  | Smt_sibling  (** same core, other hardware thread — the paper's choice *)
+  | Same_numa_core  (** different core, same socket *)
+  | Cross_numa  (** different socket: an order of magnitude slower *)
+
+type t =
+  | Baseline
+      (** unmodified nested virtualization: Algorithm 1 with full context
+          switches (the paper's Table 1 / "L2" configuration) *)
+  | Sw_svt of { wait : wait_mechanism; placement : placement }
+      (** the software-only prototype on existing SMT hardware (§5.2):
+          L0↔L1 reflection over shared-memory command rings served by an
+          SVt-thread *)
+  | Hw_svt
+      (** the proposed hardware design (§4): per-level hardware contexts,
+          thread stall/resume switches, ctxtld/ctxtst register access *)
+  | Hw_full_nesting
+      (** the alternative design point the paper positions SVt against
+          (§3): full architectural nesting support that delivers L2 traps
+          straight to L1. Included as the upper-bound comparison. *)
+
+val sw_svt_default : t
+(** [Sw_svt] with mwait on the SMT sibling — the paper's configuration. *)
+
+val wait_name : wait_mechanism -> string
+val placement_name : placement -> string
+val name : t -> string
+
+val is_svt : t -> bool
+(** Whether the mode uses the SVt mechanisms (excludes [Baseline] and
+    [Hw_full_nesting]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,507 @@
+(* Nested trap handling: the complete life-cycle of an L2 exit
+   (paper Algorithm 1), under all three run modes.
+
+   Baseline — the state of the art the paper measures in Table 1:
+     L2 traps into L0 (①); L0 reflects the exit state from vmcs02 into
+     vmcs12 (②), loads vmcs01 and injects the trap (③), and world-switches
+     into L1 (④); L1 handles the trap against vmcs01', taking auxiliary
+     traps into L0 for non-shadowed fields (⑤); L1's VMRESUME traps back
+     into L0 (④), which re-transforms vmcs12 into vmcs02 (③②) and resumes
+     L2 (①).
+
+   SW SVt (§5.2) — the L0↔L1 world switch is replaced by a command-ring
+     round trip to the SVt-thread pinned on the SMT sibling; everything
+     else (the L2↔L0 switch, the transforms) stays.
+
+   HW SVt (§4) — every world switch becomes a hardware-context stall/
+     resume, and the register save/restore folded into the handlers is
+     replaced by cross-context register accesses on the shared physical
+     register file.
+
+   All costs flow through the per-vCPU Breakdown buckets, so Table 1 is
+   literally a printout of this module's execution. *)
+
+module Time = Svt_engine.Time
+module Simulator = Svt_engine.Simulator
+module Proc = Simulator.Proc
+module Breakdown = Svt_hyp.Breakdown
+module Cost_model = Svt_arch.Cost_model
+module Smt_core = Svt_arch.Smt_core
+module Vmcs = Svt_vmcs.Vmcs
+module Field = Svt_vmcs.Field
+module Transform = Svt_vmcs.Transform
+module Exit_reason = Svt_arch.Exit_reason
+module Vcpu = Svt_hyp.Vcpu
+module Reg = Svt_arch.Reg
+
+type t = {
+  machine : Svt_hyp.Machine.t;
+  cost : Cost_model.t;
+  mode : Mode.t;
+  vcpu : Vcpu.t; (* the L2 vCPU this path serves *)
+  core : Smt_core.t;
+  script : Svt_hyp.L1_script.t;
+  vmcs01 : Vmcs.t; (* L0's descriptor for L1 *)
+  vmcs12 : Vmcs.t; (* L0's shadow of L1's vmcs01' *)
+  vmcs02 : Vmcs.t; (* the descriptor L2 actually runs on *)
+  l1_ept : Svt_mem.Ept.t; (* for pointer translation in transforms *)
+  l0_ept_pointer : int64;
+  (* SW SVt state *)
+  channel : Channel.t option;
+  mutable pending : (Svt_hyp.Exit.info * (unit -> unit)) option;
+  (* HW SVt hardware context assignment (paper §4's worked example) *)
+  ctx_l0 : int;
+  ctx_l1 : int;
+  ctx_l2 : int;
+  mutable in_flight : bool; (* an episode is being handled right now *)
+  mutable last_episode_end : Time.t;
+  mutable episodes : int;
+  mutable blocked_injections : int; (* SVT_BLOCKED events serviced (§5.3) *)
+  metrics : Svt_stats.Metrics.t;
+}
+
+let charge t bucket span = Breakdown.charge (Vcpu.breakdown t.vcpu) bucket span
+
+let ctxt_access_bulk t =
+  charge t Breakdown.Ctxt_access
+    (Time.scale t.cost.ctxt_reg_access (float_of_int t.cost.ctxt_regs_per_switch))
+
+(* Read the guest's GPRs out of its hardware context, for the SW SVt
+   command payload. *)
+let read_gprs t =
+  let rf = Smt_core.regfile t.core in
+  Array.of_list
+    (List.map
+       (fun g -> Svt_arch.Regfile.read rf ~ctx:(Vcpu.hw_ctx t.vcpu) (Reg.Gpr g))
+       Reg.all_gprs)
+
+(* --- the L1 handler body, shared by every mode ------------------------- *)
+
+(* Execute the L1 trap handler's script. [aux_bucket] is where auxiliary
+   L1→L0 traps are charged (⑤, as in the paper). Under SW SVt, writes to
+   vmcs01' must additionally be propagated from L0₁ to L0₀ through the
+   channel (§5.2: "L0₁ then propagates the necessary information into
+   L0₀"). *)
+let run_l1_script t (info : Svt_hyp.Exit.info) ~(effect : unit -> unit) =
+  let bd = Vcpu.breakdown t.vcpu in
+  let steps =
+    Svt_hyp.L1_script.script_for t.script info ~apply:effect
+  in
+  List.iter
+    (fun step ->
+      match step with
+      | Svt_hyp.L1_script.Work w -> Breakdown.charge bd Breakdown.L1_handler w
+      | Svt_hyp.L1_script.Effect f -> f ()
+      | Svt_hyp.L1_script.Aux reason ->
+          Single_level.aux_round_trip ~cost:t.cost ~mode:t.mode ~breakdown:bd
+            ~bucket:Breakdown.L1_handler ~core:t.core
+            ~hypervisor_ctx:t.ctx_l0 ~guest_ctx:t.ctx_l1 reason;
+          (* the aux trap's architectural effect on the shadow VMCS *)
+          (match reason with
+          | Exit_reason.Vmread -> ignore (Vmcs.read t.vmcs12 Field.Guest_rip)
+          | Exit_reason.Vmwrite ->
+              Vmcs.write t.vmcs12 Field.Guest_rip
+                (Int64.add (Vmcs.peek t.vmcs12 Field.Guest_rip) 2L)
+          | Exit_reason.Invept ->
+              (* §5.2: handlers that assume L1 and L2 share a hardware
+                 context (e.g. INVEPT) must propagate state from L0₁ back
+                 to L0₀ through the rings *)
+              (match (t.mode, t.channel) with
+              | Mode.Sw_svt _, Some ch ->
+                  Breakdown.charge bd Breakdown.Channel
+                    (Time.add t.cost.ring_write t.cost.ring_read);
+                  ignore ch
+              | _ -> ())
+          | _ -> ()))
+    steps
+
+(* --- transforms -------------------------------------------------------- *)
+
+let transform_exit t =
+  let r = Transform.exit ~vmcs02:t.vmcs02 ~vmcs12:t.vmcs12 in
+  charge t Breakdown.Transform (Transform.cost t.cost r)
+
+let transform_entry t =
+  let r =
+    Transform.entry ~vmcs12:t.vmcs12 ~vmcs02:t.vmcs02 ~l1_ept:t.l1_ept
+      ~l0_ept_pointer:t.l0_ept_pointer
+  in
+  charge t Breakdown.Transform (Transform.cost t.cost r)
+
+(* Record the trap in vmcs02 as hardware does, then reflect it into vmcs12
+   so L1 sees it (②③ of Algorithm 1). *)
+let record_and_reflect t (info : Svt_hyp.Exit.info) =
+  Vmcs.record_exit t.vmcs02 ~reason:info.reason
+    ~qualification:info.qualification ~instruction_length:2;
+  (* hardware also saved the guest state snapshot *)
+  Vmcs.write t.vmcs02 Field.Guest_rip
+    (Int64.add (Vmcs.peek t.vmcs02 Field.Guest_rip) 2L);
+  transform_exit t;
+  Vmcs.write t.vmcs12 Field.Entry_interrupt_info
+    (Int64.of_int (Exit_reason.basic_number info.reason))
+
+(* --- baseline path (Algorithm 1 verbatim) ------------------------------ *)
+
+let handle_baseline t info ~effect =
+  (* ① L2 → L0 *)
+  charge t Breakdown.Switch_l2_l0 t.cost.trap_hw;
+  (* ③ decide to reflect; save the L2-world state the handler will need *)
+  charge t Breakdown.L0_handler t.cost.l0_reflect_decision;
+  charge t Breakdown.L0_handler
+    (Time.of_ns (Time.to_ns t.cost.l0_ctx_mgmt_l2 / 2));
+  (* ② vmcs02 → vmcs12 *)
+  record_and_reflect t info;
+  (* ③ load vmcs01, inject the trap for L1, prepare L1's world *)
+  charge t Breakdown.L0_handler t.cost.vmptrld;
+  Vmcs.set_current t.vmcs02 false;
+  Vmcs.set_current t.vmcs01 true;
+  charge t Breakdown.L0_handler t.cost.l0_inject_exit_info;
+  charge t Breakdown.L0_handler
+    (Time.of_ns (Time.to_ns t.cost.l0_ctx_mgmt_l1 / 2));
+  (* ④ VM resume into L1 *)
+  charge t Breakdown.Switch_l0_l1
+    (Time.add t.cost.resume_hw t.cost.l1_world_extra);
+  (* ⑤ L1 handles the trap against vmcs01' *)
+  run_l1_script t info ~effect;
+  (* ④ L1's VMRESUME traps into L0 *)
+  charge t Breakdown.Switch_l0_l1
+    (Time.add t.cost.trap_hw t.cost.l1_world_extra);
+  (* ③ emulate the VM entry, restore the L2 world *)
+  charge t Breakdown.L0_handler t.cost.l0_emulate_vmentry;
+  charge t Breakdown.L0_handler
+    (Time.of_ns (Time.to_ns t.cost.l0_ctx_mgmt_l1 - Time.to_ns t.cost.l0_ctx_mgmt_l1 / 2));
+  charge t Breakdown.L0_handler t.cost.vmptrld;
+  Vmcs.set_current t.vmcs01 false;
+  Vmcs.set_current t.vmcs02 true;
+  charge t Breakdown.L0_handler
+    (Time.of_ns (Time.to_ns t.cost.l0_ctx_mgmt_l2 - Time.to_ns t.cost.l0_ctx_mgmt_l2 / 2));
+  (* ② vmcs12 → vmcs02 *)
+  transform_entry t;
+  (* ① resume L2 *)
+  charge t Breakdown.Switch_l2_l0 t.cost.resume_hw
+
+(* --- SW SVt path (§5.2, Figure 5) --------------------------------------- *)
+
+(* Service one host-side event while blocked on the SVt-thread: the
+   SVT_BLOCKED protocol of §5.3. L0₀ injects a distinguished trap into
+   L1₀ so the interrupt handler can run, then L1₀ yields straight back. *)
+let service_blocked_event t ch event =
+  t.blocked_injections <- t.blocked_injections + 1;
+  Svt_stats.Metrics.incr t.metrics "svt_blocked_injections";
+  let bd = Vcpu.breakdown t.vcpu in
+  (* inject SVT_BLOCKED into L1₀ and take its immediate yield back *)
+  Channel.post ch (Channel.to_svt ch) bd Channel.Blocked;
+  Breakdown.charge bd Breakdown.Switch_l0_l1
+    (Time.add t.cost.resume_hw t.cost.l1_world_extra);
+  event ();
+  Breakdown.charge bd Breakdown.Switch_l0_l1
+    (Time.add t.cost.trap_hw t.cost.l1_world_extra)
+
+let handle_sw_svt t ch info ~effect =
+  let bd = Vcpu.breakdown t.vcpu in
+  (* ① and the L2-side half of ③ are unchanged: L2 still exits through the
+     pre-existing trap path on this hardware thread. *)
+  charge t Breakdown.Switch_l2_l0 t.cost.trap_hw;
+  charge t Breakdown.L0_handler t.cost.l0_reflect_decision;
+  charge t Breakdown.L0_handler
+    (Time.of_ns (Time.to_ns t.cost.l0_ctx_mgmt_l2 / 2));
+  record_and_reflect t info;
+  (* CMD_VM_TRAP to the SVt-thread with the register payload *)
+  t.pending <- Some (info, effect);
+  Channel.post ch (Channel.to_svt ch) bd
+    (Channel.Vm_trap
+       { reason = info.reason; qual = info.qualification; regs = read_gprs t });
+  (* wait for CMD_VM_RESUME, servicing interrupts for L1₀ meanwhile *)
+  let rec wait_resume () =
+    match Channel.try_recv ch (Channel.from_svt ch) bd with
+    | Some (Channel.Vm_resume _) -> ()
+    | Some _ -> wait_resume ()
+    | None ->
+        if Vcpu.take_host_event t.vcpu
+             (fun ev -> service_blocked_event t ch ev)
+        then wait_resume ()
+        else begin
+          Simulator.Signal.wait_any
+            [ Channel.ring_signal (Channel.from_svt ch);
+              Vcpu.wake_signal t.vcpu ];
+          if Channel.pending_ring (Channel.from_svt ch) then
+            Channel.charge_wake ch bd;
+          wait_resume ()
+        end
+  in
+  wait_resume ();
+  (* restart L2 through the pre-existing path *)
+  charge t Breakdown.L0_handler t.cost.sw_prepare_resume;
+  charge t Breakdown.L0_handler
+    (Time.of_ns (Time.to_ns t.cost.l0_ctx_mgmt_l2 - Time.to_ns t.cost.l0_ctx_mgmt_l2 / 2));
+  transform_entry t;
+  charge t Breakdown.Switch_l2_l0 t.cost.resume_hw
+
+(* The SVt-thread: pinned to the SMT sibling, parked inside the (L1 guest)
+   kernel, serving CMD_VM_TRAP commands (Figure 5's L1₁). *)
+let svt_thread_body t ch () =
+  let bd = Vcpu.breakdown t.vcpu in
+  let rec loop () =
+    let cmd = Channel.recv ch (Channel.to_svt ch) bd () in
+    (match cmd with
+    | Channel.Vm_trap _ -> (
+        match t.pending with
+        | None -> failwith "SVt-thread: command without pending exit"
+        | Some (info, effect) ->
+            t.pending <- None;
+            run_l1_script t info ~effect;
+            Channel.post ch (Channel.from_svt ch) bd
+              (Channel.Vm_resume { regs = read_gprs t }))
+    | Channel.Blocked ->
+        (* L1₀ is being interrupted while we handle a trap; nothing for the
+           SVt-thread itself to do (§5.3 guarantees no concurrent access
+           to the L2₀ vCPU state). *)
+        ()
+    | Channel.Vm_resume _ -> failwith "SVt-thread: unexpected CMD_VM_RESUME");
+    loop ()
+  in
+  loop ()
+
+(* --- HW SVt path (§4) ---------------------------------------------------- *)
+
+(* §3.1: with fewer hardware contexts than virtualization levels, L1 and
+   L2 multiplex one context, and switching between their worlds means
+   reloading the shared context's register state (through ctxtld/ctxtst)
+   and re-pointing the VMCS — a software context switch again, though a
+   cheaper one than the baseline's. *)
+let multiplexed t = t.ctx_l1 = t.ctx_l2
+
+let charge_multiplex_reload t =
+  if multiplexed t then begin
+    charge t Breakdown.Ctxt_access
+      (Time.scale t.cost.ctxt_reg_access
+         (float_of_int (2 * t.cost.ctxt_regs_per_switch)));
+    charge t Breakdown.L0_handler t.cost.vmptrld
+  end
+
+let handle_hw_svt t info ~effect =
+  (* ① VM trap = stall L2's context, fetch from SVt_visor's *)
+  Smt_core.vm_trap t.core;
+  charge t Breakdown.Switch_l2_l0 t.cost.thread_switch;
+  (* ③ the handler reads L2's registers through ctxtld instead of a
+     memory save/restore *)
+  ctxt_access_bulk t;
+  charge t Breakdown.L0_handler t.cost.l0_reflect_decision;
+  record_and_reflect t info;
+  charge t Breakdown.L0_handler t.cost.vmptrld;
+  Svt_fields.vmptrld t.core t.vmcs01;
+  Vmcs.set_current t.vmcs02 false;
+  charge t Breakdown.L0_handler t.cost.l0_inject_exit_info;
+  (* ④ resume into L1's hardware context; when L1 and L2 multiplex one
+     context (§3.1), its register state must be reloaded first *)
+  charge_multiplex_reload t;
+  Smt_core.vm_resume t.core;
+  charge t Breakdown.Switch_l0_l1 t.cost.thread_switch;
+  (* ⑤ L1 handles; its cross-context accesses to L2's registers resolve
+     through SVt_nested (context virtualization, §4) *)
+  run_l1_script t info ~effect;
+  (* ④ L1's VMRESUME traps into L0's context *)
+  Smt_core.vm_trap t.core;
+  charge t Breakdown.Switch_l0_l1 t.cost.thread_switch;
+  (* ... and the shared context must be reloaded with L2's state *)
+  charge_multiplex_reload t;
+  (* ③ emulate the entry; restore goes through ctxtst *)
+  charge t Breakdown.L0_handler t.cost.l0_emulate_vmentry;
+  ctxt_access_bulk t;
+  charge t Breakdown.L0_handler t.cost.vmptrld;
+  Svt_fields.vmptrld t.core t.vmcs02;
+  Vmcs.set_current t.vmcs01 false;
+  (* ② *)
+  transform_entry t;
+  (* ① resume L2's context *)
+  Smt_core.vm_resume t.core;
+  charge t Breakdown.Switch_l2_l0 t.cost.thread_switch
+
+(* --- construction ------------------------------------------------------- *)
+
+(* Wire the nested trap path for one L2 vCPU. [l1_vm] is the guest
+   hypervisor's VM (its address space backs the shadow-EPT translation and,
+   under SW SVt, the command rings). Hardware contexts follow the paper's
+   worked example: L0 on context 0, L1 on 1, L2 on 2 when the core has
+   three; on 2-way SMT, L1 and L2 share context 1's slot and L0 re-loads
+   it per level (the vCPU state is still exchanged with ctxtld/ctxtst). *)
+let create ~machine ~mode ~vcpu ~l1_vm ~script () =
+  let cost = Svt_hyp.Machine.cost machine in
+  let core = Vcpu.core vcpu in
+  let n_ctx = Smt_core.n_contexts core in
+  let ctx_l0 = 0 in
+  let ctx_l1 = 1 in
+  let ctx_l2 = if n_ctx > 2 then 2 else 1 in
+  let vmcs01 = Vmcs.create ~owner_level:0 ~subject_level:1 () in
+  let vmcs12 = Vmcs.create ~owner_level:1 ~subject_level:2 () in
+  let vmcs02 = Vmcs.create ~owner_level:0 ~subject_level:2 () in
+  Svt_vmcs.Checks.init_minimal vmcs01;
+  Svt_vmcs.Checks.init_minimal vmcs12;
+  Svt_vmcs.Checks.init_minimal vmcs02;
+  let l1_aspace = Svt_hyp.Vm.aspace l1_vm in
+  (* L1 points the physical-pointer fields of vmcs01' at pages in its own
+     guest-physical space; the entry transform translates them. *)
+  let bitmap_page field =
+    let gpa = Svt_mem.Address_space.alloc_guest_pages l1_aspace 1 in
+    Vmcs.write vmcs12 field (Int64.of_int (Svt_mem.Addr.Gpa.to_int gpa))
+  in
+  bitmap_page Field.Io_bitmap_a;
+  bitmap_page Field.Io_bitmap_b;
+  bitmap_page Field.Msr_bitmap;
+  bitmap_page Field.Ept_pointer;
+  let l0_ept_pointer = 0x7EF0000L in
+  (match mode with
+  | Mode.Hw_svt ->
+      Svt_fields.set_contexts vmcs01 ~visor:ctx_l0 ~vm:ctx_l1 ~nested:ctx_l2;
+      (* L1 programmed its own (virtualized) view into vmcs01'; L0
+         translated the context ids when shadowing into vmcs12/vmcs02. *)
+      Svt_fields.set_contexts vmcs12 ~visor:0 ~vm:1 ~nested:Svt_fields.invalid;
+      Svt_fields.set_contexts vmcs02 ~visor:ctx_l0 ~vm:ctx_l2
+        ~nested:Svt_fields.invalid;
+      Vcpu.set_hw_ctx vcpu ctx_l2;
+      Svt_fields.vmptrld core vmcs02;
+      Smt_core.vm_resume core (* the guest context is the active one *)
+  | Mode.Baseline | Mode.Sw_svt _ | Mode.Hw_full_nesting ->
+      Svt_fields.set_contexts vmcs01 ~visor:Svt_fields.invalid
+        ~vm:Svt_fields.invalid ~nested:Svt_fields.invalid;
+      Vcpu.set_hw_ctx vcpu 0);
+  (match Svt_vmcs.Checks.run ~n_hw_contexts:n_ctx vmcs02 with
+  | Ok () -> ()
+  | Error es ->
+      failwith
+        (Fmt.str "Nested.create: vmcs02 fails entry checks: %a"
+           (Fmt.list Svt_vmcs.Checks.pp_failure) es));
+  let channel =
+    match mode with
+    | Mode.Sw_svt { wait; placement } ->
+        Some
+          (Channel.create ~machine ~aspace:l1_aspace ~wait ~placement ~core)
+    | _ -> None
+  in
+  let t =
+    {
+      machine;
+      cost;
+      mode;
+      vcpu;
+      core;
+      script;
+      vmcs01;
+      vmcs12;
+      vmcs02;
+      l1_ept = Svt_mem.Address_space.ept l1_aspace;
+      l0_ept_pointer;
+      channel;
+      pending = None;
+      ctx_l0;
+      ctx_l1;
+      ctx_l2;
+      in_flight = false;
+      last_episode_end = Time.of_ns (-1_000_000);
+      episodes = 0;
+      blocked_injections = 0;
+      metrics = machine.Svt_hyp.Machine.metrics;
+    }
+  in
+  (* Prime vmcs02 from the initial vmcs12 state (the first VMLAUNCH). *)
+  ignore
+    (Transform.entry ~vmcs12 ~vmcs02 ~l1_ept:t.l1_ept
+       ~l0_ept_pointer:t.l0_ept_pointer);
+  Vmcs.set_current vmcs02 true;
+  Vmcs.set_launched vmcs02 true;
+  t
+
+(* Spawn the SVt-thread (SW SVt only); call once after [create]. *)
+let start t =
+  match (t.mode, t.channel) with
+  | Mode.Sw_svt _, Some ch ->
+      Simulator.spawn (Svt_hyp.Machine.sim t.machine)
+        ~name:(Printf.sprintf "svt-thread-%s" (Vcpu.name t.vcpu))
+        (svt_thread_body t ch)
+  | _ -> ()
+
+(* --- full hardware nesting (the alternative design point, §3) ------------ *)
+
+(* Architectural support for nested delivery: the hardware walks the VMCS
+   hierarchy itself and delivers the L2 trap straight into L1. No L0
+   involvement, no transforms — and L1's vmread/vmwrite hit real hardware
+   state, so the auxiliary traps vanish too. The price the paper argues
+   against is hardware complexity, not performance. *)
+let handle_full_nesting t (info : Svt_hyp.Exit.info) ~effect =
+  let bd = Vcpu.breakdown t.vcpu in
+  charge t Breakdown.Switch_l0_l1 t.cost.trap_hw;
+  charge t Breakdown.L1_handler t.cost.ctx_mgmt_single;
+  let steps = Svt_hyp.L1_script.script_for t.script info ~apply:effect in
+  List.iter
+    (fun step ->
+      match step with
+      | Svt_hyp.L1_script.Work w -> Breakdown.charge bd Breakdown.L1_handler w
+      | Svt_hyp.L1_script.Effect f -> f ()
+      | Svt_hyp.L1_script.Aux _ ->
+          (* a plain VMCS access on real hardware *)
+          Breakdown.charge bd Breakdown.L1_handler (Time.of_ns 50))
+    steps;
+  charge t Breakdown.Switch_l0_l1 t.cost.resume_hw
+
+(* --- entry points ------------------------------------------------------- *)
+
+let handle t (info : Svt_hyp.Exit.info) =
+  let bd = Vcpu.breakdown t.vcpu in
+  Breakdown.count_exit bd;
+  t.episodes <- t.episodes + 1;
+  t.in_flight <- true;
+  Svt_stats.Metrics.incr t.metrics
+    ("l2_exit." ^ Exit_reason.name info.reason);
+  let started = Proc.now () in
+  let effect () = Svt_hyp.Semantics.apply t.vcpu info.action in
+  (if Svt_hyp.L1_script.reflects info.reason then
+     match (t.mode, t.channel) with
+     | Mode.Baseline, _ -> handle_baseline t info ~effect
+     | Mode.Sw_svt _, Some ch -> handle_sw_svt t ch info ~effect
+     | Mode.Sw_svt _, None -> failwith "Nested: SW SVt without a channel"
+     | Mode.Hw_svt, _ -> handle_hw_svt t info ~effect
+     | Mode.Hw_full_nesting, _ -> handle_full_nesting t info ~effect
+   else begin
+     (* L0 handles it directly (VMX instructions from L1 &c.) *)
+     Single_level.aux_round_trip ~cost:t.cost ~mode:t.mode ~breakdown:bd
+       ~bucket:Breakdown.L0_handler ~core:t.core ~hypervisor_ctx:t.ctx_l0
+       ~guest_ctx:t.ctx_l2 info.reason;
+     effect ()
+   end);
+  t.in_flight <- false;
+  t.last_episode_end <- Proc.now ();
+  Svt_stats.Metrics.add_time t.metrics
+    ("l2_exit_time." ^ Exit_reason.name info.reason)
+    (Time.diff (Proc.now ()) started)
+
+(* An interrupt destined for L1 arriving while this vCPU runs L2: a full
+   reflection episode normally, or the SVT_BLOCKED light path when it
+   lands in the middle of an SW SVt episode (handled by the wait loop in
+   [handle_sw_svt], which drains host events via [service_blocked_event]).
+   The [work] closure performs L1's interrupt handler semantics. *)
+let interrupt_for_l1 t ~vector ~work =
+  let info =
+    Svt_hyp.Exit.of_action (Svt_hyp.Exit.External_interrupt { vector })
+  in
+  let effect () = work () in
+  (match (t.mode, t.channel) with
+  | Mode.Baseline, _ -> handle_baseline t info ~effect
+  | Mode.Sw_svt _, Some ch -> handle_sw_svt t ch info ~effect
+  | Mode.Sw_svt _, None -> failwith "Nested: SW SVt without a channel"
+  | Mode.Hw_svt, _ -> handle_hw_svt t info ~effect
+  | Mode.Hw_full_nesting, _ -> handle_full_nesting t info ~effect);
+  t.last_episode_end <- Proc.now ()
+
+(* Whether the vCPU is (virtually) inside/just past a trap episode, so a
+   pending vector can be injected on the upcoming VM entry instead of
+   forcing a fresh exit (the injection-on-entry fast path). *)
+let at_entry_boundary t =
+  Time.(Time.diff (Proc.now ()) t.last_episode_end <= Time.of_ns 1_000)
+
+let note_episode_end t = t.last_episode_end <- Proc.now ()
+
+let episodes t = t.episodes
+let blocked_injections t = t.blocked_injections
+let vmcs01 t = t.vmcs01
+let vmcs12 t = t.vmcs12
+let vmcs02 t = t.vmcs02

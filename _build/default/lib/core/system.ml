@@ -1,0 +1,293 @@
+(* Top-level wiring: build the whole virtualization stack for a chosen run
+   mode and guest placement, and connect devices so that workloads see the
+   exact exit traffic of the paper's setups (Table 4).
+
+   Levels:
+   - [L0_native]  — the workload runs on bare metal (Figure 6's "L0" bar);
+   - [L1_leaf]    — a single-level guest of L0 ("L1" bar);
+   - [L2_nested]  — the nested guest, under Baseline / SW SVt / HW SVt.
+
+   The guest-under-test vCPUs are pinned to distinct cores; under SW SVt
+   each vCPU's SVt-thread occupies the SMT sibling of its core (§5.2). *)
+
+module Time = Svt_engine.Time
+module Simulator = Svt_engine.Simulator
+module Proc = Simulator.Proc
+module Machine = Svt_hyp.Machine
+module Vm = Svt_hyp.Vm
+module Vcpu = Svt_hyp.Vcpu
+module Exit = Svt_hyp.Exit
+module Lapic = Svt_interrupt.Lapic
+module Cpuid_db = Svt_arch.Cpuid_db
+module Exit_reason = Svt_arch.Exit_reason
+
+type level = L0_native | L1_leaf | L2_nested
+
+let level_name = function
+  | L0_native -> "L0"
+  | L1_leaf -> "L1"
+  | L2_nested -> "L2"
+
+(* Guest interrupt vectors used by the device wiring. *)
+let net_vector = 0x51
+let blk_vector = 0x52
+let l1_nic_vector = 0x31
+
+type t = {
+  machine : Machine.t;
+  mode : Mode.t;
+  level : level;
+  l1_vm : Vm.t;
+  guest_vm : Vm.t; (* the VM the workload runs in (l1_vm when L1_leaf) *)
+  vcpus : Vcpu.t array;
+  nested : Nested.t array; (* per vCPU; empty unless L2_nested *)
+  script : Svt_hyp.L1_script.t;
+  mutable fabric : Svt_virtio.Fabric.t option;
+}
+
+let native_op_cost (_cost : Svt_arch.Cost_model.t) (info : Exit.info) =
+  (* the instruction's execution time is charged by the Guest API itself;
+     natively there is nothing else to pay *)
+  match info.reason with
+  | Exit_reason.Cpuid -> Time.zero
+  | _ -> Time.of_ns 40
+
+(* Native execution: privileged operations execute directly. *)
+let wire_native cost vcpu =
+  Vcpu.set_privileged vcpu (fun v info ->
+      Svt_hyp.Breakdown.charge (Vcpu.breakdown v) Svt_hyp.Breakdown.L2_guest
+        (native_op_cost cost info);
+      Svt_hyp.Semantics.apply v info.action);
+  Vcpu.set_deliver_guest_irq vcpu (fun v vector ->
+      (match Vcpu.isr_handler v vector with Some f -> f () | None -> ());
+      Lapic.eoi (Vcpu.lapic v));
+  Vcpu.set_deliver_host_event vcpu (fun _ ~vector:_ ~work -> work ())
+
+(* Single-level guest: every privileged op is one L1→L0 exit. *)
+let wire_l1_leaf cost mode vcpu =
+  Vcpu.set_privileged vcpu (fun v info -> Single_level.handle ~cost ~mode v info);
+  Vcpu.set_deliver_guest_irq vcpu (fun v vector ->
+      Single_level.handle ~cost ~mode v
+        (Exit.of_action (Exit.External_interrupt { vector }));
+      (match Vcpu.isr_handler v vector with Some f -> f () | None -> ());
+      Single_level.handle ~cost ~mode v (Exit.of_action Exit.Eoi));
+  Vcpu.set_deliver_host_event vcpu (fun _ ~vector:_ ~work -> work ())
+
+(* Nested guest: the full reflection protocol of [Nested]. Injecting a
+   vector into L2 costs L1 an interrupt-window exit on top of the
+   external-interrupt reflection (the guest rarely has interrupts enabled
+   at the instant of injection), then the guest's EOI exits again. *)
+let wire_l2 nested vcpu =
+  Vcpu.set_privileged vcpu (fun _ info -> Nested.handle nested info);
+  Vcpu.set_deliver_guest_irq vcpu (fun v vector ->
+      (* If the vCPU is at a VM-entry boundary (it just took an exit for
+         the event that raised this vector), L1 injects on that entry for
+         free; otherwise injection forces a fresh external-interrupt exit
+         plus an interrupt-window exit. Network vectors always come from
+         L1's vhost worker on another CPU (an IPI into a running guest),
+         so they never hit the boundary. *)
+      if vector = net_vector || not (Nested.at_entry_boundary nested) then begin
+        Nested.handle nested
+          (Exit.of_action (Exit.External_interrupt { vector }));
+        Nested.handle nested (Exit.of_action Exit.Interrupt_window)
+      end;
+      (match Vcpu.isr_handler v vector with Some f -> f () | None -> ());
+      Nested.handle nested (Exit.of_action Exit.Eoi));
+  Vcpu.set_deliver_host_event vcpu (fun _ ~vector ~work ->
+      Nested.interrupt_for_l1 nested ~vector ~work)
+
+let create ?(config = Machine.paper_config) ?(n_vcpus = 1)
+    ?(shadow = Svt_vmcs.Shadow.hardware_shadowing_enabled)
+    ?(multiplex_contexts = false) ~mode ~level () =
+  (* The proposed SVt core provides one hardware context per
+     virtualization level (the section-4 worked example needs three);
+     beyond the config's SMT width the hypervisor multiplexes levels on a
+     shared context (section 3.1), which [Nested] charges for. The
+     default HW SVt machine is the proposal, so it gets the third
+     context. *)
+  let config =
+    match (mode, level) with
+    | Mode.Hw_svt, L2_nested
+      when config.Machine.smt_per_core < 3 && not multiplex_contexts ->
+        { config with Machine.smt_per_core = 3 }
+    | _ -> config
+  in
+  let machine = Machine.create ~config () in
+  let cost = Machine.cost machine in
+  let host_db = machine.Machine.host_cpuid in
+  let l1_db = Cpuid_db.guest_view host_db ~expose_vmx:true in
+  let l2_db = Cpuid_db.guest_view l1_db ~expose_vmx:false in
+  let mb = 1 lsl 20 in
+  let l1_vm = Vm.create ~machine ~name:"l1" ~level:1 ~ram_bytes:(4 * mb) ~cpuid:l1_db in
+  let script = Svt_hyp.L1_script.create ~shadow cost in
+  match level with
+  | L0_native ->
+      let l0_vm =
+        Vm.create ~machine ~name:"l0" ~level:0 ~ram_bytes:(4 * mb) ~cpuid:host_db
+      in
+      let vcpus =
+        Array.init n_vcpus (fun i ->
+            Vcpu.create ~machine ~vm:l0_vm ~index:i ~core_id:i ~hw_ctx:0)
+      in
+      Array.iter (wire_native cost) vcpus;
+      { machine; mode; level; l1_vm; guest_vm = l0_vm; vcpus; nested = [||];
+        script; fabric = None }
+  | L1_leaf ->
+      let vcpus =
+        Array.init n_vcpus (fun i ->
+            Vcpu.create ~machine ~vm:l1_vm ~index:i ~core_id:i ~hw_ctx:0)
+      in
+      Array.iter (wire_l1_leaf cost mode) vcpus;
+      { machine; mode; level; l1_vm; guest_vm = l1_vm; vcpus; nested = [||];
+        script; fabric = None }
+  | L2_nested ->
+      let l2_vm =
+        Vm.create ~machine ~name:"l2" ~level:2 ~ram_bytes:(4 * mb) ~cpuid:l2_db
+      in
+      let vcpus =
+        Array.init n_vcpus (fun i ->
+            Vcpu.create ~machine ~vm:l2_vm ~index:i ~core_id:i ~hw_ctx:0)
+      in
+      let nested =
+        Array.map
+          (fun vcpu -> Nested.create ~machine ~mode ~vcpu ~l1_vm ~script ())
+          vcpus
+      in
+      Array.iteri (fun i vcpu -> wire_l2 nested.(i) vcpu) vcpus;
+      Array.iter Nested.start nested;
+      { machine; mode; level; l1_vm; guest_vm = l2_vm; vcpus; nested; script;
+        fabric = None }
+
+let machine t = t.machine
+let sim t = Machine.sim t.machine
+let cost t = Machine.cost t.machine
+let mode t = t.mode
+let guest_vm t = t.guest_vm
+let vcpu t i = t.vcpus.(i)
+let vcpu0 t = t.vcpus.(0)
+let n_vcpus t = Array.length t.vcpus
+let nested_path t i = t.nested.(i)
+let l1_script t = t.script
+let metrics t = t.machine.Machine.metrics
+
+let run ?until t =
+  match until with
+  | Some limit -> Simulator.run ~until:limit (sim t)
+  | None -> Simulator.run (sim t)
+
+(* ---- devices ----------------------------------------------------------- *)
+
+(* Cost one L1-level exit inside a backend process: L1's vhost threads pay
+   single-level trap costs when they poke their own L0-provided devices.
+   (Backends run on cores without SVt, so this is mode-independent.) *)
+let charge_l1_exit t reason =
+  Proc.delay (Single_level.episode_cost ~cost:(cost t) ~mode:Mode.Baseline reason)
+
+(* Attach a virtio-net device to the guest-under-test and connect it to a
+   separate client machine over the 10 GbE fabric. Returns the device and
+   the client-side endpoint. *)
+let attach_net ?(vcpu_index = 0) t =
+  let fabric =
+    Svt_virtio.Fabric.create (sim t) ~cost:(cost t) ~name_a:"host-nic"
+      ~name_b:"client"
+  in
+  t.fabric <- Some fabric;
+  let net =
+    Svt_virtio.Virtio_net.create ~machine:t.machine ~vm:t.guest_vm
+      ~name:(Printf.sprintf "net%d" vcpu_index)
+  in
+  let vcpu = vcpu t vcpu_index in
+  (match t.level with
+  | L2_nested ->
+      (* TX: L2's queue is served by L1's vhost worker, which forwards
+         through L1's own virtio-net — one more (single-level) kick. *)
+      Svt_virtio.Virtio_net.set_tx_sink net (fun pkt ->
+          charge_l1_exit t Exit_reason.Ept_misconfig;
+          Proc.delay (cost t).vhost_kick;
+          Svt_virtio.Fabric.send fabric ~from:(Svt_virtio.Fabric.endpoint_a fabric) pkt);
+      (* RX: the wire delivers to L0's vhost, which interrupts L1 (a host
+         event for the L2 vCPU); L1's handler feeds L2's RX ring and
+         injects the guest vector. *)
+      let rx_mail = Simulator.Mailbox.create (sim t) in
+      Svt_virtio.Fabric.on_deliver (Svt_virtio.Fabric.endpoint_a fabric)
+        (fun pkt -> Simulator.Mailbox.send rx_mail pkt);
+      Simulator.spawn (sim t) ~name:"l0-vhost-rx" (fun () ->
+          let rec loop () =
+            let first = Simulator.Mailbox.recv rx_mail in
+            Proc.delay (cost t).vhost_wake;
+            Proc.delay (cost t).vhost_kick;
+            (* NAPI-style coalescing: everything queued by now reaches the
+               guest hypervisor as a single interrupt *)
+            let batch = ref [ first ] in
+            let rec gather () =
+              match Simulator.Mailbox.try_recv rx_mail with
+              | Some p ->
+                  batch := p :: !batch;
+                  gather ()
+              | None -> ()
+            in
+            gather ();
+            List.iter (fun _ -> Proc.delay (cost t).virtio_queue_op) !batch;
+            let pkts = List.rev !batch in
+            Vcpu.enqueue_host_event vcpu ~vector:l1_nic_vector (fun () ->
+                List.iter (Svt_virtio.Virtio_net.backend_deliver net) pkts);
+            loop ()
+          in
+          loop ());
+      (* L1's vhost-net worker injects the guest vector only after its own
+         scheduling latency, so the interrupt lands on a running guest
+         (forcing a real exit) rather than on the entry boundary *)
+      Svt_virtio.Virtio_net.set_raise_irq net (fun () ->
+          ignore
+            (Simulator.schedule (sim t) ~after:(cost t).vhost_wake (fun () ->
+                 Lapic.raise_vector (Vcpu.lapic vcpu) net_vector)))
+  | L1_leaf | L0_native ->
+      (* The device backend is L0's own vhost; TX goes straight to the
+         fabric and RX interrupts the guest directly. *)
+      Svt_virtio.Virtio_net.set_tx_sink net (fun pkt ->
+          Svt_virtio.Fabric.send fabric ~from:(Svt_virtio.Fabric.endpoint_a fabric) pkt);
+      let rx_mail = Simulator.Mailbox.create (sim t) in
+      Svt_virtio.Fabric.on_deliver (Svt_virtio.Fabric.endpoint_a fabric)
+        (fun pkt -> Simulator.Mailbox.send rx_mail pkt);
+      Simulator.spawn (sim t) ~name:"l0-vhost-rx" (fun () ->
+          let rec loop () =
+            let pkt = Simulator.Mailbox.recv rx_mail in
+            Proc.delay (cost t).vhost_kick;
+            Proc.delay (cost t).virtio_queue_op;
+            Svt_virtio.Virtio_net.backend_deliver net pkt;
+            loop ()
+          in
+          loop ());
+      Svt_virtio.Virtio_net.set_raise_irq net (fun () ->
+          Lapic.raise_vector (Vcpu.lapic vcpu) net_vector));
+  Svt_virtio.Virtio_net.start_backend net;
+  (net, fabric)
+
+(* Attach a virtio-blk device. For a nested guest the backend path runs
+   through L1's own virtualized disk, modeled as a fixed nested service
+   penalty on top of the tmpfs latency. *)
+let attach_blk ?(disk_mb = 256) t =
+  let disk = Svt_virtio.Ramdisk.create ~size_mb:disk_mb in
+  let blk =
+    Svt_virtio.Virtio_blk.create ~machine:t.machine ~vm:t.guest_vm ~name:"blk0" ~disk
+  in
+  let vcpu = vcpu0 t in
+  (match t.level with
+  | L2_nested ->
+      (* L2's disk image is a file on L1's (virtual) disk: every request is
+         served by L1's vhost-blk thread, whose own KVM interactions are
+         single-level exits — accelerated by HW SVt like any other trap. *)
+      let l1_exits = 21 in
+      let penalty =
+        Time.add (cost t).nested_disk_penalty
+          (Time.scale
+             (Single_level.episode_cost ~cost:(cost t) ~mode:t.mode
+                Exit_reason.Ept_misconfig)
+             (float_of_int l1_exits))
+      in
+      Svt_virtio.Virtio_blk.set_nested_penalty blk penalty
+  | L1_leaf | L0_native -> ());
+  Svt_virtio.Virtio_blk.set_raise_irq blk (fun () ->
+      Lapic.raise_vector (Vcpu.lapic vcpu) blk_vector);
+  Svt_virtio.Virtio_blk.start_backend blk;
+  (blk, disk)

@@ -1,0 +1,88 @@
+(** Top-level wiring: build a complete virtualization stack for a chosen
+    run mode and guest placement (the paper's Table 4 setups), attach
+    virtio devices, and run it.
+
+    {[
+      let sys = System.create ~mode:Mode.Hw_svt ~level:System.L2_nested () in
+      Svt_hyp.Vcpu.spawn_program (System.vcpu0 sys) (fun v ->
+          ignore (Guest.cpuid v ~leaf:1));
+      System.run sys
+    ]} *)
+
+(** Where the guest under test runs. *)
+type level =
+  | L0_native  (** bare metal (Figure 6's "L0" bar) *)
+  | L1_leaf  (** a single-level guest of L0 ("L1" bar) *)
+  | L2_nested  (** the nested guest ("L2" / SVt bars) *)
+
+val level_name : level -> string
+
+(** Guest interrupt vectors used by the device wiring. *)
+
+val net_vector : int
+val blk_vector : int
+val l1_nic_vector : int
+
+type t
+
+val create :
+  ?config:Svt_hyp.Machine.config ->
+  ?n_vcpus:int ->
+  ?shadow:Svt_vmcs.Shadow.t ->
+  ?multiplex_contexts:bool ->
+  mode:Mode.t ->
+  level:level ->
+  unit ->
+  t
+(** Build the stack: the simulated machine, the guest hypervisor VM, the
+    guest under test with [n_vcpus] vCPUs pinned to distinct cores, and
+    the per-vCPU trap paths of [mode] (including SVt-threads on the SMT
+    siblings under SW SVt). [shadow] selects the hardware VMCS-shadowing
+    policy L1 runs under (§2.1); disabling it adds auxiliary traps.
+    A default HW SVt machine gets the proposal's three hardware contexts;
+    pass [~multiplex_contexts:true] to keep the configured SMT width and
+    let L1 and L2 multiplex one context (§3.1), paying reload costs. *)
+
+(** {2 Accessors} *)
+
+val machine : t -> Svt_hyp.Machine.t
+val sim : t -> Svt_engine.Simulator.t
+val cost : t -> Svt_arch.Cost_model.t
+val mode : t -> Mode.t
+val guest_vm : t -> Svt_hyp.Vm.t
+val vcpu : t -> int -> Svt_hyp.Vcpu.t
+val vcpu0 : t -> Svt_hyp.Vcpu.t
+val n_vcpus : t -> int
+
+val nested_path : t -> int -> Nested.t
+(** The nested trap path serving vCPU [i] (only when [level = L2_nested]). *)
+
+val l1_script : t -> Svt_hyp.L1_script.t
+(** The guest hypervisor's handler-script registry, for overriding the
+    behaviour of specific exit reasons (device wiring does this). *)
+
+val metrics : t -> Svt_stats.Metrics.t
+(** Exit counts and per-reason handler time (the §6.2/§6.3 profiles). *)
+
+val run : ?until:Svt_engine.Time.t -> t -> unit
+(** Run the simulation until the event queue drains (all guest programs
+    finished) or until the given instant. *)
+
+(** {2 Devices} *)
+
+val charge_l1_exit : t -> Svt_arch.Exit_reason.t -> unit
+(** Charge one L1-level (single-level) exit inside a backend process —
+    what L1's vhost threads pay when poking their L0-provided devices.
+    Must be called from a simulator process. *)
+
+val attach_net :
+  ?vcpu_index:int -> t -> Svt_virtio.Virtio_net.t * Svt_virtio.Fabric.t
+(** Attach a virtio-net device served by vCPU [vcpu_index] and connect it
+    through the level-appropriate backend chain (L1 vhost forwarding for
+    a nested guest) to a 10 GbE fabric whose other endpoint is the
+    separate client machine. *)
+
+val attach_blk :
+  ?disk_mb:int -> t -> Svt_virtio.Virtio_blk.t * Svt_virtio.Ramdisk.t
+(** Attach a virtio-blk device over a fresh ramdisk; for a nested guest
+    the backend pays the L1-vhost nested service path. *)

@@ -1,0 +1,25 @@
+(** Latency/interference model of the waiting mechanisms available to the
+    SW SVt command channels (§6.1): polling, monitor/mwait, and a
+    futex-style mutex, across thread placements. *)
+
+val line_transfer :
+  Svt_arch.Cost_model.t -> Mode.placement -> Svt_engine.Time.t
+(** Coherence transfer of the monitored cache line between the producer
+    and consumer for a given placement (cross-NUMA is ~an order of
+    magnitude more than the SMT sibling). *)
+
+val response_latency :
+  Svt_arch.Cost_model.t ->
+  wait:Mode.wait_mechanism ->
+  placement:Mode.placement ->
+  Svt_engine.Time.t
+(** Delay between the producer's flag write and the consumer starting
+    useful work. *)
+
+val steals_cycles : Mode.wait_mechanism -> bool
+(** Whether the waiter consumes issue slots of a colocated SMT thread
+    while waiting — only polling does. *)
+
+val enter_cost : Svt_arch.Cost_model.t -> Mode.wait_mechanism -> Svt_engine.Time.t
+(** One-shot cost of entering the waiting state (monitor setup, futex
+    bookkeeping, first poll). *)

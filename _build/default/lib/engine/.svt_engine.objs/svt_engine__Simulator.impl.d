@@ -1,0 +1,1 @@
+lib/engine/simulator.ml: Effect Event_queue List Printexc Printf Queue Time

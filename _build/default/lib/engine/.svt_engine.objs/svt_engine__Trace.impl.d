@@ -1,0 +1,1 @@
+lib/engine/trace.ml: Array Fmt Format List Time

@@ -1,0 +1,102 @@
+(* Cancellable priority queue of timed events, ordered by (time, sequence
+   number) so that events scheduled for the same instant run in FIFO order.
+   Implemented as an array-based binary min-heap; cancellation is lazy (the
+   entry is marked and skipped when popped), which keeps cancel O(1). *)
+
+type entry = {
+  time : Time.t;
+  seq : int;
+  run : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type handle = entry
+
+type t = {
+  mutable heap : entry array;
+  mutable size : int;
+  mutable next_seq : int;
+  mutable live : int; (* entries not cancelled *)
+}
+
+let dummy_entry = { time = 0; seq = -1; run = ignore; cancelled = true }
+let create () = { heap = Array.make 64 dummy_entry; size = 0; next_seq = 0; live = 0 }
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow q =
+  let bigger = Array.make (2 * Array.length q.heap) dummy_entry in
+  Array.blit q.heap 0 bigger 0 q.size;
+  q.heap <- bigger
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before q.heap.(i) q.heap.(parent) then begin
+      let tmp = q.heap.(i) in
+      q.heap.(i) <- q.heap.(parent);
+      q.heap.(parent) <- tmp;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.size && before q.heap.(l) q.heap.(!smallest) then smallest := l;
+  if r < q.size && before q.heap.(r) q.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = q.heap.(i) in
+    q.heap.(i) <- q.heap.(!smallest);
+    q.heap.(!smallest) <- tmp;
+    sift_down q !smallest
+  end
+
+let add q ~time run =
+  if q.size = Array.length q.heap then grow q;
+  let e = { time; seq = q.next_seq; run; cancelled = false } in
+  q.next_seq <- q.next_seq + 1;
+  q.heap.(q.size) <- e;
+  q.size <- q.size + 1;
+  q.live <- q.live + 1;
+  sift_up q (q.size - 1);
+  e
+
+let cancel q e =
+  if not e.cancelled then begin
+    e.cancelled <- true;
+    q.live <- q.live - 1
+  end
+
+let is_cancelled e = e.cancelled
+
+let pop_raw q =
+  if q.size = 0 then None
+  else begin
+    let e = q.heap.(0) in
+    q.size <- q.size - 1;
+    q.heap.(0) <- q.heap.(q.size);
+    q.heap.(q.size) <- dummy_entry;
+    if q.size > 0 then sift_down q 0;
+    Some e
+  end
+
+(* Pop the next non-cancelled event, discarding cancelled ones. *)
+let rec pop q =
+  match pop_raw q with
+  | None -> None
+  | Some e when e.cancelled -> pop q
+  | Some e ->
+      q.live <- q.live - 1;
+      Some (e.time, e.run)
+
+let rec peek_time q =
+  if q.size = 0 then None
+  else if q.heap.(0).cancelled then begin
+    ignore (pop_raw q);
+    peek_time q
+  end
+  else Some q.heap.(0).time
+
+let is_empty q = q.live = 0
+let length q = q.live

@@ -1,0 +1,28 @@
+(** Cancellable min-priority queue of timed events.
+
+    Events with equal times are delivered in insertion (FIFO) order, which
+    makes simulations deterministic. *)
+
+type t
+type handle
+
+val create : unit -> t
+
+val add : t -> time:Time.t -> (unit -> unit) -> handle
+(** Enqueue [run] to fire at [time]. *)
+
+val cancel : t -> handle -> unit
+(** Idempotent; a cancelled event is never returned by {!pop}. *)
+
+val is_cancelled : handle -> bool
+
+val pop : t -> (Time.t * (unit -> unit)) option
+(** Remove and return the earliest live event. *)
+
+val peek_time : t -> Time.t option
+(** Time of the earliest live event without removing it. *)
+
+val is_empty : t -> bool
+
+val length : t -> int
+(** Number of live (non-cancelled) events. *)

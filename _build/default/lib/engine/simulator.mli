@@ -1,0 +1,119 @@
+(** Deterministic discrete-event simulator with effect-based processes.
+
+    A simulation is a set of cooperative processes over a shared virtual
+    clock. Processes are plain functions run with {!spawn}; inside a
+    process, the operations in {!Proc} (and the synchronization primitives
+    {!Ivar}, {!Signal}, {!Mailbox}) are the only ways to interact with
+    virtual time. Exactly one process runs at any instant and control only
+    transfers at those operations, so runs are fully deterministic. *)
+
+type t
+
+type sim = t
+(** Alias for use inside the submodules below, whose own [t] shadows it. *)
+
+exception Deadlock of string
+
+val create : unit -> t
+val now : t -> Time.t
+
+val schedule : t -> after:Time.t -> (unit -> unit) -> Event_queue.handle
+(** Run a callback [after] nanoseconds from now. Callbacks must not perform
+    process effects; use {!spawn} for that. *)
+
+val schedule_at : t -> time:Time.t -> (unit -> unit) -> Event_queue.handle
+val cancel : t -> Event_queue.handle -> unit
+
+val spawn : t -> ?name:string -> (unit -> unit) -> unit
+(** Start a process at the current instant. An exception escaping a process
+    aborts the whole run (re-raised from {!run}/{!step}, tagged with
+    [name]). *)
+
+val run : ?until:Time.t -> ?max_events:int -> t -> unit
+(** Process events until the queue drains, [until] is passed, or
+    [max_events] is exceeded (which raises, as a runaway guard). When
+    [until] is given and the queue drains early, the clock still advances
+    to [until]. *)
+
+val step : t -> bool
+(** Process one event; [false] if the queue was empty. *)
+
+val events_processed : t -> int
+val processes_spawned : t -> int
+val pending_events : t -> int
+
+(** Operations usable only inside a process spawned via {!spawn}. *)
+module Proc : sig
+  val now : unit -> Time.t
+  val sim : unit -> sim
+
+  val delay : Time.t -> unit
+  (** Advance this process's clock by a span, letting other events run. *)
+
+  val yield : unit -> unit
+  (** Let already-queued events at the current instant run first. *)
+
+  val suspend : (('a -> unit) -> unit) -> 'a
+  (** [suspend register] parks the process; [register resume] must arrange
+      for [resume v] to be called exactly once later, which makes [suspend]
+      return [v]. *)
+
+  val spawn : ?name:string -> (unit -> unit) -> unit
+end
+
+(** Write-once cell; readers block until it is filled. *)
+module Ivar : sig
+  type 'a t
+
+  val create : sim -> 'a t
+
+  val create_here : unit -> 'a t
+  (** Like {!create} with the current process's simulator. *)
+
+  val fill : 'a t -> 'a -> unit
+  (** Fill the cell and wake all readers. Raises if already filled. *)
+
+  val is_filled : 'a t -> bool
+  val peek : 'a t -> 'a option
+
+  val read : 'a t -> 'a
+  (** Block (process-only) until filled. *)
+end
+
+(** Broadcast condition variable. *)
+module Signal : sig
+  type t
+
+  val create : sim -> t
+  val create_here : unit -> t
+
+  val broadcast : t -> unit
+  (** Wake every currently-blocked waiter. *)
+
+  val has_waiters : t -> bool
+
+  val wait : t -> unit
+  (** Block (process-only) until the next {!broadcast}. *)
+
+  val wait_any : t list -> unit
+  (** Block until any of the signals broadcasts. *)
+
+  val wait_timeout : t -> Time.t -> [ `Signaled | `Timeout ]
+  (** Block until the next broadcast or until the span elapses. *)
+end
+
+(** Unbounded FIFO channel between processes. *)
+module Mailbox : sig
+  type 'a t
+
+  val create : sim -> 'a t
+  val create_here : unit -> 'a t
+
+  val send : 'a t -> 'a -> unit
+
+  val recv : 'a t -> 'a
+  (** Block (process-only) until an item is available. *)
+
+  val try_recv : 'a t -> 'a option
+  val length : 'a t -> int
+end

@@ -1,0 +1,48 @@
+(* Bounded in-memory event trace. Cheap enough to leave enabled in tests,
+   where it doubles as an assertion surface for protocol ordering. *)
+
+type entry = { time : Time.t; tag : string; detail : string }
+
+type t = {
+  capacity : int;
+  entries : entry option array;
+  mutable next : int;
+  mutable total : int;
+  mutable enabled : bool;
+}
+
+let create ?(capacity = 4096) () =
+  { capacity; entries = Array.make capacity None; next = 0; total = 0;
+    enabled = true }
+
+let set_enabled t flag = t.enabled <- flag
+
+let record t ~time ~tag detail =
+  if t.enabled then begin
+    t.entries.(t.next) <- Some { time; tag; detail };
+    t.next <- (t.next + 1) mod t.capacity;
+    t.total <- t.total + 1
+  end
+
+let recordf t ~time ~tag fmt = Format.kasprintf (record t ~time ~tag) fmt
+
+let to_list t =
+  (* Oldest first. *)
+  let acc = ref [] in
+  for i = 0 to t.capacity - 1 do
+    let idx = (t.next + i) mod t.capacity in
+    match t.entries.(idx) with
+    | Some e -> acc := e :: !acc
+    | None -> ()
+  done;
+  List.rev !acc
+
+let total_recorded t = t.total
+
+let find t ~tag =
+  List.filter (fun e -> e.tag = tag) (to_list t)
+
+let pp_entry ppf e =
+  Fmt.pf ppf "[%a] %-20s %s" Time.pp e.time e.tag e.detail
+
+let dump ppf t = List.iter (fun e -> Fmt.pf ppf "%a@." pp_entry e) (to_list t)

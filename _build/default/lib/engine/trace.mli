@@ -1,0 +1,21 @@
+(** Bounded in-memory event trace: a ring of (time, tag, detail) entries,
+    cheap enough to stay enabled in tests, where it doubles as an
+    assertion surface for protocol ordering. *)
+
+type entry = { time : Time.t; tag : string; detail : string }
+type t
+
+val create : ?capacity:int -> unit -> t
+val set_enabled : t -> bool -> unit
+val record : t -> time:Time.t -> tag:string -> string -> unit
+
+val recordf :
+  t -> time:Time.t -> tag:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val to_list : t -> entry list
+(** Oldest first; at most [capacity] entries are retained. *)
+
+val total_recorded : t -> int
+val find : t -> tag:string -> entry list
+val pp_entry : Format.formatter -> entry -> unit
+val dump : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/hypervisor/breakdown.ml: Array List Svt_engine

@@ -1,0 +1,1 @@
+lib/hypervisor/breakdown.mli: Svt_engine

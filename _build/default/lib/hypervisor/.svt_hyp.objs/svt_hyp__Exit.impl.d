@@ -1,0 +1,1 @@
+lib/hypervisor/exit.ml: Fmt Svt_arch Svt_mem

@@ -1,0 +1,1 @@
+lib/hypervisor/exit.mli: Format Svt_arch Svt_mem

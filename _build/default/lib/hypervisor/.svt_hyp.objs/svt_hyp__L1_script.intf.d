@@ -1,0 +1,1 @@
+lib/hypervisor/l1_script.mli: Exit Svt_arch Svt_engine Svt_vmcs

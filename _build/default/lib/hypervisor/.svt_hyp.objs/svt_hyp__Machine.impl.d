@@ -1,0 +1,1 @@
+lib/hypervisor/machine.ml: Array Svt_arch Svt_engine Svt_mem Svt_stats

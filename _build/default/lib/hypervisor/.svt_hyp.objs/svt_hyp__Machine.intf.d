@@ -1,0 +1,1 @@
+lib/hypervisor/machine.mli: Format Svt_arch Svt_engine Svt_mem Svt_stats

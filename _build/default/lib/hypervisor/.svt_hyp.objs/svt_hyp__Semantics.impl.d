@@ -1,0 +1,1 @@
+lib/hypervisor/semantics.ml: Exit Int64 Machine Option Svt_arch Svt_engine Svt_interrupt Vcpu Vm

@@ -1,0 +1,1 @@
+lib/hypervisor/semantics.mli: Exit Svt_engine Vcpu

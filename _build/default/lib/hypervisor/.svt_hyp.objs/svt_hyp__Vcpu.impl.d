@@ -1,0 +1,1 @@
+lib/hypervisor/vcpu.ml: Breakdown Exit Hashtbl Machine Printf Queue Svt_arch Svt_engine Svt_interrupt Vm

@@ -1,0 +1,1 @@
+lib/hypervisor/vcpu.mli: Breakdown Exit Machine Svt_arch Svt_engine Svt_interrupt Vm

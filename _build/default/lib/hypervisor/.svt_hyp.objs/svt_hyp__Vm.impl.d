@@ -1,0 +1,1 @@
+lib/hypervisor/vm.ml: Hashtbl Machine Svt_arch Svt_mem

@@ -1,0 +1,1 @@
+lib/hypervisor/vm.mli: Machine Svt_arch Svt_mem

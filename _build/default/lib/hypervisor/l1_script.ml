@@ -1,0 +1,67 @@
+(* What the L1 guest hypervisor's trap handler does for a reflected L2
+   exit, expressed as a script of steps. The default script is derived
+   from the cost model's per-reason profile: the handler's pure emulation
+   work interleaved with its auxiliary traps into L0 (vmread/vmwrite of
+   non-shadowed vmcs01' fields — Algorithm 1 lines 8–10). Device wiring
+   can override the script for specific reasons (e.g. to run a real vhost
+   backend at the semantic point). *)
+
+module Time = Svt_engine.Time
+module Exit_reason = Svt_arch.Exit_reason
+
+type step =
+  | Work of Time.t (* pure L1 emulation work *)
+  | Aux of Exit_reason.t (* a trap from L1 into L0 during handling *)
+  | Effect of (unit -> unit) (* semantic side effect, zero cost here *)
+
+type script = step list
+
+type t = {
+  cost : Svt_arch.Cost_model.t;
+  overrides : (Exit_reason.t, Exit.info -> script) Hashtbl.t;
+  shadow : Svt_vmcs.Shadow.t;
+}
+
+let create ?(shadow = Svt_vmcs.Shadow.hardware_shadowing_enabled) cost =
+  { cost; overrides = Hashtbl.create 8; shadow }
+
+let override t reason f = Hashtbl.replace t.overrides reason f
+let shadow_policy t = t.shadow
+
+(* Alternate vmread/vmwrite for the aux traps, as a handler that first
+   inspects exit state and then updates guest state would. *)
+let aux_reason i = if i mod 2 = 0 then Exit_reason.Vmread else Exit_reason.Vmwrite
+
+(* Without hardware VMCS shadowing, the guest-state and exit-information
+   accesses that the shadow would have absorbed also trap (§2.1): the
+   basic exit/entry bookkeeping of a handler touches about this many of
+   them. *)
+let unshadowed_extra_aux = 6
+
+let aux_count t (info : Exit.info) =
+  let profile = Svt_arch.Cost_model.profile t.cost info.reason in
+  if Svt_vmcs.Shadow.shadowed t.shadow Svt_vmcs.Field.Guest_rip then
+    profile.l1_aux_exits
+  else profile.l1_aux_exits + unshadowed_extra_aux
+
+(* Default: half the pure work, the aux traps, the semantic effect, the
+   remaining work. The effect sits between reads (inspecting the trapped
+   state) and the tail (updating vmcs01', advancing the guest RIP). *)
+let default_script t (info : Exit.info) ~apply =
+  let profile = Svt_arch.Cost_model.profile t.cost info.reason in
+  let aux = List.init (aux_count t info) aux_reason in
+  let half = Time.of_ns (Time.to_ns profile.l1_pure / 2) in
+  let rest = Time.sub profile.l1_pure half in
+  (Work half :: List.map (fun r -> Aux r) aux)
+  @ [ Effect apply; Work rest ]
+
+let script_for t (info : Exit.info) ~apply =
+  match Hashtbl.find_opt t.overrides info.reason with
+  | Some f -> f info
+  | None -> default_script t info ~apply
+
+(* Whether L0 reflects this exit to L1: only the VMX instructions are L1's
+   own operations on its (emulated) virtualization hardware, which L0
+   handles directly. Everything else — including interrupts destined for
+   L1's virtual devices — goes through the full reflection protocol. *)
+let reflects reason = not (Exit_reason.is_vmx_instruction reason)

@@ -1,0 +1,72 @@
+(* The physical host: the paper's Table 4 testbed (2× Xeon E5-2630v3,
+   8 cores each, 2-way SMT, 128 GB RAM, 10 GbE) as simulated resources. *)
+
+module Simulator = Svt_engine.Simulator
+module Time = Svt_engine.Time
+
+type config = {
+  sockets : int;
+  cores_per_socket : int;
+  smt_per_core : int;
+  ram_gb : int;
+  seed : int;
+  cost : Svt_arch.Cost_model.t;
+}
+
+let paper_config =
+  {
+    sockets = 2;
+    cores_per_socket = 8;
+    smt_per_core = 2;
+    ram_gb = 128;
+    seed = 0x5EED;
+    cost = Svt_arch.Cost_model.paper_machine;
+  }
+
+type t = {
+  sim : Simulator.t;
+  config : config;
+  cost : Svt_arch.Cost_model.t;
+  mem : Svt_mem.Phys_mem.t;
+  alloc : Svt_mem.Frame_alloc.t;
+  cores : Svt_arch.Smt_core.t array;
+  host_cpuid : Svt_arch.Cpuid_db.t;
+  metrics : Svt_stats.Metrics.t;
+  trace : Svt_engine.Trace.t;
+  rng : Svt_engine.Prng.t;
+}
+
+let create ?(config = paper_config) () =
+  let sim = Simulator.create () in
+  let n_cores = config.sockets * config.cores_per_socket in
+  {
+    sim;
+    config;
+    cost = config.cost;
+    mem = Svt_mem.Phys_mem.create ();
+    (* Reserve low memory for the host; guests draw frames above 1 GB. *)
+    alloc =
+      Svt_mem.Frame_alloc.create ~base:(1 lsl 30)
+        ~size_bytes:(config.ram_gb * (1 lsl 30));
+    cores =
+      Array.init n_cores (fun id ->
+          Svt_arch.Smt_core.create ~id ~n_contexts:config.smt_per_core ());
+    host_cpuid = Svt_arch.Cpuid_db.host ();
+    metrics = Svt_stats.Metrics.create ();
+    trace = Svt_engine.Trace.create ();
+    rng = Svt_engine.Prng.create config.seed;
+  }
+
+let sim t = t.sim
+let cost t = t.cost
+let core t i = t.cores.(i)
+let n_cores t = Array.length t.cores
+
+(* NUMA node of a core, for the channel-placement experiments. *)
+let numa_node t core_id = core_id / t.config.cores_per_socket
+let same_numa t a b = numa_node t a = numa_node t b
+
+let now t = Simulator.now t.sim
+
+let trace t ~tag fmt =
+  Svt_engine.Trace.recordf t.trace ~time:(now t) ~tag fmt

@@ -1,0 +1,45 @@
+(** The simulated physical host: the paper's Table 4 testbed (2× Xeon
+    E5-2630v3, 8 cores each, 2-way SMT, 128 GB RAM, 10 GbE). Owns the
+    simulator, the cost model, host memory, the SMT cores and the global
+    metrics registry. *)
+
+type config = {
+  sockets : int;
+  cores_per_socket : int;
+  smt_per_core : int;
+  ram_gb : int;
+  seed : int;  (** PRNG seed: equal seeds give bit-identical simulations *)
+  cost : Svt_arch.Cost_model.t;
+}
+
+val paper_config : config
+(** Table 4 with the calibrated {!Svt_arch.Cost_model.paper_machine}. *)
+
+type t = {
+  sim : Svt_engine.Simulator.t;
+  config : config;
+  cost : Svt_arch.Cost_model.t;
+  mem : Svt_mem.Phys_mem.t;
+  alloc : Svt_mem.Frame_alloc.t;
+  cores : Svt_arch.Smt_core.t array;
+  host_cpuid : Svt_arch.Cpuid_db.t;
+  metrics : Svt_stats.Metrics.t;
+  trace : Svt_engine.Trace.t;
+  rng : Svt_engine.Prng.t;
+}
+
+val create : ?config:config -> unit -> t
+val sim : t -> Svt_engine.Simulator.t
+val cost : t -> Svt_arch.Cost_model.t
+val core : t -> int -> Svt_arch.Smt_core.t
+val n_cores : t -> int
+
+val numa_node : t -> int -> int
+(** NUMA node of a core, for the channel-placement experiments. *)
+
+val same_numa : t -> int -> int -> bool
+val now : t -> Svt_engine.Time.t
+
+val trace :
+  t -> tag:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Record a formatted entry in the machine's trace ring. *)

@@ -1,0 +1,1 @@
+lib/interrupt/ioapic.ml: Array Lapic

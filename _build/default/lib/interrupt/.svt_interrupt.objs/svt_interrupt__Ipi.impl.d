@@ -1,0 +1,1 @@
+lib/interrupt/ipi.ml: Lapic Svt_engine

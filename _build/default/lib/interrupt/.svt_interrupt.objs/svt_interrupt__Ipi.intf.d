@@ -1,0 +1,1 @@
+lib/interrupt/ipi.mli: Lapic Svt_engine

@@ -1,0 +1,1 @@
+lib/interrupt/lapic.ml: Array Fun Svt_engine

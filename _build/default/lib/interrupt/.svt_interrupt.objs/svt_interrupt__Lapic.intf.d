@@ -1,0 +1,1 @@
+lib/interrupt/lapic.mli: Svt_engine

@@ -1,0 +1,47 @@
+(* IOAPIC: routes device interrupt lines (GSIs) to local APICs. Devices
+   assert a GSI; the redirection table picks the destination LAPIC and
+   vector. Sufficient for virtio devices raising completion interrupts at
+   their VM's vCPU. *)
+
+type redirection = { vector : int; dest : Lapic.t; mutable masked : bool }
+
+type t = {
+  entries : redirection option array;
+  mutable asserts : int;
+  mutable masked_drops : int;
+}
+
+let gsi_count = 64
+
+let create () =
+  { entries = Array.make gsi_count None; asserts = 0; masked_drops = 0 }
+
+let check_gsi gsi =
+  if gsi < 0 || gsi >= gsi_count then invalid_arg "Ioapic: bad GSI"
+
+let route t ~gsi ~vector ~dest =
+  check_gsi gsi;
+  t.entries.(gsi) <- Some { vector; dest; masked = false }
+
+let mask t ~gsi =
+  check_gsi gsi;
+  match t.entries.(gsi) with
+  | Some r -> r.masked <- true
+  | None -> ()
+
+let unmask t ~gsi =
+  check_gsi gsi;
+  match t.entries.(gsi) with
+  | Some r -> r.masked <- false
+  | None -> ()
+
+let assert_gsi t ~gsi =
+  check_gsi gsi;
+  t.asserts <- t.asserts + 1;
+  match t.entries.(gsi) with
+  | Some r when not r.masked -> Lapic.raise_vector r.dest r.vector
+  | Some _ -> t.masked_drops <- t.masked_drops + 1
+  | None -> t.masked_drops <- t.masked_drops + 1
+
+let assert_count t = t.asserts
+let masked_drop_count t = t.masked_drops

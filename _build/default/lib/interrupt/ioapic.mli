@@ -1,0 +1,17 @@
+(** IOAPIC: routes device interrupt lines (GSIs) to local APICs through a
+    redirection table with per-entry masking. *)
+
+type t
+
+val gsi_count : int
+val create : unit -> t
+val route : t -> gsi:int -> vector:int -> dest:Lapic.t -> unit
+val mask : t -> gsi:int -> unit
+val unmask : t -> gsi:int -> unit
+
+val assert_gsi : t -> gsi:int -> unit
+(** Deliver the line's vector to its routed LAPIC; masked or unrouted
+    assertions are counted and dropped. *)
+
+val assert_count : t -> int
+val masked_drop_count : t -> int

@@ -1,0 +1,25 @@
+(* Inter-processor interrupts, with a delivery cost taken from the cost
+   model. The SW SVt deadlock scenario of paper §5.3 is driven by a kernel
+   thread on L1's second vCPU sending a TLB-shootdown IPI and synchronously
+   waiting for acknowledgement: [send_and_wait] models exactly that. *)
+
+module Simulator = Svt_engine.Simulator
+module Time = Svt_engine.Time
+
+type t = { sim : Simulator.t; cost : Time.t; mutable sent : int }
+
+let create sim ~cost = { sim; cost; sent = 0 }
+
+let send t ~dest ~vector =
+  t.sent <- t.sent + 1;
+  ignore
+    (Simulator.schedule t.sim ~after:t.cost (fun () ->
+         Lapic.raise_vector dest vector))
+
+(* Synchronous IPI: deliver and then wait (process context) until the
+   receiver signals completion through [acked]. *)
+let send_and_wait t ~dest ~vector ~acked =
+  send t ~dest ~vector;
+  Simulator.Ivar.read acked
+
+let sent_count t = t.sent

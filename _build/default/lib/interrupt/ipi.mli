@@ -1,0 +1,15 @@
+(** Inter-processor interrupts with a modeled delivery cost. The
+    synchronous variant ({!send_and_wait}) is the TLB-shootdown pattern
+    behind the paper's §5.3 deadlock scenario. *)
+
+type t
+
+val create : Svt_engine.Simulator.t -> cost:Svt_engine.Time.t -> t
+
+val send : t -> dest:Lapic.t -> vector:int -> unit
+(** Deliver the vector to [dest] after the IPI cost. *)
+
+val send_and_wait : t -> dest:Lapic.t -> vector:int -> acked:unit Svt_engine.Simulator.Ivar.t -> unit
+(** Send, then block (process context) until the receiver fills [acked]. *)
+
+val sent_count : t -> int

@@ -1,0 +1,112 @@
+(* Local APIC model: per-vCPU interrupt state (IRR/ISR bitmaps, priority,
+   EOI) plus the TSC-deadline timer. Timer re-arming is the MSR_WRITE exit
+   traffic the paper profiles ("largely due to configuring timer
+   interrupts (TSC deadline MSR)", §6.3.1/§6.3.3): guests write
+   IA32_TSC_DEADLINE, the hypervisor traps it and arms a host timer here.
+
+   Delivery is two-phase like hardware: [raise_vector] sets the IRR bit
+   and notifies the owner (a vCPU run loop) through [on_pending]; the
+   owner later [ack]s the highest-priority vector (moving IRR→ISR) and
+   finally signals [eoi]. *)
+
+module Time = Svt_engine.Time
+module Simulator = Svt_engine.Simulator
+
+type t = {
+  sim : Simulator.t;
+  id : int; (* APIC id *)
+  irr : bool array; (* interrupt request register, per vector *)
+  isr : bool array; (* in-service register *)
+  mutable on_pending : (int -> unit) option;
+  mutable deadline_handle : Svt_engine.Event_queue.handle option;
+  mutable deadline : Time.t option;
+  mutable timer_vector : int;
+  mutable delivered : int;
+  mutable timer_fires : int;
+  mutable spurious : int;
+}
+
+let vectors = 256
+
+let create sim ~id =
+  {
+    sim;
+    id;
+    irr = Array.make vectors false;
+    isr = Array.make vectors false;
+    on_pending = None;
+    deadline_handle = None;
+    deadline = None;
+    timer_vector = 0xEF;
+    delivered = 0;
+    timer_fires = 0;
+    spurious = 0;
+  }
+
+let id t = t.id
+let set_on_pending t f = t.on_pending <- Some f
+let set_timer_vector t v = t.timer_vector <- v
+
+let check_vector v =
+  if v < 16 || v >= vectors then invalid_arg "Lapic: bad vector"
+
+let raise_vector t v =
+  check_vector v;
+  if t.irr.(v) then t.spurious <- t.spurious + 1
+  else begin
+    t.irr.(v) <- true;
+    match t.on_pending with Some f -> f v | None -> ()
+  end
+
+let has_pending t = Array.exists Fun.id t.irr
+
+let highest_pending t =
+  (* Higher vector number = higher priority, as in hardware. *)
+  let rec scan v = if v < 16 then None else if t.irr.(v) then Some v else scan (v - 1) in
+  scan (vectors - 1)
+
+(* Accept the highest-priority pending interrupt for service. *)
+let ack t =
+  match highest_pending t with
+  | None -> None
+  | Some v ->
+      t.irr.(v) <- false;
+      t.isr.(v) <- true;
+      t.delivered <- t.delivered + 1;
+      Some v
+
+let eoi t =
+  (* Clear the highest in-service vector. *)
+  let rec scan v =
+    if v >= 16 then
+      if t.isr.(v) then t.isr.(v) <- false else scan (v - 1)
+  in
+  scan (vectors - 1)
+
+let in_service t v = t.isr.(v)
+
+(* TSC-deadline timer: arm an absolute deadline; a new write replaces the
+   previous deadline (as the MSR does); writing 0 disarms. *)
+let arm_deadline t ~deadline =
+  (match t.deadline_handle with
+  | Some h -> Simulator.cancel t.sim h
+  | None -> ());
+  t.deadline_handle <- None;
+  t.deadline <- None;
+  if Time.(deadline > Time.zero) then begin
+    let now = Simulator.now t.sim in
+    let after = Time.max Time.zero (Time.diff deadline now) in
+    t.deadline <- Some deadline;
+    t.deadline_handle <-
+      Some
+        (Simulator.schedule t.sim ~after (fun () ->
+             t.deadline_handle <- None;
+             t.deadline <- None;
+             t.timer_fires <- t.timer_fires + 1;
+             raise_vector t t.timer_vector))
+  end
+
+let armed_deadline t = t.deadline
+let delivered_count t = t.delivered
+let timer_fire_count t = t.timer_fires
+let spurious_count t = t.spurious

@@ -1,0 +1,1 @@
+lib/mem/address_space.ml: Addr Bytes Ept Fmt Frame_alloc List Phys_mem Stdlib

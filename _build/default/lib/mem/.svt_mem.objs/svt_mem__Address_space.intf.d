@@ -1,0 +1,1 @@
+lib/mem/address_space.mli: Addr Ept Frame_alloc Phys_mem

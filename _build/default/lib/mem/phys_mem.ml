@@ -1,0 +1,86 @@
+(* Sparse host physical memory with byte-level contents. Pages materialize
+   on first touch. Real contents matter because virtqueue rings and the SW
+   SVt command channels live in this memory and are read/written by both
+   guests and hypervisors. *)
+
+type t = {
+  pages : (int, Bytes.t) Hashtbl.t;
+  size_limit : int; (* bytes; 0 = unlimited *)
+}
+
+let create ?(size_limit = 0) () = { pages = Hashtbl.create 1024; size_limit }
+
+let page_for t hpa =
+  let pn = Addr.Hpa.page_of hpa in
+  if t.size_limit > 0 && Addr.Hpa.to_int hpa >= t.size_limit then
+    invalid_arg "Phys_mem: address beyond memory size";
+  match Hashtbl.find_opt t.pages pn with
+  | Some p -> p
+  | None ->
+      let p = Bytes.make Addr.page_size '\000' in
+      Hashtbl.add t.pages pn p;
+      p
+
+let read_u8 t hpa =
+  let p = page_for t hpa in
+  Char.code (Bytes.get p (Addr.Hpa.offset hpa))
+
+let write_u8 t hpa v =
+  let p = page_for t hpa in
+  Bytes.set p (Addr.Hpa.offset hpa) (Char.chr (v land 0xFF))
+
+(* Multi-byte accessors handle page-crossing accesses byte-wise; aligned
+   same-page accesses use the fast path. *)
+let read_u64 t hpa =
+  let off = Addr.Hpa.offset hpa in
+  if off + 8 <= Addr.page_size then Bytes.get_int64_le (page_for t hpa) off
+  else begin
+    let v = ref 0L in
+    for i = 7 downto 0 do
+      v :=
+        Int64.logor
+          (Int64.shift_left !v 8)
+          (Int64.of_int (read_u8 t (Addr.Hpa.add hpa i)))
+    done;
+    !v
+  end
+
+let write_u64 t hpa v =
+  let off = Addr.Hpa.offset hpa in
+  if off + 8 <= Addr.page_size then Bytes.set_int64_le (page_for t hpa) off v
+  else
+    for i = 0 to 7 do
+      write_u8 t (Addr.Hpa.add hpa i)
+        (Int64.to_int
+           (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL))
+    done
+
+let read_u32 t hpa = Int64.to_int (Int64.logand (read_u64 t hpa) 0xFFFFFFFFL)
+
+let write_u32 t hpa v =
+  let off = Addr.Hpa.offset hpa in
+  if off + 4 <= Addr.page_size then
+    Bytes.set_int32_le (page_for t hpa) off (Int32.of_int v)
+  else
+    for i = 0 to 3 do
+      write_u8 t (Addr.Hpa.add hpa i) ((v lsr (8 * i)) land 0xFF)
+    done
+
+let read_u16 t hpa =
+  read_u8 t hpa lor (read_u8 t (Addr.Hpa.add hpa 1) lsl 8)
+
+let write_u16 t hpa v =
+  write_u8 t hpa (v land 0xFF);
+  write_u8 t (Addr.Hpa.add hpa 1) ((v lsr 8) land 0xFF)
+
+let read_bytes t hpa len =
+  let out = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.set out i (Char.chr (read_u8 t (Addr.Hpa.add hpa i)))
+  done;
+  out
+
+let write_bytes t hpa data =
+  Bytes.iteri (fun i c -> write_u8 t (Addr.Hpa.add hpa i) (Char.code c)) data
+
+let resident_pages t = Hashtbl.length t.pages

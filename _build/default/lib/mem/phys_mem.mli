@@ -1,0 +1,25 @@
+(** Sparse host physical memory with byte-level contents (pages
+    materialize zero-filled on first touch). Real contents matter:
+    virtqueue rings and the SW SVt command channels live here and are
+    read and written by both guests and hypervisors. *)
+
+type t
+
+val create : ?size_limit:int -> unit -> t
+(** [size_limit] in bytes; 0 (default) means unlimited. *)
+
+val read_u8 : t -> Addr.Hpa.t -> int
+val write_u8 : t -> Addr.Hpa.t -> int -> unit
+
+val read_u64 : t -> Addr.Hpa.t -> int64
+(** Multi-byte accessors handle page-crossing accesses. *)
+
+val write_u64 : t -> Addr.Hpa.t -> int64 -> unit
+val read_u32 : t -> Addr.Hpa.t -> int
+val write_u32 : t -> Addr.Hpa.t -> int -> unit
+val read_u16 : t -> Addr.Hpa.t -> int
+val write_u16 : t -> Addr.Hpa.t -> int -> unit
+val read_bytes : t -> Addr.Hpa.t -> int -> bytes
+val write_bytes : t -> Addr.Hpa.t -> bytes -> unit
+
+val resident_pages : t -> int

@@ -1,0 +1,1 @@
+lib/report/compare.ml: Float List Printf Svt_stats

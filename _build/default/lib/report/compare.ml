@@ -1,0 +1,34 @@
+(* Measured-vs-paper comparison rendering for the bench harness and
+   EXPERIMENTS.md. *)
+
+type row = {
+  metric : string;
+  paper : float;
+  measured : float;
+  unit_ : string;
+}
+
+let ratio r = if r.paper = 0.0 then nan else r.measured /. r.paper
+
+let within r ~tolerance = Float.abs (ratio r -. 1.0) <= tolerance
+
+let to_table rows =
+  let t =
+    Svt_stats.Table.create
+      ~aligns:[ Svt_stats.Table.Left; Right; Right; Right; Left ]
+      [ "metric"; "paper"; "measured"; "meas/paper"; "unit" ]
+  in
+  List.iter
+    (fun r ->
+      Svt_stats.Table.add_row t
+        [
+          r.metric;
+          Printf.sprintf "%.2f" r.paper;
+          Printf.sprintf "%.2f" r.measured;
+          Printf.sprintf "%.2fx" (ratio r);
+          r.unit_;
+        ])
+    rows;
+  t
+
+let print rows = Svt_stats.Table.print (to_table rows)

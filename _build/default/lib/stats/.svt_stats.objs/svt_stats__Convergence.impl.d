@@ -1,0 +1,1 @@
+lib/stats/convergence.ml: Float List Option Stdlib Summary

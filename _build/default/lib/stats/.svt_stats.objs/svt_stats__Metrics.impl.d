@@ -1,0 +1,1 @@
+lib/stats/metrics.ml: Fmt Hashtbl List Svt_engine

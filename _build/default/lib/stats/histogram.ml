@@ -1,0 +1,99 @@
+(* Log-bucketed latency histogram in the style of HdrHistogram: values are
+   grouped into buckets whose width doubles every [sub_buckets] entries,
+   giving a bounded relative error at every magnitude. Good enough for the
+   paper's tail-latency (99th percentile) reporting. *)
+
+type t = {
+  sub_bits : int; (* log2 of sub-buckets per doubling *)
+  counts : int array;
+  mutable total : int;
+  mutable sum : float;
+  mutable max_v : int;
+  mutable min_v : int;
+}
+
+let buckets = 64
+
+let create ?(sub_bits = 5) () =
+  { sub_bits;
+    counts = Array.make ((buckets + 1) lsl sub_bits) 0;
+    total = 0; sum = 0.0; max_v = 0; min_v = max_int }
+
+(* Values in [2^k, 2^(k+1)) for k >= sub_bits are subdivided into
+   2^sub_bits sub-buckets of width 2^(k - sub_bits); values below 2^sub_bits
+   get exact unit buckets. *)
+let index t v =
+  if v < 0 then invalid_arg "Histogram.add: negative value";
+  let sb = t.sub_bits in
+  let sub = 1 lsl sb in
+  if v < sub then v
+  else begin
+    let rec top_bit b = if v lsr b > 1 then top_bit (b + 1) else b in
+    let k = top_bit 0 in
+    let block = k - sb + 1 in
+    (block lsl sb) + ((v lsr (k - sb)) - sub)
+  end
+
+(* Upper-bound value for a bucket index. *)
+let value_of_index t idx =
+  let sb = t.sub_bits in
+  let sub = 1 lsl sb in
+  if idx < sub then idx
+  else begin
+    let block = idx lsr sb in
+    let k = block + sb - 1 in
+    let mantissa = (idx land (sub - 1)) + sub in
+    ((mantissa + 1) lsl (k - sb)) - 1
+  end
+
+let add t v =
+  let idx = index t v in
+  if idx < Array.length t.counts then begin
+    t.counts.(idx) <- t.counts.(idx) + 1;
+    t.total <- t.total + 1;
+    t.sum <- t.sum +. float_of_int v;
+    if v > t.max_v then t.max_v <- v;
+    if v < t.min_v then t.min_v <- v
+  end
+
+let count t = t.total
+let mean t = if t.total = 0 then nan else t.sum /. float_of_int t.total
+let max_value t = if t.total = 0 then 0 else t.max_v
+let min_value t = if t.total = 0 then 0 else t.min_v
+
+let percentile t p =
+  if t.total = 0 then 0
+  else if p <= 0.0 then min_value t
+  else begin
+    let rank =
+      Stdlib.min t.total
+        (int_of_float (ceil (p /. 100.0 *. float_of_int t.total)))
+    in
+    let rec scan idx seen =
+      if idx >= Array.length t.counts then t.max_v
+      else begin
+        let seen = seen + t.counts.(idx) in
+        if seen >= rank then Stdlib.min (value_of_index t idx) t.max_v
+        else scan (idx + 1) seen
+      end
+    in
+    scan 0 0
+  end
+
+let median t = percentile t 50.0
+let p99 t = percentile t 99.0
+
+let merge_into ~dst ~src =
+  if dst.sub_bits <> src.sub_bits then invalid_arg "Histogram.merge_into";
+  Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) src.counts;
+  dst.total <- dst.total + src.total;
+  dst.sum <- dst.sum +. src.sum;
+  if src.max_v > dst.max_v then dst.max_v <- src.max_v;
+  if src.min_v < dst.min_v then dst.min_v <- src.min_v
+
+let reset t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.total <- 0;
+  t.sum <- 0.0;
+  t.max_v <- 0;
+  t.min_v <- max_int

@@ -1,0 +1,24 @@
+(** Log-bucketed histogram of non-negative integers (latencies in ns),
+    with bounded relative error per magnitude — suited to percentile/tail
+    reporting over millions of samples. *)
+
+type t
+
+val create : ?sub_bits:int -> unit -> t
+(** [sub_bits] controls precision: [2^sub_bits] buckets per doubling
+    (default 5, ≈3% worst-case relative error). *)
+
+val add : t -> int -> unit
+val count : t -> int
+val mean : t -> float
+val min_value : t -> int
+val max_value : t -> int
+
+val percentile : t -> float -> int
+(** [percentile t 99.0] is an upper-bound estimate of the 99th
+    percentile. *)
+
+val median : t -> int
+val p99 : t -> int
+val merge_into : dst:t -> src:t -> unit
+val reset : t -> unit

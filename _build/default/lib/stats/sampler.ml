@@ -1,0 +1,39 @@
+(* Fixed-size reservoir sampling, used where a workload produces an
+   unbounded stream of latencies but we also want exact quantiles over a
+   representative subset (histograms give bounded-error quantiles; the
+   reservoir backs exactness checks in tests). *)
+
+type t = {
+  capacity : int;
+  values : float array;
+  mutable seen : int;
+  rng : Svt_engine.Prng.t;
+}
+
+let create ?(capacity = 4096) rng = { capacity; values = Array.make capacity 0.0; seen = 0; rng }
+
+let add t x =
+  if t.seen < t.capacity then t.values.(t.seen) <- x
+  else begin
+    let j = Svt_engine.Prng.int t.rng (t.seen + 1) in
+    if j < t.capacity then t.values.(j) <- x
+  end;
+  t.seen <- t.seen + 1
+
+let seen t = t.seen
+let size t = Stdlib.min t.seen t.capacity
+
+let to_sorted_array t =
+  let n = size t in
+  let out = Array.sub t.values 0 n in
+  Array.sort Float.compare out;
+  out
+
+let percentile t p =
+  let arr = to_sorted_array t in
+  let n = Array.length arr in
+  if n = 0 then nan
+  else begin
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    arr.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))
+  end

@@ -1,0 +1,12 @@
+(** Fixed-size reservoir sampler: exact quantiles over a uniform random
+    subset of an unbounded stream (the histogram gives bounded-error
+    quantiles; this backs exactness checks). *)
+
+type t
+
+val create : ?capacity:int -> Svt_engine.Prng.t -> t
+val add : t -> float -> unit
+val seen : t -> int
+val size : t -> int
+val to_sorted_array : t -> float array
+val percentile : t -> float -> float

@@ -1,0 +1,1 @@
+lib/virtio/fabric.ml: Bytes Svt_arch Svt_engine

@@ -1,0 +1,1 @@
+lib/virtio/fabric.mli: Svt_arch Svt_engine

@@ -1,0 +1,1 @@
+lib/virtio/ramdisk.ml: Bytes Hashtbl

@@ -1,0 +1,1 @@
+lib/virtio/virtio_blk.ml: Array Bytes Hashtbl Int64 Ramdisk Svt_arch Svt_engine Svt_hyp Svt_mem Virtqueue

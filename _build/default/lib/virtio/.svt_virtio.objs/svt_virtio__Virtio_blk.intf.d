@@ -1,0 +1,1 @@
+lib/virtio/virtio_blk.mli: Ramdisk Svt_engine Svt_hyp Svt_mem

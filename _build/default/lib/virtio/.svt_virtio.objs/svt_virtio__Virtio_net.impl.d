@@ -1,0 +1,1 @@
+lib/virtio/virtio_net.ml: Array Bytes Svt_arch Svt_engine Svt_hyp Svt_mem Virtqueue

@@ -1,0 +1,1 @@
+lib/virtio/virtio_net.mli: Svt_engine Svt_hyp Svt_mem

@@ -1,0 +1,1 @@
+lib/virtio/virtqueue.ml: Array Int64 Svt_mem

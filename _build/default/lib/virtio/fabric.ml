@@ -1,0 +1,66 @@
+(* Point-to-point network fabric: the 10 GbE link between the host NIC and
+   the separate client machine of Table 4. Delivery pays one-way
+   propagation (wire + switch + remote stack) plus serialization at link
+   bandwidth; the link serializes packets (a busy link queues). *)
+
+module Simulator = Svt_engine.Simulator
+module Time = Svt_engine.Time
+
+type endpoint = {
+  name : string;
+  mutable deliver : Bytes.t -> unit; (* invoked at arrival time *)
+}
+
+type t = {
+  sim : Simulator.t;
+  cost : Svt_arch.Cost_model.t;
+  a : endpoint;
+  b : endpoint;
+  mutable busy_until_ab : Time.t;
+  mutable busy_until_ba : Time.t;
+  mutable packets : int;
+  mutable bytes : int;
+}
+
+let create sim ~cost ~name_a ~name_b =
+  {
+    sim;
+    cost;
+    a = { name = name_a; deliver = ignore };
+    b = { name = name_b; deliver = ignore };
+    busy_until_ab = Time.zero;
+    busy_until_ba = Time.zero;
+    packets = 0;
+    bytes = 0;
+  }
+
+let endpoint_a t = t.a
+let endpoint_b t = t.b
+let on_deliver ep f = ep.deliver <- f
+
+let send t ~from (pkt : Bytes.t) =
+  let len = Bytes.length pkt in
+  t.packets <- t.packets + 1;
+  t.bytes <- t.bytes + len;
+  let serialize = Svt_arch.Cost_model.wire_serialize t.cost ~bytes:len in
+  let now = Simulator.now t.sim in
+  let dest, start =
+    if from == t.a then begin
+      let s = Time.max now t.busy_until_ab in
+      t.busy_until_ab <- Time.add s serialize;
+      (t.b, s)
+    end
+    else begin
+      let s = Time.max now t.busy_until_ba in
+      t.busy_until_ba <- Time.add s serialize;
+      (t.a, s)
+    end
+  in
+  let arrival =
+    Time.add (Time.add start serialize) t.cost.Svt_arch.Cost_model.nic_wire_latency
+  in
+  ignore
+    (Simulator.schedule_at t.sim ~time:arrival (fun () -> dest.deliver pkt))
+
+let packets t = t.packets
+let bytes t = t.bytes

@@ -1,0 +1,1 @@
+lib/vmcs/checks.ml: Field Fmt Int64 List Printf Vmcs

@@ -1,0 +1,1 @@
+lib/vmcs/checks.mli: Format Vmcs

@@ -1,0 +1,1 @@
+lib/vmcs/field.ml: Fmt Stdlib

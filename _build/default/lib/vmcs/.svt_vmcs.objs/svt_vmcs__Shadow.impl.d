@@ -1,0 +1,1 @@
+lib/vmcs/shadow.ml: Field List

@@ -1,0 +1,1 @@
+lib/vmcs/transform.ml: Field Int64 List Svt_arch Svt_mem Vmcs

@@ -1,0 +1,1 @@
+lib/vmcs/transform.mli: Field Svt_arch Svt_engine Svt_mem Vmcs

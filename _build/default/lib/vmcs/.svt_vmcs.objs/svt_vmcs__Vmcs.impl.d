@@ -1,0 +1,1 @@
+lib/vmcs/vmcs.ml: Field Fmt Int64 List Map Option Printf Svt_arch

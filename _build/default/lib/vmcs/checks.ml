@@ -1,0 +1,69 @@
+(* VM-entry consistency checks, per the architecture's rule that an entry
+   with invalid state or controls must fail rather than launch the guest.
+   L0 runs these on vmcs02 after every transform; tests use them to show
+   that a malformed vmcs12 from a (buggy or malicious) L1 cannot reach
+   hardware. *)
+
+type failure =
+  | Invalid_host_state of string
+  | Invalid_guest_state of string
+  | Invalid_control of string
+  | Invalid_svt_context of string
+
+let pp_failure ppf = function
+  | Invalid_host_state s -> Fmt.pf ppf "invalid host state: %s" s
+  | Invalid_guest_state s -> Fmt.pf ppf "invalid guest state: %s" s
+  | Invalid_control s -> Fmt.pf ppf "invalid control: %s" s
+  | Invalid_svt_context s -> Fmt.pf ppf "invalid SVt context: %s" s
+
+let check_bit v bit = Int64.logand v (Int64.shift_left 1L bit) <> 0L
+
+(* CR0.PE (bit 0) and CR0.PG (bit 31) must be set for long-mode guests;
+   CR4.VMXE (bit 13) must be set on hosts that run VMX. *)
+let run ?(n_hw_contexts = 2) vmcs =
+  let errors = ref [] in
+  let err e = errors := e :: !errors in
+  let guest_cr0 = Vmcs.peek vmcs Field.Guest_cr0 in
+  if not (check_bit guest_cr0 0) then
+    err (Invalid_guest_state "CR0.PE clear");
+  if not (check_bit guest_cr0 31) then
+    err (Invalid_guest_state "CR0.PG clear");
+  let host_cr4 = Vmcs.peek vmcs Field.Host_cr4 in
+  if not (check_bit host_cr4 13) then err (Invalid_host_state "CR4.VMXE clear");
+  if Vmcs.peek vmcs Field.Host_rip = 0L then
+    err (Invalid_host_state "HOST_RIP is null");
+  let link = Vmcs.peek vmcs Field.Vmcs_link_pointer in
+  if link <> 0L && Int64.logand link 0xFFFL <> 0L then
+    err (Invalid_control "VMCS link pointer not page-aligned");
+  (* SVt fields: target contexts must be within the core or the invalid
+     sentinel (all-ones in the field encoding; we use -1). *)
+  let check_svt_field name f =
+    let v = Int64.to_int (Vmcs.peek vmcs f) in
+    if v <> -1 && (v < 0 || v >= n_hw_contexts) then
+      err
+        (Invalid_svt_context
+           (Printf.sprintf "%s = %d out of range [0, %d)" name v n_hw_contexts))
+  in
+  check_svt_field "SVt_visor" Field.Svt_visor;
+  check_svt_field "SVt_vm" Field.Svt_vm;
+  check_svt_field "SVt_nested" Field.Svt_nested;
+  (* SVt_visor and SVt_vm must differ when both valid: a VM cannot share a
+     hardware context with its hypervisor. *)
+  let visor = Int64.to_int (Vmcs.peek vmcs Field.Svt_visor) in
+  let vm = Int64.to_int (Vmcs.peek vmcs Field.Svt_vm) in
+  if visor <> -1 && vm <> -1 && visor = vm then
+    err (Invalid_svt_context "SVt_visor equals SVt_vm");
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+(* Populate the fields a well-formed hypervisor always sets, so tests and
+   builders start from a passing configuration. *)
+let init_minimal vmcs =
+  Vmcs.write vmcs Field.Guest_cr0 0x80000001L (* PG | PE *);
+  Vmcs.write vmcs Field.Guest_cr4 0x2000L;
+  Vmcs.write vmcs Field.Host_cr0 0x80000001L;
+  Vmcs.write vmcs Field.Host_cr4 0x2000L (* VMXE *);
+  Vmcs.write vmcs Field.Host_rip 0xFFFFFFFF81000000L;
+  Vmcs.write vmcs Field.Guest_rip 0x400000L;
+  Vmcs.write vmcs Field.Svt_visor (-1L);
+  Vmcs.write vmcs Field.Svt_vm (-1L);
+  Vmcs.write vmcs Field.Svt_nested (-1L)

@@ -1,0 +1,21 @@
+(** VM-entry consistency checks: an entry with invalid state or controls
+    must fail rather than launch the guest. L0 runs these on vmcs02 after
+    transforms, so a malformed vmcs12 from a buggy or malicious L1 cannot
+    reach hardware. *)
+
+type failure =
+  | Invalid_host_state of string
+  | Invalid_guest_state of string
+  | Invalid_control of string
+  | Invalid_svt_context of string
+      (** SVt fields out of range, or SVt_visor = SVt_vm *)
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val run : ?n_hw_contexts:int -> Vmcs.t -> (unit, failure list) result
+(** All failures are reported, not just the first. [n_hw_contexts]
+    bounds the valid SVt context indices (default 2). *)
+
+val init_minimal : Vmcs.t -> unit
+(** Populate the fields a well-formed hypervisor always sets, so builders
+    and tests start from a passing configuration. *)

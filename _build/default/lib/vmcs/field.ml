@@ -1,0 +1,165 @@
+(* VMCS fields. The set below covers what the nested-virtualization paths
+   in this repository read and write: guest/host state for context
+   switches, exit information, execution controls, the physical pointers
+   that need GPA→HPA translation during vmcs12→vmcs02 transforms, and the
+   three SVt fields the paper adds (Table 2). *)
+
+type t =
+  (* 16/32-bit control & info *)
+  | Vpid
+  | Exit_reason
+  | Exit_qualification
+  | Exit_interrupt_info
+  | Entry_interrupt_info
+  | Instruction_length
+  | Pin_based_controls
+  | Cpu_based_controls
+  | Secondary_controls
+  | Exception_bitmap
+  | Entry_controls
+  | Exit_controls
+  | Preemption_timer_value
+  (* physical pointers: values are guest-physical in a vmcs written by a
+     guest hypervisor and must be translated during shadow transforms *)
+  | Ept_pointer
+  | Io_bitmap_a
+  | Io_bitmap_b
+  | Msr_bitmap
+  | Apic_access_addr
+  | Virtual_apic_page
+  | Posted_interrupt_desc
+  | Vmcs_link_pointer
+  (* guest state *)
+  | Guest_rip
+  | Guest_rsp
+  | Guest_rflags
+  | Guest_cr0
+  | Guest_cr3
+  | Guest_cr4
+  | Guest_efer
+  | Guest_gdtr_base
+  | Guest_idtr_base
+  | Guest_cs_base
+  | Guest_ss_base
+  | Guest_interruptibility
+  | Guest_activity_state
+  (* host state *)
+  | Host_rip
+  | Host_rsp
+  | Host_cr0
+  | Host_cr3
+  | Host_cr4
+  | Host_efer
+  (* SVt extension fields (paper Table 2) *)
+  | Svt_visor
+  | Svt_vm
+  | Svt_nested
+
+let all =
+  [ Vpid; Exit_reason; Exit_qualification; Exit_interrupt_info;
+    Entry_interrupt_info; Instruction_length; Pin_based_controls;
+    Cpu_based_controls; Secondary_controls; Exception_bitmap; Entry_controls;
+    Exit_controls; Preemption_timer_value; Ept_pointer; Io_bitmap_a;
+    Io_bitmap_b; Msr_bitmap; Apic_access_addr; Virtual_apic_page;
+    Posted_interrupt_desc; Vmcs_link_pointer; Guest_rip; Guest_rsp;
+    Guest_rflags; Guest_cr0; Guest_cr3; Guest_cr4; Guest_efer;
+    Guest_gdtr_base; Guest_idtr_base; Guest_cs_base; Guest_ss_base;
+    Guest_interruptibility; Guest_activity_state; Host_rip; Host_rsp;
+    Host_cr0; Host_cr3; Host_cr4; Host_efer; Svt_visor; Svt_vm; Svt_nested ]
+
+(* Encodings in the style of the Intel layout: index within a class plus
+   width/class bits. The SVt fields slot into spare control-class indices,
+   matching the paper's claim that "the current VMCS layout allows fitting
+   our three fields" (§5.1). *)
+let encode f =
+  let idx =
+    let rec find i = function
+      | [] -> assert false
+      | g :: _ when g = f -> i
+      | _ :: rest -> find (i + 1) rest
+    in
+    find 0 all
+  in
+  0x2000 lor idx
+
+(* Fields holding physical addresses that a guest hypervisor fills with
+   *its* guest-physical values; L0 must translate them to host-physical
+   when building vmcs02 (paper §2.1). *)
+let is_physical_pointer = function
+  | Ept_pointer | Io_bitmap_a | Io_bitmap_b | Msr_bitmap | Apic_access_addr
+  | Virtual_apic_page | Posted_interrupt_desc | Vmcs_link_pointer ->
+      true
+  | _ -> false
+
+(* Guest-state fields the hardware saves/loads on trap/resume. *)
+let is_guest_state = function
+  | Guest_rip | Guest_rsp | Guest_rflags | Guest_cr0 | Guest_cr3 | Guest_cr4
+  | Guest_efer | Guest_gdtr_base | Guest_idtr_base | Guest_cs_base
+  | Guest_ss_base | Guest_interruptibility | Guest_activity_state ->
+      true
+  | _ -> false
+
+let is_exit_info = function
+  | Exit_reason | Exit_qualification | Exit_interrupt_info
+  | Instruction_length ->
+      true
+  | _ -> false
+
+let is_control = function
+  | Vpid | Pin_based_controls | Cpu_based_controls | Secondary_controls
+  | Exception_bitmap | Entry_controls | Exit_controls
+  | Preemption_timer_value | Entry_interrupt_info ->
+      true
+  | _ -> false
+
+let is_svt = function Svt_visor | Svt_vm | Svt_nested -> true | _ -> false
+
+let name f =
+  match f with
+  | Vpid -> "VPID"
+  | Exit_reason -> "EXIT_REASON"
+  | Exit_qualification -> "EXIT_QUALIFICATION"
+  | Exit_interrupt_info -> "EXIT_INTERRUPT_INFO"
+  | Entry_interrupt_info -> "ENTRY_INTERRUPT_INFO"
+  | Instruction_length -> "INSTRUCTION_LENGTH"
+  | Pin_based_controls -> "PIN_BASED_CONTROLS"
+  | Cpu_based_controls -> "CPU_BASED_CONTROLS"
+  | Secondary_controls -> "SECONDARY_CONTROLS"
+  | Exception_bitmap -> "EXCEPTION_BITMAP"
+  | Entry_controls -> "ENTRY_CONTROLS"
+  | Exit_controls -> "EXIT_CONTROLS"
+  | Preemption_timer_value -> "PREEMPTION_TIMER_VALUE"
+  | Ept_pointer -> "EPT_POINTER"
+  | Io_bitmap_a -> "IO_BITMAP_A"
+  | Io_bitmap_b -> "IO_BITMAP_B"
+  | Msr_bitmap -> "MSR_BITMAP"
+  | Apic_access_addr -> "APIC_ACCESS_ADDR"
+  | Virtual_apic_page -> "VIRTUAL_APIC_PAGE"
+  | Posted_interrupt_desc -> "POSTED_INTERRUPT_DESC"
+  | Vmcs_link_pointer -> "VMCS_LINK_POINTER"
+  | Guest_rip -> "GUEST_RIP"
+  | Guest_rsp -> "GUEST_RSP"
+  | Guest_rflags -> "GUEST_RFLAGS"
+  | Guest_cr0 -> "GUEST_CR0"
+  | Guest_cr3 -> "GUEST_CR3"
+  | Guest_cr4 -> "GUEST_CR4"
+  | Guest_efer -> "GUEST_EFER"
+  | Guest_gdtr_base -> "GUEST_GDTR_BASE"
+  | Guest_idtr_base -> "GUEST_IDTR_BASE"
+  | Guest_cs_base -> "GUEST_CS_BASE"
+  | Guest_ss_base -> "GUEST_SS_BASE"
+  | Guest_interruptibility -> "GUEST_INTERRUPTIBILITY"
+  | Guest_activity_state -> "GUEST_ACTIVITY_STATE"
+  | Host_rip -> "HOST_RIP"
+  | Host_rsp -> "HOST_RSP"
+  | Host_cr0 -> "HOST_CR0"
+  | Host_cr3 -> "HOST_CR3"
+  | Host_cr4 -> "HOST_CR4"
+  | Host_efer -> "HOST_EFER"
+  | Svt_visor -> "SVT_VISOR"
+  | Svt_vm -> "SVT_VM"
+  | Svt_nested -> "SVT_NESTED"
+
+let compare = Stdlib.compare
+let equal = ( = )
+let pp ppf f = Fmt.string ppf (name f)

@@ -1,0 +1,52 @@
+(** A VM state descriptor (VMCS in Intel terms).
+
+    Each vCPU of each guest VM has one per managing hypervisor level,
+    following the paper's naming: vmcs01 (L0's descriptor for L1),
+    vmcs01' (L1's own descriptor for L2, which L0 shadows as vmcs12) and
+    vmcs02 (L0's descriptor that actually runs L2). Dirty-field tracking
+    feeds the transform cost model: only fields written since the last
+    transform need copying. *)
+
+type role = { owner_level : int; subject_level : int }
+
+type t
+
+val create : ?label:string -> owner_level:int -> subject_level:int -> unit -> t
+(** [subject_level] must be below [owner_level]; the default label is
+    ["vmcs<owner><subject>"]. *)
+
+val role : t -> role
+val label : t -> string
+
+val read : t -> Field.t -> int64
+(** Counted read (a guest hypervisor's vmread). Unset fields read 0. *)
+
+val peek : t -> Field.t -> int64
+(** Uncounted read for internal bookkeeping paths. *)
+
+val write : t -> Field.t -> int64 -> unit
+(** Counted write; marks the field dirty. *)
+
+val dirty_fields : t -> Field.t list
+val clean : t -> unit
+val set_launched : t -> bool -> unit
+val launched : t -> bool
+
+val set_current : t -> bool -> unit
+(** Whether this VMCS is loaded (VMPTRLD) on some CPU. *)
+
+val is_current : t -> bool
+val write_count : t -> int
+val read_count : t -> int
+val fields_set : t -> int
+
+val record_exit :
+  t ->
+  reason:Svt_arch.Exit_reason.t ->
+  qualification:int64 ->
+  instruction_length:int ->
+  unit
+(** Record exit information, as the hardware does on a VM trap. *)
+
+val exit_reason_number : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/workloads/channel_bench.ml: List Svt_arch Svt_core Svt_engine

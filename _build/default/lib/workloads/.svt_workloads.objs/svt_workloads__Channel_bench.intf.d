@@ -1,0 +1,1 @@
+lib/workloads/channel_bench.mli: Svt_arch Svt_core

@@ -1,0 +1,1 @@
+lib/workloads/disk.ml: Bytes Svt_core Svt_engine Svt_hyp Svt_mem Svt_stats Svt_virtio

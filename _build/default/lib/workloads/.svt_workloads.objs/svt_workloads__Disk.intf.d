@@ -1,0 +1,1 @@
+lib/workloads/disk.mli: Svt_core

@@ -1,0 +1,1 @@
+lib/workloads/etc_workload.ml: Array Bytes Hashtbl Int32 Kvstore List Printf Svt_core Svt_engine Svt_hyp Svt_stats Svt_virtio

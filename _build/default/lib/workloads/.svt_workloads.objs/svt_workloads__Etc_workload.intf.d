@@ -1,0 +1,1 @@
+lib/workloads/etc_workload.mli: Svt_core Svt_engine

@@ -1,0 +1,1 @@
+lib/workloads/kvstore.ml: Array Bytes Char List String

@@ -1,0 +1,1 @@
+lib/workloads/microbench.ml: List Option Svt_core Svt_engine Svt_hyp Svt_stats

@@ -1,0 +1,1 @@
+lib/workloads/microbench.mli: Svt_core Svt_engine Svt_hyp Svt_stats

@@ -1,0 +1,1 @@
+lib/workloads/netperf.ml: Bytes Svt_core Svt_engine Svt_hyp Svt_stats Svt_virtio

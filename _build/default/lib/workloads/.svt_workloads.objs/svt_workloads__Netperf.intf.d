@@ -1,0 +1,1 @@
+lib/workloads/netperf.mli: Svt_core Svt_engine

@@ -1,0 +1,1 @@
+lib/workloads/tpcc.ml: Btree Bytes List Printf Svt_core Svt_engine Svt_hyp Svt_virtio Wal

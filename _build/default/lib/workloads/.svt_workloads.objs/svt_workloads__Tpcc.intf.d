@@ -1,0 +1,1 @@
+lib/workloads/tpcc.mli: Btree Svt_core Svt_engine Wal

@@ -1,0 +1,1 @@
+lib/workloads/video.ml: Svt_core Svt_engine Svt_hyp Svt_mem Svt_virtio

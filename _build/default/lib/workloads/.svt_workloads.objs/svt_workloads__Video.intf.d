@@ -1,0 +1,1 @@
+lib/workloads/video.mli: Svt_core Svt_engine

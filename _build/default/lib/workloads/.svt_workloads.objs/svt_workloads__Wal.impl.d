@@ -1,0 +1,1 @@
+lib/workloads/wal.ml: Buffer Bytes List Printf String Svt_core Svt_engine Svt_hyp Svt_virtio

@@ -1,0 +1,1 @@
+lib/workloads/wal.mli: Svt_hyp Svt_virtio

@@ -1,0 +1,208 @@
+(* A memcached-like in-memory key-value store: separate-chaining hash
+   table with incremental resizing, LRU eviction under a memory cap, and
+   per-entry expiry. This is a real data structure — the ETC workload
+   (Figure 8) executes genuine get/set operations against it, and the
+   tests assert its behaviour directly. *)
+
+type entry = {
+  key : string;
+  mutable value : bytes;
+  mutable expires_at : int; (* ns since epoch; 0 = never *)
+  mutable lru_prev : entry option;
+  mutable lru_next : entry option;
+  mutable chain_next : entry option;
+}
+
+type t = {
+  mutable buckets : entry option array;
+  mutable size : int;
+  mutable memory_used : int;
+  memory_cap : int; (* bytes of values; 0 = unlimited *)
+  mutable lru_head : entry option; (* most recently used *)
+  mutable lru_tail : entry option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable expired : int;
+  mutable sets : int;
+}
+
+let create ?(memory_cap = 0) ?(initial_buckets = 1024) () =
+  if initial_buckets <= 0 then invalid_arg "Kvstore.create";
+  {
+    buckets = Array.make initial_buckets None;
+    size = 0;
+    memory_used = 0;
+    memory_cap;
+    lru_head = None;
+    lru_tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    expired = 0;
+    sets = 0;
+  }
+
+(* FNV-1a over the key (64-bit constants truncated to OCaml's 63-bit int;
+   the mixing quality is unaffected for bucket selection). *)
+let fnv_offset = 0x1cbf29ce48422232
+let fnv_prime = 0x100000001b3
+
+let hash key =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * fnv_prime)
+    key;
+  !h land max_int
+
+let bucket_of t key = hash key mod Array.length t.buckets
+
+(* --- LRU list maintenance --- *)
+
+let lru_unlink t e =
+  (match e.lru_prev with
+  | Some p -> p.lru_next <- e.lru_next
+  | None -> if t.lru_head == Some e then t.lru_head <- e.lru_next);
+  (match e.lru_next with
+  | Some n -> n.lru_prev <- e.lru_prev
+  | None -> if t.lru_tail == Some e then t.lru_tail <- e.lru_prev);
+  e.lru_prev <- None;
+  e.lru_next <- None
+
+let lru_push_front t e =
+  e.lru_next <- t.lru_head;
+  (match t.lru_head with Some h -> h.lru_prev <- Some e | None -> ());
+  t.lru_head <- Some e;
+  if t.lru_tail = None then t.lru_tail <- Some e
+
+let lru_touch t e =
+  if t.lru_head != Some e then begin
+    lru_unlink t e;
+    lru_push_front t e
+  end
+
+(* --- chain maintenance --- *)
+
+let chain_remove t e =
+  let b = bucket_of t e.key in
+  let rec go prev cur =
+    match cur with
+    | None -> ()
+    | Some c when c == e -> (
+        match prev with
+        | None -> t.buckets.(b) <- c.chain_next
+        | Some p -> p.chain_next <- c.chain_next)
+    | Some c -> go (Some c) c.chain_next
+  in
+  go None t.buckets.(b)
+
+let remove_entry t e =
+  chain_remove t e;
+  lru_unlink t e;
+  t.size <- t.size - 1;
+  t.memory_used <- t.memory_used - Bytes.length e.value - String.length e.key
+
+let find_entry t key =
+  let rec go = function
+    | None -> None
+    | Some e when e.key = key -> Some e
+    | Some e -> go e.chain_next
+  in
+  go t.buckets.(bucket_of t key)
+
+let resize t =
+  let old = t.buckets in
+  t.buckets <- Array.make (2 * Array.length old) None;
+  Array.iter
+    (fun slot ->
+      let rec go = function
+        | None -> ()
+        | Some e ->
+            let next = e.chain_next in
+            let b = bucket_of t e.key in
+            e.chain_next <- t.buckets.(b);
+            t.buckets.(b) <- Some e;
+            go next
+      in
+      go slot)
+    old
+
+let evict_lru t =
+  match t.lru_tail with
+  | None -> false
+  | Some victim ->
+      remove_entry t victim;
+      t.evictions <- t.evictions + 1;
+      true
+
+let enforce_cap t =
+  if t.memory_cap > 0 then
+    while t.memory_used > t.memory_cap && evict_lru t do
+      ()
+    done
+
+(* --- public operations --- *)
+
+let set t ~now ?(ttl_ns = 0) key value =
+  t.sets <- t.sets + 1;
+  let expires_at = if ttl_ns > 0 then now + ttl_ns else 0 in
+  (match find_entry t key with
+  | Some e ->
+      t.memory_used <- t.memory_used - Bytes.length e.value + Bytes.length value;
+      e.value <- value;
+      e.expires_at <- expires_at;
+      lru_touch t e
+  | None ->
+      if t.size >= 3 * Array.length t.buckets / 4 then resize t;
+      let e =
+        { key; value; expires_at; lru_prev = None; lru_next = None;
+          chain_next = None }
+      in
+      let b = bucket_of t key in
+      e.chain_next <- t.buckets.(b);
+      t.buckets.(b) <- Some e;
+      lru_push_front t e;
+      t.size <- t.size + 1;
+      t.memory_used <- t.memory_used + Bytes.length value + String.length key);
+  enforce_cap t
+
+let get t ~now key =
+  match find_entry t key with
+  | Some e when e.expires_at <> 0 && e.expires_at <= now ->
+      remove_entry t e;
+      t.expired <- t.expired + 1;
+      t.misses <- t.misses + 1;
+      None
+  | Some e ->
+      t.hits <- t.hits + 1;
+      lru_touch t e;
+      Some e.value
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let delete t key =
+  match find_entry t key with
+  | Some e ->
+      remove_entry t e;
+      true
+  | None -> false
+
+let mem t key = find_entry t key <> None
+let size t = t.size
+let memory_used t = t.memory_used
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+let expired_count t = t.expired
+let bucket_count t = Array.length t.buckets
+
+(* Walk the LRU from most to least recent (tests). *)
+let lru_keys t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some e -> go (e.key :: acc) e.lru_next
+  in
+  go [] t.lru_head

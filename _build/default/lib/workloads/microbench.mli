@@ -1,0 +1,39 @@
+(** Micro-benchmarks (paper §2.3 and §6.1): a loop containing the
+    operation under scrutiny surrounded by a chain of dependent register
+    increments, repeated until the paper's convergence criterion holds
+    (stddev ≤ 1 % of mean at 2σ, 4σ outlier rejection). *)
+
+type result = {
+  per_op_us : float;
+  stats : Svt_stats.Convergence.result;
+  exits : int;
+  breakdown : (string * Svt_engine.Time.t * float) list;
+      (** per-episode Table-1 rows *)
+}
+
+val measure :
+  ?policy:Svt_stats.Convergence.policy ->
+  ?workload:int ->
+  ?warmup:int ->
+  Svt_core.System.t ->
+  op:(Svt_hyp.Vcpu.t -> unit) ->
+  unit ->
+  result
+(** Measure one guest operation on the system's vCPU 0. [workload] is
+    the number of dependent increments around the operation. *)
+
+val cpuid_op : Svt_hyp.Vcpu.t -> unit
+
+val measure_cpuid :
+  ?policy:Svt_stats.Convergence.policy ->
+  ?workload:int ->
+  Svt_core.System.t ->
+  result
+(** The canonical instance: a cpuid in the guest under test. *)
+
+(** One bar of Figure 6. *)
+type fig6_row = { label : string; time_us : float; overhead_vs_l0 : float }
+
+val fig6 : ?modes:Svt_core.Mode.t list -> unit -> fig6_row list
+(** Measure cpuid at L0/L1/L2 plus the given SVt modes (default SW and
+    HW SVt). *)

@@ -1,0 +1,117 @@
+(* Figure 10: soft-realtime video playback (mplayer with a 4K movie
+   re-packaged at 24/60/120 FPS). The player decodes each frame, then
+   sleeps until its vsync deadline by arming the TSC-deadline timer and
+   halting; a frame whose presentation slips past the deadline by more
+   than half a frame period is dropped.
+
+   Two effects produce drops, both virtualization-induced:
+   - per-frame overhead (timer MSR writes, HLT wake-ups, periodic disk
+     reads for the stream) eats into the decode budget;
+   - occasional "demux stalls" — bursts of guest hypervisor activity
+     modeled as a run of consecutive nested exits — which only fit inside
+     the frame budget when exits are cheap enough.
+   At 24 FPS the budget absorbs everything; at 120 FPS the margin is a
+   couple of milliseconds and the baseline starts losing frames (paper:
+   0/3/40 dropped; SVt 0/0/26). *)
+
+module Time = Svt_engine.Time
+module Proc = Svt_engine.Simulator.Proc
+module Prng = Svt_engine.Prng
+module System = Svt_core.System
+module Guest = Svt_core.Guest
+module Vcpu = Svt_hyp.Vcpu
+module Blk = Svt_virtio.Virtio_blk
+
+type result = {
+  fps : int;
+  frames : int;
+  dropped : int;
+  late_worst_us : float;
+  idle_fraction : float;
+}
+
+(* Decode time: typical frames take ~3.2 ms of CPU (matching the paper's
+   observation that L2 idles 61 % of the time); roughly one frame in 400
+   (scene cuts / dense keyframes) decodes in ~8.2 ms — inside the 60 FPS
+   budget but knife-edge against the 8.33 ms budget at 120 FPS, where the
+   per-frame virtualization overhead decides drop or no-drop. *)
+let heavy_frame_rate = 1.0 /. 400.0
+
+let decode_time rng ~heavy =
+  if heavy then Time.of_us_f (Prng.normal rng ~mean:8277.0 ~stddev:12.5)
+  else Time.of_ms_f (Prng.normal rng ~mean:3.2 ~stddev:0.25)
+
+(* Every ~2 s of playback the demuxer refills its buffer from disk. *)
+let frames_per_read fps = 2 * fps
+
+(* A background stall: roughly every 100 s, guest-hypervisor housekeeping
+   (L1 page-cache writeback / EPT management) produces a burst of
+   back-to-back nested EPT exits on the playback vCPU. Cheap exits absorb
+   the burst inside the frame budget; expensive ones miss deadlines. *)
+let stall_exits = 650
+let stall_period_seconds = 75
+
+let run ?(seconds = 300) ~fps sys =
+  let vcpu = System.vcpu0 sys in
+  let blk, _disk = System.attach_blk sys in
+  Vcpu.register_isr vcpu ~vector:System.blk_vector (fun () -> ());
+  let frames = seconds * fps in
+  let period = Time.of_ns (1_000_000_000 / fps) in
+  let dropped = ref 0 in
+  let worst_late = ref 0 in
+  let rng = Prng.create (1000 + fps) in
+  let read_chunk v =
+    (match
+       Blk.driver_submit blk ~kind:Blk.Read
+         ~sector:(Prng.int rng 100_000)
+         ~count:7 ()
+     with
+    | Some _ -> ()
+    | None -> failwith "video: blk queue full");
+    if Blk.need_kick blk then Guest.mmio_write32 v (Blk.doorbell_gpa blk) 1;
+    let rec await () =
+      match Blk.driver_collect blk with
+      | Some _ -> ()
+      | None ->
+          Guest.arm_timer v ~after:(Time.of_ms 1);
+          Guest.hlt v;
+          await ()
+    in
+    await ()
+  in
+  Vcpu.spawn_program vcpu (fun v ->
+      let t0 = Proc.now () in
+      let stall_every = stall_period_seconds * fps in
+      for i = 0 to frames - 1 do
+        let vsync = Time.add t0 (Time.scale period (float_of_int (i + 1))) in
+        if i mod frames_per_read fps = 0 then read_chunk v;
+        if i > 0 && i mod stall_every = 0 then
+          for j = 1 to stall_exits do
+            Guest.page_fault v (Svt_mem.Addr.Gpa.of_int ((0x200000 + i + j) * 4096))
+          done;
+        let heavy = Prng.float rng < heavy_frame_rate in
+        Guest.compute v (decode_time rng ~heavy);
+        let now = Proc.now () in
+        if Time.(now > vsync) then begin
+          (* missed the deadline: drop and resynchronize *)
+          incr dropped;
+          worst_late := max !worst_late (Time.to_ns (Time.diff now vsync))
+        end
+        else begin
+          (* sleep until vsync: arm the deadline timer and halt *)
+          Guest.arm_timer v ~after:(Time.diff vsync now);
+          while Time.(Proc.now () < vsync) do
+            Guest.hlt v
+          done
+        end
+      done);
+  System.run sys;
+  let total = Time.scale period (float_of_int frames) in
+  {
+    fps;
+    frames;
+    dropped = !dropped;
+    late_worst_us = float_of_int !worst_late /. 1000.0;
+    idle_fraction =
+      Time.to_sec_f (Vcpu.halted_time vcpu) /. Time.to_sec_f total;
+  }

@@ -1,0 +1,1 @@
+test/test_arch.ml: Alcotest Int64 List Svt_arch

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float Int64 List Printf String Svt_arch Svt_core Svt_engine Svt_hyp Svt_interrupt Svt_stats Svt_vmcs

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Float Fun List QCheck QCheck_alcotest Svt_engine Svt_stats

@@ -1,0 +1,1 @@
+test/test_hyp.ml: Alcotest Float Int64 List Svt_arch Svt_engine Svt_hyp Svt_interrupt Svt_mem

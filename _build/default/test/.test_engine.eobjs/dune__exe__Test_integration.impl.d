@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Float Svt_core Svt_engine Svt_hyp Svt_stats Svt_workloads

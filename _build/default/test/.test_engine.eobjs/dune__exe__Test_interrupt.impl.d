@@ -1,0 +1,1 @@
+test/test_interrupt.ml: Alcotest List Svt_engine Svt_interrupt

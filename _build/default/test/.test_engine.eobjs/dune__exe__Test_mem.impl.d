@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Bytes QCheck QCheck_alcotest Svt_mem

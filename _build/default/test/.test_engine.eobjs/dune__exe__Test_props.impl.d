@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Bytes Gen Int64 List QCheck QCheck_alcotest Svt_arch Svt_core Svt_engine Svt_hyp Svt_mem Svt_virtio Svt_vmcs

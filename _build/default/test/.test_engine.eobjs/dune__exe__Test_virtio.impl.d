@@ -1,0 +1,1 @@
+test/test_virtio.ml: Alcotest Bytes List Printf Svt_arch Svt_engine Svt_hyp Svt_mem Svt_virtio

@@ -1,0 +1,1 @@
+test/test_vmcs.ml: Alcotest Int64 List Svt_arch Svt_mem Svt_vmcs

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Bytes Float Fun Gen Hashtbl List Option Printf QCheck QCheck_alcotest Svt_arch Svt_core Svt_engine Svt_hyp Svt_virtio Svt_workloads

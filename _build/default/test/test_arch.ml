@@ -1,0 +1,320 @@
+(* Tests for the architectural model: registers, the shared physical
+   register file with rename maps, MSRs and intercept bitmaps, CPUID
+   views, exit reasons, the SMT/SVt core state machine and the cross-
+   context access instructions, and cost-model internals. *)
+
+module Reg = Svt_arch.Reg
+module Regfile = Svt_arch.Regfile
+module Msr = Svt_arch.Msr
+module Cpuid_db = Svt_arch.Cpuid_db
+module Exit_reason = Svt_arch.Exit_reason
+module Smt_core = Svt_arch.Smt_core
+module Cost_model = Svt_arch.Cost_model
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let check64 = Alcotest.(check int64)
+
+(* --- Reg ----------------------------------------------------------------- *)
+
+let test_reg_switched_set () =
+  checki "16 GPRs" 16 (List.length Reg.all_gprs);
+  (* "dozens of registers" (§1): the switched set must be large *)
+  checkb "dozens" true (Reg.switched_count >= 24);
+  checkb "rip included" true (List.mem Reg.Rip Reg.switched_set);
+  checkb "cr3 included" true (List.mem (Reg.Cr 3) Reg.switched_set)
+
+let test_reg_names_unique () =
+  let names = List.map Reg.name Reg.switched_set in
+  checki "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+(* --- Regfile ------------------------------------------------------------- *)
+
+let make_rf () = Regfile.create ~contexts:3 ~physical_entries:168
+
+let test_regfile_isolated_contexts () =
+  let rf = make_rf () in
+  Regfile.write rf ~ctx:0 (Reg.Gpr Reg.RAX) 11L;
+  Regfile.write rf ~ctx:1 (Reg.Gpr Reg.RAX) 22L;
+  Regfile.write rf ~ctx:2 (Reg.Gpr Reg.RAX) 33L;
+  check64 "ctx0" 11L (Regfile.read rf ~ctx:0 (Reg.Gpr Reg.RAX));
+  check64 "ctx1" 22L (Regfile.read rf ~ctx:1 (Reg.Gpr Reg.RAX));
+  check64 "ctx2" 33L (Regfile.read rf ~ctx:2 (Reg.Gpr Reg.RAX))
+
+let test_regfile_cross_context_read_is_shared_file () =
+  let rf = make_rf () in
+  Regfile.write rf ~ctx:1 Reg.Rip 0xCAFEL;
+  (* "cross-context" access = reading through the other context's map *)
+  let phys = Regfile.phys_of rf ~ctx:1 Reg.Rip in
+  checkb "physical index valid" true (phys >= 0 && phys < 168);
+  check64 "read via ctx1 map" 0xCAFEL (Regfile.read rf ~ctx:1 Reg.Rip)
+
+let test_regfile_rename_preserves_value () =
+  let rf = make_rf () in
+  Regfile.write rf ~ctx:0 (Reg.Gpr Reg.RBX) 77L;
+  let before = Regfile.phys_of rf ~ctx:0 (Reg.Gpr Reg.RBX) in
+  (match Regfile.rename rf ~ctx:0 (Reg.Gpr Reg.RBX) with
+  | Some after -> checkb "new physical entry" true (after <> before)
+  | None -> Alcotest.fail "rename should succeed");
+  check64 "value carried" 77L (Regfile.read rf ~ctx:0 (Reg.Gpr Reg.RBX))
+
+let test_regfile_copy_switched_set () =
+  let rf = make_rf () in
+  List.iteri
+    (fun i reg -> Regfile.write rf ~ctx:0 reg (Int64.of_int (100 + i)))
+    Reg.switched_set;
+  Regfile.copy_switched_set rf ~from_ctx:0 ~to_ctx:2;
+  List.iteri
+    (fun i reg ->
+      check64 (Reg.name reg) (Int64.of_int (100 + i))
+        (Regfile.read rf ~ctx:2 reg))
+    Reg.switched_set
+
+let test_regfile_too_small_rejected () =
+  Alcotest.check_raises "sizing"
+    (Invalid_argument "Regfile.create: physical file too small for all contexts")
+    (fun () -> ignore (Regfile.create ~contexts:4 ~physical_entries:32))
+
+let test_regfile_bad_context () =
+  let rf = make_rf () in
+  Alcotest.check_raises "bad ctx" (Invalid_argument "Regfile: bad context index")
+    (fun () -> ignore (Regfile.read rf ~ctx:9 Reg.Rip))
+
+(* --- MSRs ---------------------------------------------------------------- *)
+
+let test_msr_roundtrip_encoding () =
+  List.iter
+    (fun m -> checkb (Msr.name m) true (Msr.of_code (Msr.encode m) = m))
+    [ Msr.Ia32_tsc; Msr.Ia32_tsc_deadline; Msr.Ia32_efer; Msr.Ia32_lstar;
+      Msr.Ia32_spec_ctrl; Msr.Other 0x999 ]
+
+let test_msr_file () =
+  let f = Msr.File.create () in
+  check64 "default zero" 0L (Msr.File.read f Msr.Ia32_efer);
+  Msr.File.write f Msr.Ia32_efer 0xD01L;
+  check64 "written" 0xD01L (Msr.File.read f Msr.Ia32_efer)
+
+let test_msr_bitmap_kvm_default () =
+  let b = Msr.Bitmap.kvm_default () in
+  checkb "tsc reads pass" false (Msr.Bitmap.read_traps b Msr.Ia32_tsc);
+  checkb "tsc deadline writes trap" true
+    (Msr.Bitmap.write_traps b Msr.Ia32_tsc_deadline);
+  checkb "efer traps" true (Msr.Bitmap.read_traps b Msr.Ia32_efer)
+
+(* --- CPUID --------------------------------------------------------------- *)
+
+let test_cpuid_host_has_vmx_no_hv_bit () =
+  let db = Cpuid_db.host () in
+  checkb "vmx" true (Cpuid_db.has_vmx db);
+  checkb "no hypervisor bit on bare metal" false (Cpuid_db.has_hypervisor_bit db)
+
+let test_cpuid_guest_views () =
+  let host = Cpuid_db.host () in
+  let l1 = Cpuid_db.guest_view host ~expose_vmx:true in
+  let l2 = Cpuid_db.guest_view l1 ~expose_vmx:false in
+  checkb "l1 sees vmx (can nest)" true (Cpuid_db.has_vmx l1);
+  checkb "l1 sees hypervisor" true (Cpuid_db.has_hypervisor_bit l1);
+  checkb "l2 has no vmx" false (Cpuid_db.has_vmx l2);
+  checkb "l2 sees hypervisor" true (Cpuid_db.has_hypervisor_bit l2)
+
+let test_cpuid_vendor_string () =
+  let db = Cpuid_db.host () in
+  let r = Cpuid_db.query db ~leaf:0 ~subleaf:0 in
+  (* "Genu" "ineI" "ntel" packed little-endian in EBX/EDX/ECX *)
+  check64 "ebx" 0x756E6547L r.Cpuid_db.ebx;
+  check64 "edx" 0x49656E69L r.Cpuid_db.edx
+
+let test_cpuid_unknown_leaf_zero () =
+  let db = Cpuid_db.host () in
+  let r = Cpuid_db.query db ~leaf:0x1234 ~subleaf:9 in
+  check64 "zeros" 0L r.Cpuid_db.eax
+
+(* --- Exit reasons --------------------------------------------------------- *)
+
+let test_exit_reason_numbers_match_sdm () =
+  checki "CPUID" 10 (Exit_reason.basic_number Exit_reason.Cpuid);
+  checki "HLT" 12 (Exit_reason.basic_number Exit_reason.Hlt);
+  checki "VMRESUME" 24 (Exit_reason.basic_number Exit_reason.Vmresume);
+  checki "EPT_MISCONFIG" 49 (Exit_reason.basic_number Exit_reason.Ept_misconfig);
+  checki "MSR_WRITE" 32 (Exit_reason.basic_number Exit_reason.Msr_write)
+
+let test_exit_reason_vmx_class () =
+  checkb "vmread is vmx" true (Exit_reason.is_vmx_instruction Exit_reason.Vmread);
+  checkb "invept is vmx" true (Exit_reason.is_vmx_instruction Exit_reason.Invept);
+  checkb "cpuid is not" false (Exit_reason.is_vmx_instruction Exit_reason.Cpuid)
+
+(* --- SMT core / SVt ------------------------------------------------------- *)
+
+let make_core () = Smt_core.create ~id:0 ~n_contexts:3 ()
+
+let test_core_trap_resume_switch_fetch_target () =
+  let core = make_core () in
+  Smt_core.load_svt_fields core ~visor:0 ~vm:1 ~nested:Smt_core.invalid_ctx;
+  checki "starts at ctx0" 0 (Smt_core.current core);
+  Smt_core.vm_resume core;
+  checki "resume fetches from SVt_vm" 1 (Smt_core.current core);
+  checkb "is_vm set" true (Smt_core.is_vm core);
+  Smt_core.vm_trap core;
+  checki "trap fetches from SVt_visor" 0 (Smt_core.current core);
+  checkb "is_vm cleared" false (Smt_core.is_vm core);
+  checki "two switches" 2 (Smt_core.switches core)
+
+let test_core_single_active_context () =
+  let core = make_core () in
+  Smt_core.load_svt_fields core ~visor:0 ~vm:2 ~nested:Smt_core.invalid_ctx;
+  Smt_core.vm_resume core;
+  checkb "ctx2 active" true (Smt_core.state core 2 = Smt_core.Active);
+  checkb "ctx0 stalled" true (Smt_core.state core 0 <> Smt_core.Active);
+  checkb "ctx1 stalled" true (Smt_core.state core 1 <> Smt_core.Active)
+
+(* The §4 worked example: context-id virtualization of ctxtld/ctxtst. *)
+let test_core_ctxt_level_resolution () =
+  let core = make_core () in
+  Smt_core.load_svt_fields core ~visor:0 ~vm:1 ~nested:2;
+  (* host executing: lvl 1 -> SVt_vm, lvl 2 -> SVt_nested *)
+  checkb "host lvl1" true (Smt_core.resolve_ctxt_level core ~lvl:1 = Ok 1);
+  checkb "host lvl2" true (Smt_core.resolve_ctxt_level core ~lvl:2 = Ok 2);
+  (* guest hypervisor executing: lvl 1 -> SVt_nested *)
+  Smt_core.vm_resume core;
+  checkb "guest lvl1 -> nested" true
+    (Smt_core.resolve_ctxt_level core ~lvl:1 = Ok 2);
+  (* deeper levels trap for software emulation *)
+  checkb "guest lvl2 traps" true
+    (Smt_core.resolve_ctxt_level core ~lvl:2 = Error `Trap_to_hypervisor)
+
+let test_core_ctxtld_ctxtst () =
+  let core = make_core () in
+  Smt_core.load_svt_fields core ~visor:0 ~vm:1 ~nested:2;
+  (match Smt_core.ctxtst core ~lvl:1 (Reg.Gpr Reg.RAX) 0xBEEFL with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "ctxtst should succeed");
+  (match Smt_core.ctxtld core ~lvl:1 (Reg.Gpr Reg.RAX) with
+  | Ok v -> check64 "round trip" 0xBEEFL v
+  | Error _ -> Alcotest.fail "ctxtld should succeed");
+  (* the value lives in context 1's architectural state *)
+  check64 "visible in ctx1" 0xBEEFL
+    (Regfile.read (Smt_core.regfile core) ~ctx:1 (Reg.Gpr Reg.RAX))
+
+let test_core_invalid_nested_traps () =
+  let core = make_core () in
+  Smt_core.load_svt_fields core ~visor:0 ~vm:1 ~nested:Smt_core.invalid_ctx;
+  checkb "lvl2 with invalid nested traps" true
+    (Smt_core.ctxtld core ~lvl:2 Reg.Rip = Error `Trap_to_hypervisor)
+
+let test_core_interference_model () =
+  let core = make_core () in
+  Alcotest.(check (float 1e-9)) "no pollers" 1.0 (Smt_core.interference_factor core);
+  Smt_core.set_polling_siblings core 1;
+  checkb "poller slows compute" true (Smt_core.interference_factor core > 1.0);
+  checki "scaled" 135 (Smt_core.scale_compute core 100);
+  Smt_core.set_polling_siblings core 0;
+  checki "back to nominal" 100 (Smt_core.scale_compute core 100)
+
+let test_core_resume_without_vm_rejected () =
+  let core = make_core () in
+  Smt_core.load_svt_fields core ~visor:0 ~vm:Smt_core.invalid_ctx
+    ~nested:Smt_core.invalid_ctx;
+  Alcotest.check_raises "no SVt_vm"
+    (Invalid_argument "Smt_core.vm_resume: no SVt_vm") (fun () ->
+      Smt_core.vm_resume core)
+
+(* --- Cost model ------------------------------------------------------------ *)
+
+let test_cost_model_table1_structure () =
+  let cm = Cost_model.paper_machine in
+  (* the calibration identities behind Table 1 *)
+  checki "part 1 = trap + resume" 810 (cm.trap_hw + cm.resume_hw);
+  checki "part 4 = world switch pair" 1400
+    (cm.resume_hw + cm.l1_world_extra + cm.trap_hw + cm.l1_world_extra)
+
+let test_cost_model_profiles () =
+  let cm = Cost_model.paper_machine in
+  let cpuid = Cost_model.profile cm Svt_arch.Exit_reason.Cpuid in
+  let ept = Cost_model.profile cm Svt_arch.Exit_reason.Ept_misconfig in
+  checki "cpuid is the best case: one aux exit" 1
+    cpuid.Cost_model.l1_aux_exits;
+  checkb "I/O handlers trap many more times (§2.3)" true
+    (ept.Cost_model.l1_aux_exits > 5);
+  let vmread = Cost_model.profile cm Svt_arch.Exit_reason.Vmread in
+  checki "vmx instructions have no own aux exits" 0
+    vmread.Cost_model.l1_aux_exits
+
+let test_cost_model_transform_cost_scales () =
+  let cm = Cost_model.paper_machine in
+  let c8 = Cost_model.transform_cost cm ~fields:8 in
+  let c16 = Cost_model.transform_cost cm ~fields:16 in
+  checkb "more fields cost more" true (c16 > c8);
+  checki "linear in fields" (8 * cm.transform_per_field) (c16 - c8)
+
+let test_cost_model_wire_overhead () =
+  let cm = Cost_model.paper_machine in
+  (* 16 KB on a 10 Gb wire: >13.1us raw, plus per-MSS framing *)
+  let t = Cost_model.wire_serialize cm ~bytes:16384 in
+  checkb "above raw serialization" true (t > 13_100);
+  checkb "below 16us" true (t < 16_000);
+  (* a 1-byte packet still pays a minimum frame *)
+  checkb "min frame" true (Cost_model.wire_serialize cm ~bytes:1 > 50)
+
+let () =
+  Alcotest.run "svt_arch"
+    [
+      ( "registers",
+        [
+          Alcotest.test_case "switched set" `Quick test_reg_switched_set;
+          Alcotest.test_case "names unique" `Quick test_reg_names_unique;
+        ] );
+      ( "regfile",
+        [
+          Alcotest.test_case "contexts isolated" `Quick test_regfile_isolated_contexts;
+          Alcotest.test_case "cross-context via rename map" `Quick
+            test_regfile_cross_context_read_is_shared_file;
+          Alcotest.test_case "rename preserves value" `Quick
+            test_regfile_rename_preserves_value;
+          Alcotest.test_case "copy switched set" `Quick test_regfile_copy_switched_set;
+          Alcotest.test_case "sizing check" `Quick test_regfile_too_small_rejected;
+          Alcotest.test_case "bad context rejected" `Quick test_regfile_bad_context;
+        ] );
+      ( "msr",
+        [
+          Alcotest.test_case "encoding round trip" `Quick test_msr_roundtrip_encoding;
+          Alcotest.test_case "msr file" `Quick test_msr_file;
+          Alcotest.test_case "kvm default bitmap" `Quick test_msr_bitmap_kvm_default;
+        ] );
+      ( "cpuid",
+        [
+          Alcotest.test_case "host leaves" `Quick test_cpuid_host_has_vmx_no_hv_bit;
+          Alcotest.test_case "guest views mask VMX" `Quick test_cpuid_guest_views;
+          Alcotest.test_case "vendor string" `Quick test_cpuid_vendor_string;
+          Alcotest.test_case "unknown leaf reads zero" `Quick
+            test_cpuid_unknown_leaf_zero;
+        ] );
+      ( "exit-reasons",
+        [
+          Alcotest.test_case "SDM numbers" `Quick test_exit_reason_numbers_match_sdm;
+          Alcotest.test_case "vmx classification" `Quick test_exit_reason_vmx_class;
+        ] );
+      ( "smt-core",
+        [
+          Alcotest.test_case "trap/resume switch fetch target" `Quick
+            test_core_trap_resume_switch_fetch_target;
+          Alcotest.test_case "single active context" `Quick
+            test_core_single_active_context;
+          Alcotest.test_case "ctxt level virtualization (section 4)" `Quick
+            test_core_ctxt_level_resolution;
+          Alcotest.test_case "ctxtld/ctxtst round trip" `Quick test_core_ctxtld_ctxtst;
+          Alcotest.test_case "invalid nested traps" `Quick
+            test_core_invalid_nested_traps;
+          Alcotest.test_case "polling interference" `Quick test_core_interference_model;
+          Alcotest.test_case "resume without SVt_vm rejected" `Quick
+            test_core_resume_without_vm_rejected;
+        ] );
+      ( "cost-model",
+        [
+          Alcotest.test_case "table-1 identities" `Quick test_cost_model_table1_structure;
+          Alcotest.test_case "per-reason profiles" `Quick test_cost_model_profiles;
+          Alcotest.test_case "transform cost scales" `Quick
+            test_cost_model_transform_cost_scales;
+          Alcotest.test_case "wire framing overhead" `Quick test_cost_model_wire_overhead;
+        ] );
+    ]

@@ -1,0 +1,492 @@
+(* Tests for the discrete-event engine: time arithmetic, the cancellable
+   event queue, process scheduling determinism, synchronization
+   primitives, the PRNG and its distributions, and the trace ring. *)
+
+module Time = Svt_engine.Time
+module Event_queue = Svt_engine.Event_queue
+module Simulator = Svt_engine.Simulator
+module Proc = Simulator.Proc
+module Prng = Svt_engine.Prng
+module Trace = Svt_engine.Trace
+
+let check = Alcotest.check
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* --- Time ---------------------------------------------------------------- *)
+
+let test_time_units () =
+  checki "us" 1_000 (Time.of_us 1);
+  checki "ms" 1_000_000 (Time.of_ms 1);
+  checki "s" 1_000_000_000 (Time.of_sec 1);
+  checki "us_f rounds" 1_500 (Time.of_us_f 1.5);
+  check (Alcotest.float 1e-9) "to_us_f" 2.5 (Time.to_us_f 2_500)
+
+let test_time_arith () =
+  checki "add" 30 (Time.add 10 20);
+  checki "sub" 5 (Time.sub 15 10);
+  checki "diff" (-5) (Time.diff 10 15);
+  checki "scale half" 50 (Time.scale 100 0.5);
+  checki "scale rounds" 1 (Time.scale 1 0.6)
+
+let test_time_compare () =
+  checkb "lt" true Time.(of_us 1 < of_us 2);
+  checkb "ge" true Time.(of_us 2 >= of_us 2);
+  checki "min" 1 (Time.min 1 2);
+  checki "max" 2 (Time.max 1 2);
+  check Alcotest.string "pp ns" "42ns" (Time.to_string 42);
+  check Alcotest.string "pp us" "1.50us" (Time.to_string 1_500)
+
+(* --- Event queue --------------------------------------------------------- *)
+
+let test_queue_order () =
+  let q = Event_queue.create () in
+  let out = ref [] in
+  let add time tag = ignore (Event_queue.add q ~time (fun () -> out := tag :: !out)) in
+  add 30 "c";
+  add 10 "a";
+  add 20 "b";
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some (_, run) ->
+        run ();
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  check Alcotest.(list string) "time order" [ "a"; "b"; "c" ] (List.rev !out)
+
+let test_queue_fifo_same_time () =
+  let q = Event_queue.create () in
+  let out = ref [] in
+  for i = 1 to 20 do
+    ignore (Event_queue.add q ~time:5 (fun () -> out := i :: !out))
+  done;
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some (_, run) ->
+        run ();
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  checki "fifo preserved" 1 (List.hd (List.rev !out));
+  checki "all delivered" 20 (List.length !out)
+
+let test_queue_cancel () =
+  let q = Event_queue.create () in
+  let hit = ref 0 in
+  let h1 = Event_queue.add q ~time:1 (fun () -> incr hit) in
+  let _h2 = Event_queue.add q ~time:2 (fun () -> incr hit) in
+  Event_queue.cancel q h1;
+  checkb "is_cancelled" true (Event_queue.is_cancelled h1);
+  checki "live count" 1 (Event_queue.length q);
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some (_, run) ->
+        run ();
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  checki "only live ran" 1 !hit
+
+let test_queue_peek () =
+  let q = Event_queue.create () in
+  Alcotest.(check (option int)) "empty" None (Event_queue.peek_time q);
+  let h = Event_queue.add q ~time:7 ignore in
+  Alcotest.(check (option int)) "peek" (Some 7) (Event_queue.peek_time q);
+  Event_queue.cancel q h;
+  Alcotest.(check (option int)) "peek skips cancelled" None (Event_queue.peek_time q)
+
+let test_queue_growth () =
+  let q = Event_queue.create () in
+  for i = 0 to 999 do
+    ignore (Event_queue.add q ~time:(1000 - i) ignore)
+  done;
+  checki "all live" 1000 (Event_queue.length q);
+  (* drains in increasing time order *)
+  let last = ref (-1) in
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some (t, _) ->
+        checkb "monotone" true (t >= !last);
+        last := t;
+        drain ()
+    | None -> ()
+  in
+  drain ()
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"event queue pops in sorted order" ~count:100
+    QCheck.(list (int_bound 10_000))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter (fun t -> ignore (Event_queue.add q ~time:t ignore)) times;
+      let rec drain acc =
+        match Event_queue.pop q with
+        | Some (t, _) -> drain (t :: acc)
+        | None -> List.rev acc
+      in
+      let popped = drain [] in
+      popped = List.sort compare times)
+
+(* --- Simulator ----------------------------------------------------------- *)
+
+let test_sim_delay_advances_clock () =
+  let sim = Simulator.create () in
+  let seen = ref Time.zero in
+  Simulator.spawn sim (fun () ->
+      Proc.delay (Time.of_us 5);
+      seen := Proc.now ());
+  Simulator.run sim;
+  checki "clock" (Time.of_us 5) !seen
+
+let test_sim_interleaving_deterministic () =
+  let run_once () =
+    let sim = Simulator.create () in
+    let log = ref [] in
+    Simulator.spawn sim ~name:"a" (fun () ->
+        for i = 1 to 3 do
+          Proc.delay 10;
+          log := ("a", i, Time.to_ns (Proc.now ())) :: !log
+        done);
+    Simulator.spawn sim ~name:"b" (fun () ->
+        for i = 1 to 3 do
+          Proc.delay 15;
+          log := ("b", i, Time.to_ns (Proc.now ())) :: !log
+        done);
+    Simulator.run sim;
+    List.rev !log
+  in
+  checkb "deterministic" true (run_once () = run_once ())
+
+let test_sim_until () =
+  let sim = Simulator.create () in
+  let count = ref 0 in
+  Simulator.spawn sim (fun () ->
+      for _ = 1 to 100 do
+        Proc.delay (Time.of_us 10);
+        incr count
+      done);
+  Simulator.run ~until:(Time.of_us 55) sim;
+  checki "stopped at limit" 5 !count;
+  checki "clock at limit boundary" (Time.of_us 50) (Simulator.now sim)
+
+let test_sim_until_advances_when_drained () =
+  let sim = Simulator.create () in
+  Simulator.spawn sim (fun () -> Proc.delay (Time.of_us 1));
+  Simulator.run ~until:(Time.of_ms 3) sim;
+  checki "clock reaches until" (Time.of_ms 3) (Simulator.now sim)
+
+let test_sim_process_exception_propagates () =
+  let sim = Simulator.create () in
+  Simulator.spawn sim ~name:"boom" (fun () ->
+      Proc.delay 5;
+      failwith "kaboom");
+  Alcotest.check_raises "raises"
+    (Failure "process \"boom\" raised: Failure(\"kaboom\")") (fun () ->
+      Simulator.run sim)
+
+let test_sim_max_events_guard () =
+  let sim = Simulator.create () in
+  let rec forever () =
+    Proc.delay 1;
+    forever ()
+  in
+  Simulator.spawn sim forever;
+  Alcotest.check_raises "runaway guard"
+    (Failure "Simulator.run: max_events exceeded (runaway simulation?)")
+    (fun () -> Simulator.run ~max_events:1000 sim)
+
+let test_sim_nested_spawn () =
+  let sim = Simulator.create () in
+  let hits = ref 0 in
+  Simulator.spawn sim (fun () ->
+      Proc.delay 10;
+      Proc.spawn (fun () ->
+          Proc.delay 10;
+          incr hits);
+      incr hits);
+  Simulator.run sim;
+  checki "both ran" 2 !hits;
+  checki "three spawns? no, two" 2 (Simulator.processes_spawned sim)
+
+(* --- Ivar / Signal / Mailbox --------------------------------------------- *)
+
+let test_ivar_blocks_until_filled () =
+  let sim = Simulator.create () in
+  let iv = Simulator.Ivar.create sim in
+  let got = ref 0 in
+  let at = ref Time.zero in
+  Simulator.spawn sim ~name:"reader" (fun () ->
+      got := Simulator.Ivar.read iv;
+      at := Proc.now ());
+  Simulator.spawn sim ~name:"writer" (fun () ->
+      Proc.delay (Time.of_us 3);
+      Simulator.Ivar.fill iv 42);
+  Simulator.run sim;
+  checki "value" 42 !got;
+  checki "woke at fill time" (Time.of_us 3) !at
+
+let test_ivar_read_after_fill_immediate () =
+  let sim = Simulator.create () in
+  let iv = Simulator.Ivar.create sim in
+  Simulator.Ivar.fill iv "x";
+  checkb "filled" true (Simulator.Ivar.is_filled iv);
+  Alcotest.(check (option string)) "peek" (Some "x") (Simulator.Ivar.peek iv);
+  let got = ref "" in
+  Simulator.spawn sim (fun () -> got := Simulator.Ivar.read iv);
+  Simulator.run sim;
+  check Alcotest.string "read" "x" !got
+
+let test_ivar_double_fill_rejected () =
+  let sim = Simulator.create () in
+  let iv = Simulator.Ivar.create sim in
+  Simulator.Ivar.fill iv 1;
+  Alcotest.check_raises "double fill"
+    (Invalid_argument "Ivar.fill: already filled") (fun () ->
+      Simulator.Ivar.fill iv 2)
+
+let test_signal_broadcast_wakes_all () =
+  let sim = Simulator.create () in
+  let s = Simulator.Signal.create sim in
+  let woke = ref 0 in
+  for _ = 1 to 3 do
+    Simulator.spawn sim (fun () ->
+        Simulator.Signal.wait s;
+        incr woke)
+  done;
+  Simulator.spawn sim (fun () ->
+      Proc.delay 100;
+      Simulator.Signal.broadcast s);
+  Simulator.run sim;
+  checki "all woke" 3 !woke
+
+let test_signal_wait_timeout () =
+  let sim = Simulator.create () in
+  let s = Simulator.Signal.create sim in
+  let results = ref [] in
+  Simulator.spawn sim (fun () ->
+      results := Simulator.Signal.wait_timeout s (Time.of_us 10) :: !results;
+      (* second wait is signaled before timeout *)
+      results := Simulator.Signal.wait_timeout s (Time.of_us 100) :: !results);
+  Simulator.spawn sim (fun () ->
+      Proc.delay (Time.of_us 20);
+      Simulator.Signal.broadcast s);
+  Simulator.run sim;
+  checkb "timeout then signaled" true
+    (!results = [ `Signaled; `Timeout ])
+
+let test_signal_wait_any () =
+  let sim = Simulator.create () in
+  let s1 = Simulator.Signal.create sim in
+  let s2 = Simulator.Signal.create sim in
+  let woke_at = ref Time.zero in
+  Simulator.spawn sim (fun () ->
+      Simulator.Signal.wait_any [ s1; s2 ];
+      woke_at := Proc.now ());
+  Simulator.spawn sim (fun () ->
+      Proc.delay (Time.of_us 7);
+      Simulator.Signal.broadcast s2;
+      (* s1 fires later; the stale waiter must be harmless *)
+      Proc.delay (Time.of_us 7);
+      Simulator.Signal.broadcast s1);
+  Simulator.run sim;
+  checki "woke on first signal" (Time.of_us 7) !woke_at
+
+let test_mailbox_fifo () =
+  let sim = Simulator.create () in
+  let mb = Simulator.Mailbox.create sim in
+  let got = ref [] in
+  Simulator.spawn sim ~name:"consumer" (fun () ->
+      for _ = 1 to 3 do
+        got := Simulator.Mailbox.recv mb :: !got
+      done);
+  Simulator.spawn sim ~name:"producer" (fun () ->
+      Proc.delay 5;
+      Simulator.Mailbox.send mb 1;
+      Simulator.Mailbox.send mb 2;
+      Proc.delay 5;
+      Simulator.Mailbox.send mb 3);
+  Simulator.run sim;
+  check Alcotest.(list int) "fifo" [ 1; 2; 3 ] (List.rev !got)
+
+let test_mailbox_try_recv () =
+  let sim = Simulator.create () in
+  let mb = Simulator.Mailbox.create sim in
+  Alcotest.(check (option int)) "empty" None (Simulator.Mailbox.try_recv mb);
+  Simulator.Mailbox.send mb 9;
+  checki "length" 1 (Simulator.Mailbox.length mb);
+  Alcotest.(check (option int)) "pops" (Some 9) (Simulator.Mailbox.try_recv mb)
+
+(* --- PRNG ---------------------------------------------------------------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 1 and b = Prng.create 1 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_seeds_differ () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  checkb "different streams" true (Prng.next_int64 a <> Prng.next_int64 b)
+
+let test_prng_split_independent () =
+  let g = Prng.create 3 in
+  let h = Prng.split g in
+  checkb "parent and child differ" true (Prng.next_int64 g <> Prng.next_int64 h)
+
+let test_prng_float_range () =
+  let g = Prng.create 4 in
+  for _ = 1 to 1000 do
+    let f = Prng.float g in
+    checkb "in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_prng_int_bounds () =
+  let g = Prng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 7 in
+    checkb "in range" true (v >= 0 && v < 7)
+  done;
+  Alcotest.check_raises "bound must be positive"
+    (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Prng.int g 0))
+
+let test_prng_exponential_mean () =
+  let g = Prng.create 6 in
+  let s = Svt_stats.Summary.create () in
+  for _ = 1 to 20_000 do
+    Svt_stats.Summary.add s (Prng.exponential g ~mean:100.0)
+  done;
+  let m = Svt_stats.Summary.mean s in
+  checkb "mean near 100" true (m > 95.0 && m < 105.0)
+
+let test_prng_normal_moments () =
+  let g = Prng.create 7 in
+  let s = Svt_stats.Summary.create () in
+  for _ = 1 to 20_000 do
+    Svt_stats.Summary.add s (Prng.normal g ~mean:50.0 ~stddev:10.0)
+  done;
+  checkb "mean" true (Float.abs (Svt_stats.Summary.mean s -. 50.0) < 0.5);
+  checkb "stddev" true (Float.abs (Svt_stats.Summary.stddev s -. 10.0) < 0.5)
+
+let test_prng_zipf_skew () =
+  let g = Prng.create 8 in
+  let z = Prng.Zipf.create ~n:1000 ~s:0.99 in
+  let counts = Array.make 1001 0 in
+  for _ = 1 to 50_000 do
+    let r = Prng.Zipf.draw z g in
+    checkb "rank in range" true (r >= 1 && r <= 1000);
+    counts.(r) <- counts.(r) + 1
+  done;
+  checkb "rank 1 much more popular than rank 100" true
+    (counts.(1) > 5 * counts.(100))
+
+let test_prng_shuffle_permutes () =
+  let g = Prng.create 9 in
+  let arr = Array.init 50 Fun.id in
+  Prng.shuffle g arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  checkb "same elements" true (sorted = Array.init 50 Fun.id);
+  checkb "actually shuffled" true (arr <> Array.init 50 Fun.id)
+
+let prop_int_in_range =
+  QCheck.Test.make ~name:"int_in_range stays in range" ~count:200
+    QCheck.(pair small_int small_int)
+    (fun (a, b) ->
+      let lo = min a b and hi = max a b in
+      let g = Prng.create (a + (b * 131)) in
+      let v = Prng.int_in_range g ~lo ~hi in
+      v >= lo && v <= hi)
+
+(* --- Trace --------------------------------------------------------------- *)
+
+let test_trace_records_and_wraps () =
+  let t = Trace.create ~capacity:4 () in
+  for i = 1 to 6 do
+    Trace.record t ~time:(Time.of_ns i) ~tag:"e" (string_of_int i)
+  done;
+  checki "total recorded" 6 (Trace.total_recorded t);
+  let entries = Trace.to_list t in
+  checki "capacity bound" 4 (List.length entries);
+  check Alcotest.string "oldest kept is 3" "3"
+    (List.hd entries).Trace.detail
+
+let test_trace_find_and_disable () =
+  let t = Trace.create () in
+  Trace.record t ~time:1 ~tag:"a" "x";
+  Trace.record t ~time:2 ~tag:"b" "y";
+  Trace.set_enabled t false;
+  Trace.record t ~time:3 ~tag:"a" "z";
+  checki "find by tag" 1 (List.length (Trace.find t ~tag:"a"));
+  checki "disabled drops" 2 (Trace.total_recorded t)
+
+let () =
+  Alcotest.run "svt_engine"
+    [
+      ( "time",
+        [
+          Alcotest.test_case "unit conversions" `Quick test_time_units;
+          Alcotest.test_case "arithmetic" `Quick test_time_arith;
+          Alcotest.test_case "comparison and printing" `Quick test_time_compare;
+        ] );
+      ( "event-queue",
+        [
+          Alcotest.test_case "time ordering" `Quick test_queue_order;
+          Alcotest.test_case "FIFO at equal times" `Quick test_queue_fifo_same_time;
+          Alcotest.test_case "cancellation" `Quick test_queue_cancel;
+          Alcotest.test_case "peek" `Quick test_queue_peek;
+          Alcotest.test_case "growth and drain order" `Quick test_queue_growth;
+          QCheck_alcotest.to_alcotest prop_heap_sorted;
+        ] );
+      ( "simulator",
+        [
+          Alcotest.test_case "delay advances clock" `Quick test_sim_delay_advances_clock;
+          Alcotest.test_case "deterministic interleaving" `Quick
+            test_sim_interleaving_deterministic;
+          Alcotest.test_case "run until" `Quick test_sim_until;
+          Alcotest.test_case "until advances drained clock" `Quick
+            test_sim_until_advances_when_drained;
+          Alcotest.test_case "process exception propagates" `Quick
+            test_sim_process_exception_propagates;
+          Alcotest.test_case "max_events guard" `Quick test_sim_max_events_guard;
+          Alcotest.test_case "nested spawn" `Quick test_sim_nested_spawn;
+        ] );
+      ( "sync",
+        [
+          Alcotest.test_case "ivar blocks until filled" `Quick
+            test_ivar_blocks_until_filled;
+          Alcotest.test_case "ivar read after fill" `Quick
+            test_ivar_read_after_fill_immediate;
+          Alcotest.test_case "ivar double fill rejected" `Quick
+            test_ivar_double_fill_rejected;
+          Alcotest.test_case "signal broadcast wakes all" `Quick
+            test_signal_broadcast_wakes_all;
+          Alcotest.test_case "signal wait with timeout" `Quick
+            test_signal_wait_timeout;
+          Alcotest.test_case "signal wait_any" `Quick test_signal_wait_any;
+          Alcotest.test_case "mailbox fifo" `Quick test_mailbox_fifo;
+          Alcotest.test_case "mailbox try_recv" `Quick test_mailbox_try_recv;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_prng_seeds_differ;
+          Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+          Alcotest.test_case "float in [0,1)" `Quick test_prng_float_range;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "exponential mean" `Quick test_prng_exponential_mean;
+          Alcotest.test_case "normal moments" `Quick test_prng_normal_moments;
+          Alcotest.test_case "zipf skew" `Quick test_prng_zipf_skew;
+          Alcotest.test_case "shuffle permutes" `Quick test_prng_shuffle_permutes;
+          QCheck_alcotest.to_alcotest prop_int_in_range;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "record and wrap" `Quick test_trace_records_and_wraps;
+          Alcotest.test_case "find and disable" `Quick test_trace_find_and_disable;
+        ] );
+    ]

@@ -1,0 +1,308 @@
+(* Tests for the hypervisor substrate: the machine, VMs and dispatch
+   tables, vCPU mechanics (compute, interrupts, host events, HLT), the
+   Table-1 breakdown accounting, operation semantics, and the L1 handler
+   scripts. *)
+
+module Time = Svt_engine.Time
+module Simulator = Svt_engine.Simulator
+module Proc = Simulator.Proc
+module Machine = Svt_hyp.Machine
+module Vm = Svt_hyp.Vm
+module Vcpu = Svt_hyp.Vcpu
+module Exit = Svt_hyp.Exit
+module Breakdown = Svt_hyp.Breakdown
+module Semantics = Svt_hyp.Semantics
+module L1_script = Svt_hyp.L1_script
+module Lapic = Svt_interrupt.Lapic
+module Exit_reason = Svt_arch.Exit_reason
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let check64 = Alcotest.(check int64)
+
+let make () =
+  let machine = Machine.create () in
+  let vm =
+    Vm.create ~machine ~name:"g" ~level:2 ~ram_bytes:(1 lsl 20)
+      ~cpuid:(Svt_arch.Cpuid_db.host ())
+  in
+  let vcpu = Vcpu.create ~machine ~vm ~index:0 ~core_id:0 ~hw_ctx:0 in
+  (machine, vm, vcpu)
+
+(* --- Machine ------------------------------------------------------------- *)
+
+let test_machine_topology () =
+  let m = Machine.create () in
+  (* Table 4: 2 sockets x 8 cores, 2-way SMT *)
+  checki "16 cores" 16 (Machine.n_cores m);
+  checki "2 contexts per core" 2
+    (Svt_arch.Smt_core.n_contexts (Machine.core m 0));
+  checkb "numa split" true (not (Machine.same_numa m 0 8));
+  checkb "same socket" true (Machine.same_numa m 0 7)
+
+(* --- Vm dispatch ------------------------------------------------------------ *)
+
+let test_vm_mmio_dispatch () =
+  let machine, vm, _ = make () in
+  ignore machine;
+  let bar =
+    Svt_mem.Address_space.add_mmio_region (Vm.aspace vm) ~name:"dev0" ~len:4096
+  in
+  let hits = ref [] in
+  Vm.register_mmio vm ~region:"dev0" (fun gpa value size ->
+      hits := (Svt_mem.Addr.Gpa.to_int gpa, value, size) :: !hits;
+      Some 0x99L);
+  (match Vm.handle_mmio vm bar 5L 4 with
+  | Some v -> check64 "handler reply" 0x99L v
+  | None -> Alcotest.fail "handler must run");
+  checki "hit recorded" 1 (List.length !hits);
+  (* unknown region: no handler *)
+  checkb "ram access no handler" true
+    (Vm.handle_mmio vm (Svt_mem.Addr.Gpa.of_int 0x100) 0L 4 = None)
+
+let test_vm_hypercalls () =
+  let _, vm, _ = make () in
+  Vm.register_hypercall vm ~nr:42 (fun arg -> Int64.add arg 1L);
+  checkb "registered" true (Vm.handle_hypercall vm 42 9L = Some 10L);
+  checkb "unknown" true (Vm.handle_hypercall vm 7 0L = None)
+
+let test_vm_io_ports () =
+  let _, vm, _ = make () in
+  Vm.register_io vm ~port:0x3F8 (fun _ v _ -> Some v);
+  checkb "port echo" true (Vm.handle_io vm 0x3F8 55L 1 = Some 55L);
+  checkb "unknown port" true (Vm.handle_io vm 0x80 0L 1 = None)
+
+(* --- Vcpu ---------------------------------------------------------------------- *)
+
+let test_vcpu_compute_advances_time () =
+  let machine, _, vcpu = make () in
+  let at = ref Time.zero in
+  Vcpu.spawn_program vcpu (fun v ->
+      Vcpu.compute v (Time.of_us 10);
+      at := Proc.now ());
+  Simulator.run (Machine.sim machine);
+  checki "10us" (Time.of_us 10) !at;
+  checki "guest time accounted" (Time.of_us 10) (Vcpu.guest_time vcpu)
+
+let test_vcpu_compute_interrupted_by_irq () =
+  let machine, _, vcpu = make () in
+  let delivered_at = ref Time.zero in
+  Vcpu.set_deliver_guest_irq vcpu (fun v vector ->
+      checki "vector" 0x55 vector;
+      delivered_at := Proc.now ();
+      ignore v);
+  Vcpu.spawn_program vcpu (fun v -> Vcpu.compute v (Time.of_us 100));
+  ignore
+    (Simulator.schedule (Machine.sim machine) ~after:(Time.of_us 30) (fun () ->
+         Lapic.raise_vector (Vcpu.lapic vcpu) 0x55));
+  Simulator.run (Machine.sim machine);
+  checki "delivered mid-compute" (Time.of_us 30) !delivered_at
+
+let test_vcpu_hlt_wakes_on_irq () =
+  let machine, _, vcpu = make () in
+  Vcpu.set_deliver_guest_irq vcpu (fun _ _ -> ());
+  let woke = ref Time.zero in
+  Vcpu.spawn_program vcpu (fun v ->
+      Vcpu.wait_for_interrupt v;
+      woke := Proc.now ());
+  ignore
+    (Simulator.schedule (Machine.sim machine) ~after:(Time.of_us 70) (fun () ->
+         Lapic.raise_vector (Vcpu.lapic vcpu) 0x31));
+  Simulator.run (Machine.sim machine);
+  checki "woke on irq" (Time.of_us 70) !woke;
+  checkb "idle time accounted" true (Vcpu.halted_time vcpu >= Time.of_us 69)
+
+let test_vcpu_host_events_run_at_boundaries () =
+  let machine, _, vcpu = make () in
+  let ran = ref [] in
+  Vcpu.set_deliver_host_event vcpu (fun _ ~vector ~work ->
+      ran := vector :: !ran;
+      work ());
+  Vcpu.spawn_program vcpu (fun v ->
+      Vcpu.compute v (Time.of_us 5);
+      Vcpu.compute v (Time.of_us 5));
+  ignore
+    (Simulator.schedule (Machine.sim machine) ~after:(Time.of_us 2) (fun () ->
+         Vcpu.enqueue_host_event vcpu ~vector:0x31 (fun () -> ())));
+  Simulator.run (Machine.sim machine);
+  checkb "ran through hook" true (!ran = [ 0x31 ])
+
+let test_vcpu_unwired_trap_fails () =
+  let machine, _, vcpu = make () in
+  Vcpu.spawn_program vcpu (fun v ->
+      Vcpu.trap v (Exit.of_action Exit.Halt));
+  checkb "fails loudly" true
+    (try
+       Simulator.run (Machine.sim machine);
+       false
+     with Failure _ -> true)
+
+(* --- Breakdown --------------------------------------------------------------- *)
+
+let test_breakdown_charge_and_rows () =
+  let machine, _, vcpu = make () in
+  let bd = Vcpu.breakdown vcpu in
+  Vcpu.spawn_program vcpu (fun _ ->
+      Breakdown.charge bd Breakdown.Switch_l2_l0 (Time.of_ns 810);
+      Breakdown.charge bd Breakdown.L0_handler (Time.of_ns 4890);
+      Breakdown.count_exit bd);
+  Simulator.run (Machine.sim machine);
+  checki "bucket 1" 810 (Breakdown.time bd Breakdown.Switch_l2_l0);
+  checki "total" 5700 (Breakdown.total bd);
+  checki "exits" 1 (Breakdown.exits bd);
+  let rows = Breakdown.rows bd in
+  (* SVt-only buckets hidden when empty *)
+  checki "six paper rows" 6 (List.length rows);
+  let _, _, pct = List.nth rows 3 in
+  checkb "percentage" true (Float.abs (pct -. (4890.0 /. 5700.0 *. 100.0)) < 0.01)
+
+let test_breakdown_charge_advances_clock () =
+  let machine, _, vcpu = make () in
+  let bd = Vcpu.breakdown vcpu in
+  let at = ref Time.zero in
+  Vcpu.spawn_program vcpu (fun _ ->
+      Breakdown.charge bd Breakdown.Transform (Time.of_us 2);
+      at := Proc.now ());
+  Simulator.run (Machine.sim machine);
+  checki "wall time spent" (Time.of_us 2) !at
+
+let test_breakdown_reset_and_disable () =
+  let machine, _, vcpu = make () in
+  let bd = Vcpu.breakdown vcpu in
+  Vcpu.spawn_program vcpu (fun _ ->
+      Breakdown.charge bd Breakdown.L1_handler (Time.of_ns 100);
+      Breakdown.reset bd;
+      Breakdown.set_enabled bd false;
+      Breakdown.charge bd Breakdown.L1_handler (Time.of_ns 100));
+  Simulator.run (Machine.sim machine);
+  checki "disabled not recorded" 0 (Breakdown.time bd Breakdown.L1_handler)
+
+(* --- Semantics ------------------------------------------------------------------ *)
+
+let test_semantics_cpuid_reply () =
+  let machine, _, vcpu = make () in
+  ignore machine;
+  let reply = ref None in
+  Semantics.apply vcpu (Exit.Emulate_cpuid { leaf = 0; subleaf = 0; reply });
+  match !reply with
+  | Some r -> check64 "vendor ebx" 0x756E6547L r.Svt_arch.Cpuid_db.ebx
+  | None -> Alcotest.fail "reply expected"
+
+let test_semantics_msr_roundtrip () =
+  let _, _, vcpu = make () in
+  Semantics.apply vcpu (Exit.Wrmsr { msr = Svt_arch.Msr.Ia32_efer; value = 0xD01L });
+  let reply = ref None in
+  Semantics.apply vcpu (Exit.Rdmsr { msr = Svt_arch.Msr.Ia32_efer; reply });
+  checkb "read back" true (!reply = Some 0xD01L)
+
+let test_semantics_tsc_deadline_arms_lapic () =
+  let machine, _, vcpu = make () in
+  Semantics.apply vcpu
+    (Exit.Wrmsr
+       { msr = Svt_arch.Msr.Ia32_tsc_deadline;
+         value = Semantics.tsc_of_time (Time.of_us 90) });
+  checkb "armed" true (Lapic.armed_deadline (Vcpu.lapic vcpu) <> None);
+  Simulator.run (Machine.sim machine);
+  checki "fired" 1 (Lapic.timer_fire_count (Vcpu.lapic vcpu))
+
+let test_semantics_rdmsr_tsc_is_time () =
+  let machine, _, vcpu = make () in
+  let got = ref None in
+  Vcpu.spawn_program vcpu (fun v ->
+      Proc.delay (Time.of_us 5);
+      let reply = ref None in
+      Semantics.apply v (Exit.Rdmsr { msr = Svt_arch.Msr.Ia32_tsc; reply });
+      got := !reply);
+  Simulator.run (Machine.sim machine);
+  checkb "tsc == ns" true (!got = Some (Int64.of_int (Time.of_us 5)))
+
+let test_semantics_eoi () =
+  let _, _, vcpu = make () in
+  Lapic.raise_vector (Vcpu.lapic vcpu) 0x70;
+  ignore (Lapic.ack (Vcpu.lapic vcpu));
+  Semantics.apply vcpu Exit.Eoi;
+  checkb "isr cleared" false (Lapic.in_service (Vcpu.lapic vcpu) 0x70)
+
+(* --- L1 scripts --------------------------------------------------------------- *)
+
+let test_l1_script_default_shape () =
+  let cm = Svt_arch.Cost_model.paper_machine in
+  let s = L1_script.create cm in
+  let info = Exit.of_action (Exit.Emulate_cpuid { leaf = 1; subleaf = 0; reply = ref None }) in
+  let script = L1_script.script_for s info ~apply:(fun () -> ()) in
+  let works = List.filter (function L1_script.Work _ -> true | _ -> false) script in
+  let auxes = List.filter (function L1_script.Aux _ -> true | _ -> false) script in
+  let effects = List.filter (function L1_script.Effect _ -> true | _ -> false) script in
+  checki "two work slices" 2 (List.length works);
+  checki "cpuid: one aux" 1 (List.length auxes);
+  checki "one effect" 1 (List.length effects);
+  (* total pure work equals the profile *)
+  let total =
+    List.fold_left
+      (fun acc -> function L1_script.Work w -> acc + w | _ -> acc)
+      0 script
+  in
+  checki "pure work" (Svt_arch.Cost_model.profile cm Exit_reason.Cpuid).l1_pure total
+
+let test_l1_script_override () =
+  let cm = Svt_arch.Cost_model.paper_machine in
+  let s = L1_script.create cm in
+  L1_script.override s Exit_reason.Hlt (fun _ -> [ L1_script.Work (Time.of_ns 1) ]);
+  let script =
+    L1_script.script_for s (Exit.of_action Exit.Halt) ~apply:(fun () -> ())
+  in
+  checki "override used" 1 (List.length script)
+
+let test_l1_script_reflection_policy () =
+  checkb "cpuid reflects" true (L1_script.reflects Exit_reason.Cpuid);
+  checkb "external interrupts reflect (L1's devices)" true
+    (L1_script.reflects Exit_reason.External_interrupt);
+  checkb "vmread handled by L0" false (L1_script.reflects Exit_reason.Vmread);
+  checkb "vmresume handled by L0" false (L1_script.reflects Exit_reason.Vmresume)
+
+let () =
+  Alcotest.run "svt_hyp"
+    [
+      ("machine", [ Alcotest.test_case "topology" `Quick test_machine_topology ]);
+      ( "vm",
+        [
+          Alcotest.test_case "mmio dispatch" `Quick test_vm_mmio_dispatch;
+          Alcotest.test_case "hypercalls" `Quick test_vm_hypercalls;
+          Alcotest.test_case "io ports" `Quick test_vm_io_ports;
+        ] );
+      ( "vcpu",
+        [
+          Alcotest.test_case "compute advances time" `Quick
+            test_vcpu_compute_advances_time;
+          Alcotest.test_case "compute interrupted by irq" `Quick
+            test_vcpu_compute_interrupted_by_irq;
+          Alcotest.test_case "hlt wakes on irq" `Quick test_vcpu_hlt_wakes_on_irq;
+          Alcotest.test_case "host events at boundaries" `Quick
+            test_vcpu_host_events_run_at_boundaries;
+          Alcotest.test_case "unwired trap fails loudly" `Quick
+            test_vcpu_unwired_trap_fails;
+        ] );
+      ( "breakdown",
+        [
+          Alcotest.test_case "charge and rows" `Quick test_breakdown_charge_and_rows;
+          Alcotest.test_case "charge advances clock" `Quick
+            test_breakdown_charge_advances_clock;
+          Alcotest.test_case "reset and disable" `Quick test_breakdown_reset_and_disable;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "cpuid reply" `Quick test_semantics_cpuid_reply;
+          Alcotest.test_case "msr round trip" `Quick test_semantics_msr_roundtrip;
+          Alcotest.test_case "tsc deadline arms lapic" `Quick
+            test_semantics_tsc_deadline_arms_lapic;
+          Alcotest.test_case "rdmsr tsc is virtual time" `Quick
+            test_semantics_rdmsr_tsc_is_time;
+          Alcotest.test_case "eoi" `Quick test_semantics_eoi;
+        ] );
+      ( "l1-script",
+        [
+          Alcotest.test_case "default shape" `Quick test_l1_script_default_shape;
+          Alcotest.test_case "override" `Quick test_l1_script_override;
+          Alcotest.test_case "reflection policy" `Quick test_l1_script_reflection_policy;
+        ] );
+    ]

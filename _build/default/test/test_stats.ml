@@ -1,0 +1,246 @@
+(* Tests for summaries, histograms, the paper's convergence procedure,
+   metrics, tables and the reservoir sampler. *)
+
+module Summary = Svt_stats.Summary
+module Histogram = Svt_stats.Histogram
+module Convergence = Svt_stats.Convergence
+module Metrics = Svt_stats.Metrics
+module Table = Svt_stats.Table
+module Sampler = Svt_stats.Sampler
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf msg = Alcotest.(check (float 1e-6)) msg
+
+(* --- Summary ------------------------------------------------------------- *)
+
+let test_summary_basic () =
+  let s = Summary.of_list [ 2.0; 4.0; 6.0 ] in
+  checki "count" 3 (Summary.count s);
+  checkf "mean" 4.0 (Summary.mean s);
+  checkf "variance" 4.0 (Summary.variance s);
+  checkf "min" 2.0 (Summary.min s);
+  checkf "max" 6.0 (Summary.max s);
+  checkf "total" 12.0 (Summary.total s)
+
+let test_summary_empty_nan () =
+  let s = Summary.create () in
+  checkb "mean nan" true (Float.is_nan (Summary.mean s));
+  checkb "variance nan" true (Float.is_nan (Summary.variance s))
+
+let test_summary_merge_matches_combined () =
+  let xs = [ 1.0; 5.0; 2.5 ] and ys = [ 10.0; 0.5; 3.3; 8.0 ] in
+  let merged = Summary.merge (Summary.of_list xs) (Summary.of_list ys) in
+  let combined = Summary.of_list (xs @ ys) in
+  checkf "mean" (Summary.mean combined) (Summary.mean merged);
+  Alcotest.(check (float 1e-9)) "variance" (Summary.variance combined)
+    (Summary.variance merged);
+  checki "count" (Summary.count combined) (Summary.count merged)
+
+let prop_summary_mean_bounded =
+  QCheck.Test.make ~name:"mean lies within [min,max]" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let s = Summary.of_list xs in
+      Summary.mean s >= Summary.min s -. 1e-9
+      && Summary.mean s <= Summary.max s +. 1e-9)
+
+(* --- Histogram ----------------------------------------------------------- *)
+
+let test_histogram_exact_small_values () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 1; 2; 3; 4; 5 ];
+  checki "count" 5 (Histogram.count h);
+  checki "min" 1 (Histogram.min_value h);
+  checki "max" 5 (Histogram.max_value h);
+  checki "median" 3 (Histogram.median h)
+
+let test_histogram_percentile_monotone () =
+  let h = Histogram.create () in
+  for i = 1 to 10_000 do
+    Histogram.add h i
+  done;
+  let p50 = Histogram.percentile h 50.0 in
+  let p90 = Histogram.percentile h 90.0 in
+  let p99 = Histogram.percentile h 99.0 in
+  checkb "p50<=p90" true (p50 <= p90);
+  checkb "p90<=p99" true (p90 <= p99);
+  (* bounded relative error *)
+  checkb "p50 near 5000" true (abs (p50 - 5_000) < 400);
+  checkb "p99 near 9900" true (abs (p99 - 9_900) < 600)
+
+let test_histogram_large_values () =
+  let h = Histogram.create () in
+  Histogram.add h 1_000_000_000;
+  Histogram.add h 2_000_000_000;
+  checkb "p99 within 5% of max" true
+    (let p = Histogram.percentile h 99.0 in
+     float_of_int (abs (p - 2_000_000_000)) /. 2e9 < 0.05)
+
+let test_histogram_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  List.iter (Histogram.add a) [ 10; 20 ];
+  List.iter (Histogram.add b) [ 30; 40 ];
+  Histogram.merge_into ~dst:a ~src:b;
+  checki "merged count" 4 (Histogram.count a);
+  checki "merged max" 40 (Histogram.max_value a)
+
+let test_histogram_reset () =
+  let h = Histogram.create () in
+  Histogram.add h 5;
+  Histogram.reset h;
+  checki "empty" 0 (Histogram.count h)
+
+let prop_histogram_percentile_error =
+  QCheck.Test.make ~name:"p100 within 4% of true max" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 100) (int_bound 1_000_000))
+    (fun xs ->
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) xs;
+      let true_max = List.fold_left max 0 xs in
+      let p = Histogram.percentile h 100.0 in
+      float_of_int (abs (p - true_max)) <= (0.04 *. float_of_int true_max) +. 1.0)
+
+(* --- Convergence --------------------------------------------------------- *)
+
+let test_convergence_constant_converges () =
+  let r = Convergence.run (fun () -> 5.0) in
+  checkb "converged" true r.Convergence.converged;
+  checkf "mean" 5.0 r.Convergence.mean
+
+let test_convergence_outlier_rejection () =
+  let samples = List.init 100 (fun i -> if i = 0 then 1000.0 else 10.0) in
+  let kept, rejected = Convergence.reject_outliers Convergence.paper_policy samples in
+  checki "one outlier rejected" 1 rejected;
+  checkb "outlier gone" true (not (List.mem 1000.0 kept))
+
+let test_convergence_noisy_needs_more_samples () =
+  let g = Svt_engine.Prng.create 42 in
+  let r =
+    Convergence.run
+      (fun () -> Svt_engine.Prng.normal g ~mean:100.0 ~stddev:5.0)
+  in
+  checkb "converged" true r.Convergence.converged;
+  checkb "needed more than the minimum" true
+    (r.Convergence.samples_used > Convergence.paper_policy.min_samples);
+  checkb "mean close" true (Float.abs (r.Convergence.mean -. 100.0) < 2.0)
+
+let test_convergence_summarize_flags () =
+  let r = Convergence.summarize Convergence.paper_policy [ 1.0; 2.0 ] in
+  checkb "too few samples: not converged" true (not r.Convergence.converged)
+
+(* --- Metrics ------------------------------------------------------------- *)
+
+let test_metrics_counters () =
+  let m = Metrics.create () in
+  Metrics.incr m "exits";
+  Metrics.incr ~by:4 m "exits";
+  checki "counter" 5 (Metrics.counter m "exits");
+  checki "missing counter" 0 (Metrics.counter m "nope")
+
+let test_metrics_time_share () =
+  let m = Metrics.create () in
+  Metrics.add_time m "ept" (Svt_engine.Time.of_us 30);
+  Metrics.add_time m "msr" (Svt_engine.Time.of_us 10);
+  checkf "share" 0.3
+    (Metrics.time_share m "ept" ~whole:(Svt_engine.Time.of_us 100));
+  checki "total" (Svt_engine.Time.of_us 40)
+    (Metrics.total_time m)
+
+let test_metrics_reset () =
+  let m = Metrics.create () in
+  Metrics.incr m "x";
+  Metrics.reset m;
+  checki "cleared" 0 (Metrics.counter m "x")
+
+(* --- Table --------------------------------------------------------------- *)
+
+let test_table_renders_aligned () =
+  let t = Table.create ~aligns:[ Table.Left; Table.Right ] [ "name"; "val" ] in
+  Table.add_row t [ "a"; "1" ];
+  Table.add_row t [ "long-name"; "22" ];
+  let s = Table.render t in
+  checkb "has header" true (String.length s > 0);
+  let lines = String.split_on_char '\n' s in
+  checki "rows + header + separator + trailing" 5 (List.length lines);
+  (* all lines same width *)
+  let widths =
+    List.filter_map
+      (fun l -> if l = "" then None else Some (String.length l))
+      lines
+  in
+  checkb "aligned" true (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_table_arity_check () =
+  let t = Table.create [ "a"; "b" ] in
+  Alcotest.check_raises "wrong arity"
+    (Invalid_argument "Table.add_row: wrong number of cells") (fun () ->
+      Table.add_row t [ "only-one" ])
+
+(* --- Sampler ------------------------------------------------------------- *)
+
+let test_sampler_under_capacity_exact () =
+  let s = Sampler.create ~capacity:100 (Svt_engine.Prng.create 1) in
+  List.iter (Sampler.add s) [ 3.0; 1.0; 2.0 ];
+  checkb "sorted exact" true (Sampler.to_sorted_array s = [| 1.0; 2.0; 3.0 |]);
+  checkf "p100" 3.0 (Sampler.percentile s 100.0)
+
+let test_sampler_reservoir_bounds () =
+  let s = Sampler.create ~capacity:10 (Svt_engine.Prng.create 2) in
+  for i = 1 to 1000 do
+    Sampler.add s (float_of_int i)
+  done;
+  checki "seen" 1000 (Sampler.seen s);
+  checki "size capped" 10 (Sampler.size s)
+
+let () =
+  Alcotest.run "svt_stats"
+    [
+      ( "summary",
+        [
+          Alcotest.test_case "basic moments" `Quick test_summary_basic;
+          Alcotest.test_case "empty is nan" `Quick test_summary_empty_nan;
+          Alcotest.test_case "merge matches combined" `Quick
+            test_summary_merge_matches_combined;
+          QCheck_alcotest.to_alcotest prop_summary_mean_bounded;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "exact small values" `Quick
+            test_histogram_exact_small_values;
+          Alcotest.test_case "percentiles monotone and accurate" `Quick
+            test_histogram_percentile_monotone;
+          Alcotest.test_case "large values" `Quick test_histogram_large_values;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "reset" `Quick test_histogram_reset;
+          QCheck_alcotest.to_alcotest prop_histogram_percentile_error;
+        ] );
+      ( "convergence",
+        [
+          Alcotest.test_case "constant converges" `Quick
+            test_convergence_constant_converges;
+          Alcotest.test_case "4-sigma outlier rejection" `Quick
+            test_convergence_outlier_rejection;
+          Alcotest.test_case "noisy source needs more samples" `Quick
+            test_convergence_noisy_needs_more_samples;
+          Alcotest.test_case "summarize flags non-convergence" `Quick
+            test_convergence_summarize_flags;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_metrics_counters;
+          Alcotest.test_case "time shares" `Quick test_metrics_time_share;
+          Alcotest.test_case "reset" `Quick test_metrics_reset;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "aligned rendering" `Quick test_table_renders_aligned;
+          Alcotest.test_case "arity check" `Quick test_table_arity_check;
+        ] );
+      ( "sampler",
+        [
+          Alcotest.test_case "exact under capacity" `Quick
+            test_sampler_under_capacity_exact;
+          Alcotest.test_case "reservoir bounds" `Quick test_sampler_reservoir_bounds;
+        ] );
+    ]
