@@ -4,9 +4,15 @@
        dune exec bench/main.exe             # everything
        dune exec bench/main.exe -- fig7     # one section
        dune exec bench/main.exe -- quick    # shortened runs
+       dune exec bench/main.exe -- jobs=4   # shard run matrices over domains
 
    Sections: table1 table2 table3 table4 fig6 fig7 fig8 fig9 fig10
              channels ablation bechamel
+
+   The matrix-shaped sections (fig6, fig7, fig10) go through the
+   lib/campaign worker pool: jobs=1 (the default) is the sequential
+   deterministic path, jobs=N shards the runs over N domains. Per-run
+   results are identical either way; only wall-clock changes.
 
    Absolute parity with the authors' testbed is not the goal (our
    substrate is a simulator calibrated against the paper's own Table 1);
@@ -29,14 +35,60 @@ module Etc = Svt_workloads.Etc_workload
 module Tpcc = Svt_workloads.Tpcc
 module Video = Svt_workloads.Video
 module Channel_bench = Svt_workloads.Channel_bench
+module Spec = Svt_campaign.Spec
+module Campaign = Svt_campaign.Campaign
 
 let quick = Array.exists (fun a -> a = "quick") Sys.argv
 
+let is_flag a =
+  a = "quick" || (String.length a > 5 && String.sub a 0 5 = "jobs=")
+
+let jobs =
+  Array.fold_left
+    (fun acc a ->
+      if String.length a > 5 && String.sub a 0 5 = "jobs=" then
+        match int_of_string_opt (String.sub a 5 (String.length a - 5)) with
+        | Some n when n >= 1 -> n
+        | _ -> acc
+      else acc)
+    1 Sys.argv
+
 let wanted section =
   let args =
-    Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "quick")
+    Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> not (is_flag a))
   in
   args = [] || List.mem section args
+
+(* Run a bench matrix through the campaign pool and hand back a lookup
+   by run_id; a failed point aborts the section like an uncaught
+   exception used to. *)
+let campaign_lookup ?run ~label spec =
+  let o = Campaign.execute ~jobs ~retries:0 ~progress_label:label ?run spec in
+  List.iter
+    (fun (r : Svt_campaign.Runner.result) ->
+      match r.Svt_campaign.Runner.status with
+      | Svt_campaign.Runner.Run_ok -> ()
+      | Svt_campaign.Runner.Run_failed msg ->
+          failwith (Printf.sprintf "%s: %s failed: %s" label
+                      (Spec.canonical_key r.Svt_campaign.Runner.point) msg)
+      | Svt_campaign.Runner.Run_timeout ->
+          failwith (Printf.sprintf "%s: %s timed out" label
+                      (Spec.canonical_key r.Svt_campaign.Runner.point)))
+    o.Campaign.results;
+  fun point metric ->
+    match
+      List.find_opt
+        (fun (r : Svt_campaign.Runner.result) ->
+          r.Svt_campaign.Runner.run_id = Spec.run_id point)
+        o.Campaign.results
+    with
+    | Some r -> (
+        match List.assoc_opt metric r.Svt_campaign.Runner.metrics with
+        | Some v -> v
+        | None -> failwith (Printf.sprintf "%s: no metric %S" label metric))
+    | None ->
+        failwith (Printf.sprintf "%s: missing point %s" label
+                    (Spec.canonical_key point))
 
 let header title = Printf.printf "\n==== %s ====\n\n%!" title
 let nested mode = System.create ~mode ~level:System.L2_nested ()
@@ -121,27 +173,40 @@ let table4 () =
 
 let fig6 () =
   header "Figure 6: cpuid latency per level and mode";
-  let rows = Microbench.fig6 () in
+  (* The level/mode matrix as a campaign spec; the pool shards it when
+     jobs > 1 and the run_id-derived seeding keeps every bar identical
+     to the sequential run. *)
+  let bars =
+    [
+      ("L0", Spec.point ~level:System.L0_native Mode.Baseline);
+      ("L1", Spec.point ~level:System.L1_leaf Mode.Baseline);
+      ("L2", Spec.point Mode.Baseline);
+      ("SW SVt", Spec.point Mode.sw_svt_default);
+      ("HW SVt", Spec.point Mode.Hw_svt);
+    ]
+  in
+  let lookup = campaign_lookup ~label:"fig6" (List.map snd bars) in
+  let time_us p = lookup p "per_op_us" in
+  let l0_us = time_us (List.assoc "L0" bars) in
+  let l2_us = time_us (List.assoc "L2" bars) in
   let t =
     Table.create
       ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
       [ "config"; "time (us)"; "overhead vs L0"; "speedup vs L2" ]
   in
-  let l2_us =
-    (List.find (fun r -> r.Microbench.label = "L2") rows).Microbench.time_us
-  in
   List.iter
-    (fun r ->
+    (fun (label, p) ->
+      let us = time_us p in
       Table.add_row t
         [
-          r.Microbench.label;
-          Printf.sprintf "%.2f" r.Microbench.time_us;
-          Printf.sprintf "%.1fx" r.Microbench.overhead_vs_l0;
-          (if r.Microbench.label = "SW SVt" || r.Microbench.label = "HW SVt"
-           then Printf.sprintf "%.2fx" (l2_us /. r.Microbench.time_us)
+          label;
+          Printf.sprintf "%.2f" us;
+          Printf.sprintf "%.1fx" (us /. l0_us);
+          (if label = "SW SVt" || label = "HW SVt" then
+             Printf.sprintf "%.2fx" (l2_us /. us)
            else "-");
         ])
-    rows;
+    bars;
   Table.print t;
   Printf.printf "\npaper: SW SVt %.2fx, HW SVt %.2fx\n" Paper.fig6_sw_speedup
     Paper.fig6_hw_speedup
@@ -154,11 +219,39 @@ let fig7 () =
   let io_n = if quick then 100 else 250 in
   let fio_n = if quick then 200 else 400 in
   let stream_d = Time.of_ms (if quick then 15 else 30) in
-  let bench name unit_ higher f (paper : Paper.fig7_row) =
-    let v mode = f (nested mode) in
-    let base = v Mode.Baseline in
-    let sw = v Mode.sw_svt_default in
-    let hw = v Mode.Hw_svt in
+  (* The 6-benchmark × 3-mode matrix through the campaign pool, with the
+     bench harness's own (quick-aware) parameters injected as a custom
+     run function keyed on the spec's workload name. *)
+  let drivers =
+    [
+      ("rr", fun s -> (Netperf.run_rr ~transactions:rr_n s).Netperf.mean_rtt_us);
+      ("stream", fun s -> (Netperf.run_stream ~duration:stream_d s).Netperf.mbps);
+      ("ioping-rd",
+       fun s -> (Disk.run_ioping ~ops:io_n ~op:Disk.Randread s).Disk.mean_us);
+      ("fio-rd",
+       fun s -> (Disk.run_fio ~ops:fio_n ~op:Disk.Randread s).Disk.kb_per_sec);
+      ("ioping-wr",
+       fun s -> (Disk.run_ioping ~ops:io_n ~op:Disk.Randwrite s).Disk.mean_us);
+      ("fio-wr",
+       fun s -> (Disk.run_fio ~ops:fio_n ~op:Disk.Randwrite s).Disk.kb_per_sec);
+    ]
+  in
+  let modes = [ Mode.Baseline; Mode.sw_svt_default; Mode.Hw_svt ] in
+  let spec =
+    Spec.cartesian ~modes ~workloads:(List.map fst drivers) ()
+  in
+  let run (p : Spec.point) =
+    let f = List.assoc p.Spec.workload drivers in
+    [ ("value", f (nested p.Spec.mode)) ]
+  in
+  let lookup = campaign_lookup ~run ~label:"fig7" spec in
+  let value mode workload =
+    lookup (Spec.point ~workload mode) "value"
+  in
+  let bench name unit_ higher workload (paper : Paper.fig7_row) =
+    let base = value Mode.Baseline workload in
+    let sw = value Mode.sw_svt_default workload in
+    let hw = value Mode.Hw_svt workload in
     let speedup x = if higher then x /. base else base /. x in
     Printf.printf
       "%-22s base %10.1f %-5s | SW %5.2fx (paper %.2fx) | HW %5.2fx (paper %.2fx)\n%!"
@@ -166,24 +259,12 @@ let fig7 () =
       paper.Paper.hw_speedup
   in
   let p n = List.find (fun r -> r.Paper.name = n) Paper.fig7 in
-  bench "network latency" "usec" false
-    (fun s -> (Netperf.run_rr ~transactions:rr_n s).Netperf.mean_rtt_us)
-    (p "net-latency");
-  bench "network bandwidth" "Mbps" true
-    (fun s -> (Netperf.run_stream ~duration:stream_d s).Netperf.mbps)
-    (p "net-bandwidth");
-  bench "disk randrd latency" "usec" false
-    (fun s -> (Disk.run_ioping ~ops:io_n ~op:Disk.Randread s).Disk.mean_us)
-    (p "disk-randrd-latency");
-  bench "disk randrd bandwidth" "KB/s" true
-    (fun s -> (Disk.run_fio ~ops:fio_n ~op:Disk.Randread s).Disk.kb_per_sec)
-    (p "disk-randrd-bandwidth");
-  bench "disk randwr latency" "usec" false
-    (fun s -> (Disk.run_ioping ~ops:io_n ~op:Disk.Randwrite s).Disk.mean_us)
-    (p "disk-randwr-latency");
-  bench "disk randwr bandwidth" "KB/s" true
-    (fun s -> (Disk.run_fio ~ops:fio_n ~op:Disk.Randwrite s).Disk.kb_per_sec)
-    (p "disk-randwr-bandwidth");
+  bench "network latency" "usec" false "rr" (p "net-latency");
+  bench "network bandwidth" "Mbps" true "stream" (p "net-bandwidth");
+  bench "disk randrd latency" "usec" false "ioping-rd" (p "disk-randrd-latency");
+  bench "disk randrd bandwidth" "KB/s" true "fio-rd" (p "disk-randrd-bandwidth");
+  bench "disk randwr latency" "usec" false "ioping-wr" (p "disk-randwr-latency");
+  bench "disk randwr bandwidth" "KB/s" true "fio-wr" (p "disk-randwr-bandwidth");
   Printf.printf
     "\nnote: paper baselines: 163us / 9387Mbps / 126us / 87136KB/s / 179us / 55769KB/s.\n\
      The HW bandwidth row cannot exceed 1.0x here when the wire is the\n\
@@ -263,6 +344,24 @@ let fig9 () =
 let fig10 () =
   header "Figure 10: video playback dropped frames (5 min of playback)";
   let seconds = if quick then 120 else 300 in
+  (* fps × mode matrix through the campaign pool; each fps becomes a
+     workload name so the points stay distinguishable by run_id. *)
+  let workload_of_fps fps = Printf.sprintf "video-%d" fps in
+  let spec =
+    Spec.cartesian
+      ~modes:[ Mode.Baseline; Mode.sw_svt_default ]
+      ~workloads:(List.map (fun p -> workload_of_fps p.Paper.fps) Paper.fig10)
+      ()
+  in
+  let run (p : Spec.point) =
+    let fps = Scanf.sscanf p.Spec.workload "video-%d" Fun.id in
+    let r = Video.run ~seconds ~fps (nested p.Spec.mode) in
+    [ ("dropped", float_of_int r.Video.dropped) ]
+  in
+  let lookup = campaign_lookup ~run ~label:"fig10" spec in
+  let drops mode fps =
+    int_of_float (lookup (Spec.point ~workload:(workload_of_fps fps) mode) "dropped")
+  in
   let t =
     Table.create
       ~aligns:[ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
@@ -270,16 +369,11 @@ let fig10 () =
   in
   List.iter
     (fun p ->
-      let run mode =
-        (Video.run ~seconds ~fps:p.Paper.fps (nested mode)).Video.dropped
-      in
-      let b = run Mode.Baseline in
-      let s = run Mode.sw_svt_default in
       Table.add_row t
         [
           string_of_int p.Paper.fps;
-          string_of_int b;
-          string_of_int s;
+          string_of_int (drops Mode.Baseline p.Paper.fps);
+          string_of_int (drops Mode.sw_svt_default p.Paper.fps);
           string_of_int p.Paper.baseline_drops;
           string_of_int p.Paper.svt_drops;
         ])

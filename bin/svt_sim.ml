@@ -201,6 +201,111 @@ let video_cmd =
     (Cmd.info "video" ~doc:"Soft-realtime video playback (Figure 10).")
     Term.(const run $ mode_arg $ fps $ seconds)
 
+(* ---- campaign sweeps ---- *)
+
+let sweep_cmd =
+  let module Spec = Svt_campaign.Spec in
+  let module Campaign = Svt_campaign.Campaign in
+  let axis_conv =
+    let parse s =
+      match Spec.parse_axis s with Ok a -> Ok a | Error e -> Error (`Msg e)
+    in
+    Arg.conv
+      (parse, fun ppf (k, vs) -> Fmt.pf ppf "%s=%s" k (String.concat "," vs))
+  in
+  let axes =
+    Arg.(value & opt_all axis_conv []
+         & info [ "a"; "axis" ] ~docv:"KEY=V1,V2,..."
+             ~doc:"One campaign axis (repeatable): mode, level, workload, \
+                   vcpus or seed. The sweep is the cartesian product of all \
+                   axes; omitted axes default to mode=baseline, level=l2, \
+                   workload=cpuid, vcpus=1, seed=0.")
+  in
+  let jobs =
+    Arg.(value & opt int (Svt_campaign.Pool.default_jobs ())
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Worker domains. 1 forces the sequential, domain-free path.")
+  in
+  let retries =
+    Arg.(value & opt int 1
+         & info [ "retries" ] ~docv:"N" ~doc:"Extra attempts after a run fails.")
+  in
+  let timeout_s =
+    Arg.(value & opt (some float) None
+         & info [ "timeout-s" ] ~docv:"SECONDS"
+             ~doc:"Per-run wall-clock budget; overruns are recorded as \
+                   status timeout.")
+  in
+  let ledger =
+    Arg.(value & opt string "sweep.jsonl"
+         & info [ "ledger" ] ~docv:"PATH"
+             ~doc:"JSONL run ledger to append to (one object per run).")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No stderr progress line.")
+  in
+  let run axes jobs retries timeout_s ledger quiet =
+    match Spec.of_axes axes with
+    | Error e ->
+        Printf.eprintf "sweep: %s\n" e;
+        exit 2
+    | Ok spec ->
+        let o =
+          Campaign.execute ~jobs ~retries ?timeout_s ~progress:(not quiet)
+            ~ledger spec
+        in
+        Svt_stats.Table.print (Campaign.summary_table o);
+        Printf.printf "\n%d runs: %d ok, %d failed in %.2f s (jobs=%d) -> %s\n"
+          (List.length o.Campaign.results)
+          o.Campaign.ok o.Campaign.failed o.Campaign.wall_s jobs ledger;
+        let entries =
+          List.map Svt_campaign.Ledger.entry_of_result o.Campaign.results
+        in
+        (match Svt_report.Paper.speedup_rows_of_ledger entries with
+        | [] -> ()
+        | rows ->
+            print_endline "\nmeasured-vs-paper speedups derivable from this sweep:";
+            Svt_report.Compare.print rows);
+        if o.Campaign.failed > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Run a parallel experiment campaign over the design space and \
+             record a JSONL ledger."
+       ~man:
+         [
+           `S Manpage.s_examples;
+           `P "svt_sim sweep --axis mode=baseline,sw-svt,hw-svt --axis \
+               level=l1,l2 --jobs 4";
+         ])
+    Term.(const run $ axes $ jobs $ retries $ timeout_s $ ledger $ quiet)
+
+let sweep_diff_cmd =
+  let old_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD.jsonl")
+  in
+  let new_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW.jsonl")
+  in
+  let run old_path new_path =
+    match
+      ( Svt_campaign.Ledger.load old_path,
+        Svt_campaign.Ledger.load new_path )
+    with
+    | Error e, _ | _, Error e ->
+        Printf.eprintf "sweep-diff: %s\n" e;
+        exit 2
+    | Ok old_entries, Ok new_entries ->
+        let changed = Svt_report.Compare.diff_ledgers old_entries new_entries in
+        if changed = 0 then
+          print_endline "no per-run metric differences between the ledgers."
+        else exit 1
+  in
+  Cmd.v
+    (Cmd.info "sweep-diff"
+       ~doc:"Diff two campaign ledgers run_id by run_id (exit 1 on drift).")
+    Term.(const run $ old_arg $ new_arg)
+
 (* ---- demos ---- *)
 
 (* Reproduce the §5.3 scenario: an interrupt for L1 arrives while L0₀
@@ -245,4 +350,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ cpuid_cmd; rr_cmd; stream_cmd; ioping_cmd; fio_cmd; etc_cmd;
-            tpcc_cmd; video_cmd; blocked_demo_cmd ]))
+            tpcc_cmd; video_cmd; sweep_cmd; sweep_diff_cmd; blocked_demo_cmd ]))

@@ -1,0 +1,81 @@
+type outcome = {
+  results : Runner.result list;
+  ok : int;
+  failed : int;
+  wall_s : float;
+}
+
+let result_of_outcome point (o : (string * float) list Pool.outcome) =
+  let status, metrics =
+    match o.Pool.result with
+    | Ok metrics -> (Runner.Run_ok, metrics)
+    | Error (Pool.Timed_out _) -> (Runner.Run_timeout, [])
+    | Error e -> (Runner.Run_failed (Printexc.to_string e), [])
+  in
+  {
+    Runner.point;
+    run_id = Spec.run_id point;
+    status;
+    attempts = o.Pool.attempts;
+    wall_s = o.Pool.wall_s;
+    metrics;
+  }
+
+let execute ?jobs ?retries ?timeout_s ?(progress = false)
+    ?(progress_label = "sweep") ?ledger ?(run = Runner.exec) spec =
+  let points = Array.of_list (Spec.dedup spec) in
+  let t0 = Unix.gettimeofday () in
+  let prog =
+    if progress && Array.length points > 0 then
+      Some (Progress.create ~label:progress_label ~total:(Array.length points) ())
+    else None
+  in
+  let on_result =
+    Option.map (fun p ~index:_ ~ok -> Progress.step p ~ok) prog
+  in
+  let outcomes = Pool.map ?jobs ?retries ?timeout_s ?on_result run points in
+  Option.iter Progress.finish prog;
+  let results =
+    Array.to_list (Array.mapi (fun i o -> result_of_outcome points.(i) o) outcomes)
+  in
+  (* The ledger is written in spec order after the pool drains: worker
+     completion order is scheduling noise, and a deterministic file is
+     what makes two ledgers diffable line by line. *)
+  Option.iter
+    (fun path -> Ledger.write path (List.map Ledger.entry_of_result results))
+    ledger;
+  let ok =
+    List.length
+      (List.filter (fun r -> r.Runner.status = Runner.Run_ok) results)
+  in
+  {
+    results;
+    ok;
+    failed = List.length results - ok;
+    wall_s = Unix.gettimeofday () -. t0;
+  }
+
+let headline_metric (r : Runner.result) =
+  match r.Runner.metrics with
+  | [] -> "-"
+  | (name, v) :: _ -> Printf.sprintf "%s=%.4g" name v
+
+let summary_table o =
+  let module Table = Svt_stats.Table in
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Left; Table.Left; Table.Left; Table.Right ]
+      [ "run_id"; "point"; "status"; "metric"; "wall (s)" ]
+  in
+  List.iter
+    (fun (r : Runner.result) ->
+      Table.add_row t
+        [
+          r.Runner.run_id;
+          Spec.canonical_key r.Runner.point;
+          Runner.status_name r.Runner.status;
+          headline_metric r;
+          Printf.sprintf "%.3f" r.Runner.wall_s;
+        ])
+    o.results;
+  t

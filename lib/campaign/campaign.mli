@@ -1,0 +1,32 @@
+(** The orchestrator: shard a {!Spec.t} across the {!Pool}, adapt each
+    point with {!Runner.exec} (or an injected run function), stream a
+    {!Progress} line, and optionally append every result to a
+    {!Ledger}. Results come back in spec order regardless of how the
+    pool interleaved them, so ledgers are reproducible files modulo
+    wall-clock fields. *)
+
+type outcome = {
+  results : Runner.result list;  (** in spec order *)
+  ok : int;
+  failed : int;  (** includes timeouts *)
+  wall_s : float;  (** whole-campaign wall clock *)
+}
+
+val execute :
+  ?jobs:int ->
+  ?retries:int ->
+  ?timeout_s:float ->
+  ?progress:bool ->
+  ?progress_label:string ->
+  ?ledger:string ->
+  ?run:(Spec.point -> (string * float) list) ->
+  Spec.t ->
+  outcome
+(** Run every point. Duplicated run_ids are executed once (the spec is
+    {!Spec.dedup}ed first). Defaults: [jobs = Pool.default_jobs ()],
+    [retries = 1], no timeout, no progress line, no ledger, and
+    [run = Runner.exec]. [jobs = 1] is the fully sequential,
+    domain-free path. *)
+
+val summary_table : outcome -> Svt_stats.Table.t
+(** One row per run: run_id, point, status, headline metric, wall. *)

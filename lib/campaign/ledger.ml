@@ -1,0 +1,403 @@
+(* JSONL run ledger. The repo deliberately has no JSON dependency, so a
+   minimal value type, printer and recursive-descent parser live here —
+   enough for the flat objects the writer emits (and then some: nested
+   objects, arrays, escapes), so the reader keeps working as the schema
+   grows. *)
+
+type entry = {
+  run_id : string;
+  point : Spec.point;
+  status : string;
+  error : string option;
+  attempts : int;
+  wall_s : float;
+  metrics : (string * float) list;
+}
+
+let entry_of_result (r : Runner.result) =
+  {
+    run_id = r.Runner.run_id;
+    point = r.Runner.point;
+    status = Runner.status_name r.Runner.status;
+    error =
+      (match r.Runner.status with
+      | Runner.Run_failed msg -> Some msg
+      | Runner.Run_ok | Runner.Run_timeout -> None);
+    attempts = r.Runner.attempts;
+    wall_s = r.Runner.wall_s;
+    metrics = r.Runner.metrics;
+  }
+
+(* ---- JSON values ---- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+let buf_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let buf_num b x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Buffer.add_string b (Printf.sprintf "%.0f" x)
+  else Buffer.add_string b (Printf.sprintf "%.17g" x)
+
+let rec buf_json b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Num x -> if Float.is_finite x then buf_num b x else Buffer.add_string b "null"
+  | Str s -> buf_string b s
+  | Arr items ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          buf_json b v)
+        items;
+      Buffer.add_char b ']'
+  | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          buf_string b k;
+          Buffer.add_char b ':';
+          buf_json b v)
+        fields;
+      Buffer.add_char b '}'
+
+let json_of_entry e =
+  Obj
+    ([
+       ("run_id", Str e.run_id);
+       ("mode", Str (Spec.mode_to_string e.point.Spec.mode));
+       ("level", Str (Spec.level_to_string e.point.Spec.level));
+       ("workload", Str e.point.Spec.workload);
+       ("vcpus", Num (float_of_int e.point.Spec.vcpus));
+       ("seed", Num (float_of_int e.point.Spec.seed));
+       ("status", Str e.status);
+     ]
+    @ (match e.error with None -> [] | Some m -> [ ("error", Str m) ])
+    @ [
+        ("attempts", Num (float_of_int e.attempts));
+        ("wall_s", Num e.wall_s);
+        ("metrics", Obj (List.map (fun (k, v) -> (k, Num v)) e.metrics));
+      ])
+
+let line_of_entry e =
+  let b = Buffer.create 256 in
+  buf_json b (json_of_entry e);
+  Buffer.contents b
+
+(* ---- parser ---- *)
+
+exception Parse_error of string
+
+let parse_json line =
+  let pos = ref 0 in
+  let len = String.length line in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at %d" msg !pos)) in
+  let peek () = if !pos < len then Some line.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some x when x = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    if !pos + String.length word <= len
+       && String.sub line !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> Buffer.add_char b '"'; advance (); go ()
+          | Some '\\' -> Buffer.add_char b '\\'; advance (); go ()
+          | Some '/' -> Buffer.add_char b '/'; advance (); go ()
+          | Some 'n' -> Buffer.add_char b '\n'; advance (); go ()
+          | Some 'r' -> Buffer.add_char b '\r'; advance (); go ()
+          | Some 't' -> Buffer.add_char b '\t'; advance (); go ()
+          | Some 'b' -> Buffer.add_char b '\b'; advance (); go ()
+          | Some 'f' -> Buffer.add_char b '\012'; advance (); go ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > len then fail "truncated \\u escape";
+              let hex = String.sub line !pos 4 in
+              pos := !pos + 4;
+              let code =
+                try int_of_string ("0x" ^ hex)
+                with _ -> fail "bad \\u escape"
+              in
+              (* ASCII suffices for our own output; encode the rest as
+                 UTF-8 so foreign ledgers round-trip too. *)
+              if code < 0x80 then Buffer.add_char b (Char.chr code)
+              else if code < 0x800 then begin
+                Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+                Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+              end
+              else begin
+                Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+                Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+              end;
+              go ()
+          | _ -> fail "bad escape")
+      | Some c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub line start (!pos - start)) with
+    | Some x -> x
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec fields acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                fields ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((k, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Obj (fields [])
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                items (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          Arr (items [])
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> fail "empty input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then fail "trailing garbage";
+  v
+
+(* ---- entry (de)serialization ---- *)
+
+let field obj name =
+  match obj with
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let str_field obj name =
+  match field obj name with
+  | Some (Str s) -> Ok s
+  | _ -> Error (Printf.sprintf "missing string field %S" name)
+
+let num_field obj name =
+  match field obj name with
+  | Some (Num x) -> Ok x
+  | Some Null -> Ok nan
+  | _ -> Error (Printf.sprintf "missing numeric field %S" name)
+
+let entry_of_json j =
+  let ( let* ) = Result.bind in
+  let* run_id = str_field j "run_id" in
+  let* mode_s = str_field j "mode" in
+  let* mode = Spec.mode_of_string mode_s in
+  let* level_s = str_field j "level" in
+  let* level = Spec.level_of_string level_s in
+  let* workload = str_field j "workload" in
+  let* vcpus = num_field j "vcpus" in
+  let* seed = num_field j "seed" in
+  let* status = str_field j "status" in
+  let error = match field j "error" with Some (Str m) -> Some m | _ -> None in
+  let* attempts = num_field j "attempts" in
+  let* wall_s = num_field j "wall_s" in
+  let* metrics =
+    match field j "metrics" with
+    | Some (Obj fields) ->
+        List.fold_right
+          (fun (k, v) acc ->
+            let* rest = acc in
+            match v with
+            | Num x -> Ok ((k, x) :: rest)
+            | Null -> Ok ((k, nan) :: rest)
+            | _ -> Error (Printf.sprintf "metric %S is not a number" k))
+          fields (Ok [])
+    | _ -> Error "missing object field \"metrics\""
+  in
+  Ok
+    {
+      run_id;
+      point =
+        {
+          Spec.mode;
+          level;
+          workload;
+          vcpus = int_of_float vcpus;
+          seed = int_of_float seed;
+        };
+      status;
+      error;
+      attempts = int_of_float attempts;
+      wall_s;
+      metrics;
+    }
+
+(* ---- writer ---- *)
+
+type writer = { oc : out_channel }
+
+let create path =
+  { oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path }
+
+let add w e =
+  output_string w.oc (line_of_entry e);
+  output_char w.oc '\n';
+  flush w.oc
+
+let close w = close_out w.oc
+
+let write path entries =
+  let w = create path in
+  Fun.protect ~finally:(fun () -> close w) (fun () -> List.iter (add w) entries)
+
+(* ---- reader ---- *)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go lineno acc =
+        match In_channel.input_line ic with
+        | None -> Ok (List.rev acc)
+        | Some line when String.trim line = "" -> go (lineno + 1) acc
+        | Some line -> (
+            match
+              try entry_of_json (parse_json line)
+              with Parse_error msg -> Error msg
+            with
+            | Ok e -> go (lineno + 1) (e :: acc)
+            | Error msg ->
+                Error (Printf.sprintf "%s:%d: %s" path lineno msg))
+      in
+      go 1 [])
+
+let load_exn path =
+  match load path with Ok es -> es | Error msg -> failwith msg
+
+let find entries ~run_id = List.find_opt (fun e -> e.run_id = run_id) entries
+
+let metric e name =
+  match List.assoc_opt name e.metrics with Some v -> v | None -> nan
+
+let float_differs a b =
+  (* nan = nan for diffing purposes; everything else is plain equality
+     (both sides come from the same printer, so no epsilon). *)
+  not (a = b || (Float.is_nan a && Float.is_nan b))
+
+let diff old_entries new_entries =
+  List.filter_map
+    (fun n ->
+      match find old_entries ~run_id:n.run_id with
+      | None -> None
+      | Some o ->
+          let names =
+            List.map fst o.metrics
+            @ List.filter
+                (fun k -> not (List.mem_assoc k o.metrics))
+                (List.map fst n.metrics)
+          in
+          let changed =
+            List.filter_map
+              (fun k ->
+                let ov = metric o k and nv = metric n k in
+                if float_differs ov nv then Some (k, ov, nv) else None)
+              names
+          in
+          if changed = [] then None else Some (n.run_id, changed))
+    new_entries

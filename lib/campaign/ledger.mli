@@ -1,0 +1,61 @@
+(** Append-only JSONL run ledger: one self-describing object per run.
+
+    Schema (one line per run):
+    {v
+    {"run_id":"59ac...","mode":"hw-svt","level":"l2","workload":"cpuid",
+     "vcpus":1,"seed":0,"status":"ok","attempts":1,"wall_s":0.041,
+     "metrics":{"per_op_us":5.37,"samples":64.0,...}}
+    v}
+
+    Non-finite metric values are encoded as [null] (JSON has no nan) and
+    read back as [nan]. The reader accepts any JSONL produced by the
+    writer plus insignificant whitespace; unknown extra keys are
+    ignored, so the schema can grow. *)
+
+type entry = {
+  run_id : string;
+  point : Spec.point;
+  status : string;  (** "ok" | "failed" | "timeout" (free-form on read) *)
+  error : string option;  (** failure detail when status <> "ok" *)
+  attempts : int;
+  wall_s : float;
+  metrics : (string * float) list;
+}
+
+val entry_of_result : Runner.result -> entry
+
+(** {2 Writing} *)
+
+type writer
+
+val create : string -> writer
+(** Open [path] for appending (created if missing). *)
+
+val add : writer -> entry -> unit
+(** Append one line and flush it, so a killed campaign keeps every
+    completed run. *)
+
+val close : writer -> unit
+
+val write : string -> entry list -> unit
+(** [create]; [add] each; [close]. *)
+
+(** {2 Reading} *)
+
+val load : string -> (entry list, string) result
+(** Parse a ledger file; [Error] names the first offending line. *)
+
+val load_exn : string -> entry list
+
+val find : entry list -> run_id:string -> entry option
+
+val metric : entry -> string -> float
+(** [nan] when absent. *)
+
+val diff :
+  entry list ->
+  entry list ->
+  (string * (string * float * float) list) list
+(** [diff old new]: for every run_id present in both ledgers, the
+    metrics whose values differ (name, old, new); run_ids with no
+    differing metric are omitted. Ordered as in [new]. *)

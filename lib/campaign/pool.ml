@@ -1,0 +1,74 @@
+(* Work-stealing-lite: one shared atomic next-index counter and N worker
+   domains. The matrix points are independent simulations, so the only
+   shared state is the counter, the results array (disjoint slots) and
+   the progress callback (serialized by a mutex). *)
+
+exception Timed_out of float
+
+type 'b outcome = {
+  result : ('b, exn) result;
+  attempts : int;
+  wall_s : float;
+}
+
+let default_jobs () = min 8 (Domain.recommended_domain_count ())
+
+let attempt_once ?timeout_s f task =
+  let t0 = Unix.gettimeofday () in
+  let result = try Ok (f task) with e -> Error e in
+  let wall = Unix.gettimeofday () -. t0 in
+  match (result, timeout_s) with
+  | Ok _, Some limit when wall > limit -> (Error (Timed_out wall), wall)
+  | _ -> (result, wall)
+
+(* Run one task with bounded retry. Timeouts are final: the work itself
+   succeeded, it was just too slow, so running it again cannot help. *)
+let run_task ?timeout_s ~retries f task =
+  let rec go attempt =
+    let result, wall = attempt_once ?timeout_s f task in
+    match result with
+    | Error (Timed_out _) | Ok _ -> { result; attempts = attempt; wall_s = wall }
+    | Error _ when attempt <= retries -> go (attempt + 1)
+    | Error _ -> { result; attempts = attempt; wall_s = wall }
+  in
+  go 1
+
+let map ?jobs ?(retries = 1) ?timeout_s ?on_result f tasks =
+  let n = Array.length tasks in
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let results = Array.make n None in
+  let report = Mutex.create () in
+  let finished i outcome =
+    results.(i) <- Some outcome;
+    match on_result with
+    | None -> ()
+    | Some cb ->
+        Mutex.protect report (fun () ->
+            cb ~index:i ~ok:(Result.is_ok outcome.result))
+  in
+  if jobs = 1 || n <= 1 then
+    for i = 0 to n - 1 do
+      finished i (run_task ?timeout_s ~retries f tasks.(i))
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          finished i (run_task ?timeout_s ~retries f tasks.(i));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains =
+      Array.init (min jobs n) (fun _ -> Domain.spawn worker)
+    in
+    Array.iter Domain.join domains
+  end;
+  Array.map
+    (function
+      | Some outcome -> outcome
+      | None -> assert false (* every index was claimed exactly once *))
+    results

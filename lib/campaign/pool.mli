@@ -1,0 +1,40 @@
+(** Domain-based worker pool for embarrassingly parallel run matrices.
+
+    [jobs = 1] never spawns a domain: tasks run sequentially in the
+    caller, which keeps tier-1 tests and reference ledgers fully
+    deterministic. [jobs > 1] spawns that many worker domains pulling
+    task indices from a shared atomic counter; each result slot is
+    written by exactly one worker, so no locking is needed on results.
+
+    Tasks must be self-contained (build their own [System.t]); nothing
+    in the simulator engine is shared across domains. *)
+
+exception Timed_out of float
+(** Raised inside the pool when an attempt's wall time exceeds the
+    timeout. Cooperative: OCaml domains cannot be preempted, so the
+    overrun attempt runs to completion and is then declared timed out
+    (and is not retried). *)
+
+type 'b outcome = {
+  result : ('b, exn) result;
+  attempts : int;  (** total attempts made, including the successful one *)
+  wall_s : float;  (** wall time of the last attempt *)
+}
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], capped at 8. *)
+
+val map :
+  ?jobs:int ->
+  ?retries:int ->
+  ?timeout_s:float ->
+  ?on_result:(index:int -> ok:bool -> unit) ->
+  ('a -> 'b) ->
+  'a array ->
+  'b outcome array
+(** [map f tasks] applies [f] to every task and returns outcomes in
+    input order. [retries] (default 1) is the number of *additional*
+    attempts after an exception; {!Timed_out} is never retried.
+    [on_result] is invoked once per finished task under the pool's lock
+    (safe to print from). Defaults: [jobs = default_jobs ()], no
+    timeout. *)

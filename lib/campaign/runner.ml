@@ -1,0 +1,110 @@
+(* The spec-point -> simulation adapter. One run = one fresh System with
+   a content-addressed PRNG seed, one workload drive, one flat metric
+   list. Parameters are deliberately fixed small constants: a campaign
+   trades per-point statistical depth for matrix breadth, and identical
+   parameters are what make two ledgers diffable run_id by run_id. *)
+
+module Time = Svt_engine.Time
+module Prng = Svt_engine.Prng
+module System = Svt_core.System
+module Machine = Svt_hyp.Machine
+module Microbench = Svt_workloads.Microbench
+module Netperf = Svt_workloads.Netperf
+module Disk = Svt_workloads.Disk
+module Etc = Svt_workloads.Etc_workload
+module Tpcc = Svt_workloads.Tpcc
+module Video = Svt_workloads.Video
+
+type status = Run_ok | Run_failed of string | Run_timeout
+
+let status_name = function
+  | Run_ok -> "ok"
+  | Run_failed _ -> "failed"
+  | Run_timeout -> "timeout"
+
+type result = {
+  point : Spec.point;
+  run_id : string;
+  status : status;
+  attempts : int;
+  wall_s : float;
+  metrics : (string * float) list;
+}
+
+let workload_names =
+  [ "cpuid"; "rr"; "stream"; "ioping"; "fio"; "etc"; "tpcc"; "video" ]
+
+let make_system (p : Spec.point) =
+  (* Derive the machine seed from the run hash: independent stream per
+     run_id, stable across scheduling orders (Prng satellite). *)
+  let rng = Prng.of_seed (Spec.run_hash p) in
+  let seed = Prng.int rng (1 lsl 30) in
+  let config = { Machine.paper_config with seed } in
+  let n_vcpus =
+    (* memcached serves one worker per vCPU; keep the paper's 2-vCPU
+       floor for it so the Figure 8 shape survives a 1-vCPU axis. *)
+    if p.Spec.workload = "etc" then max 2 p.Spec.vcpus else p.Spec.vcpus
+  in
+  System.create ~config ~n_vcpus ~mode:p.Spec.mode ~level:p.Spec.level ()
+
+let workload_metrics (p : Spec.point) sys =
+  match p.Spec.workload with
+  | "cpuid" ->
+      let r = Microbench.measure_cpuid sys in
+      [
+        ("per_op_us", r.Microbench.per_op_us);
+        ("samples", float_of_int r.Microbench.stats.Svt_stats.Convergence.samples_used);
+        ("exits", float_of_int r.Microbench.exits);
+      ]
+  | "rr" ->
+      let r = Netperf.run_rr ~transactions:120 sys in
+      [
+        ("mean_rtt_us", r.Netperf.mean_rtt_us);
+        ("p99_rtt_us", r.Netperf.p99_rtt_us);
+        ("transactions", float_of_int r.Netperf.transactions);
+      ]
+  | "stream" ->
+      let r = Netperf.run_stream ~duration:(Time.of_ms 10) sys in
+      [ ("mbps", r.Netperf.mbps); ("packets", float_of_int r.Netperf.packets) ]
+  | "ioping" ->
+      let r = Disk.run_ioping ~ops:100 ~op:Disk.Randread sys in
+      [ ("mean_us", r.Disk.mean_us); ("p99_us", r.Disk.p99_us) ]
+  | "fio" ->
+      let r = Disk.run_fio ~ops:200 ~depth:8 ~op:Disk.Randread sys in
+      [ ("kb_per_sec", r.Disk.kb_per_sec) ]
+  | "etc" ->
+      let r = Etc.run_point ~duration:(Time.of_ms 30) ~qps:10_000.0 sys in
+      [
+        ("achieved_qps", r.Etc.achieved_qps);
+        ("avg_us", r.Etc.avg_us);
+        ("p99_us", r.Etc.p99_us);
+        ("requests", float_of_int r.Etc.requests);
+      ]
+  | "tpcc" ->
+      let r = Tpcc.run ~duration:(Time.of_ms 50) sys in
+      [
+        ("tpm", r.Tpcc.tpm);
+        ("transactions", float_of_int r.Tpcc.transactions);
+        ("new_orders", float_of_int r.Tpcc.new_orders);
+      ]
+  | "video" ->
+      let r = Video.run ~seconds:30 ~fps:60 sys in
+      [
+        ("dropped", float_of_int r.Video.dropped);
+        ("frames", float_of_int r.Video.frames);
+        ("idle_fraction", r.Video.idle_fraction);
+      ]
+  | w ->
+      failwith
+        (Printf.sprintf "unknown workload %S (expected one of %s)" w
+           (String.concat ", " workload_names))
+
+let exec p =
+  let sys = make_system p in
+  let metrics = workload_metrics p sys in
+  let sim = System.sim sys in
+  metrics
+  @ [
+      ("sim_events", float_of_int (Svt_engine.Simulator.events_processed sim));
+      ("sim_now_us", Time.to_us_f (Svt_engine.Simulator.now sim));
+    ]

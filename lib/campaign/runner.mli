@@ -1,0 +1,32 @@
+(** Adapts one {!Spec.point} to the existing [System.create] / workload
+    entry points and returns a uniform result record for the ledger.
+
+    Each run builds a fresh, fully independent system whose machine PRNG
+    seed is derived from the point's {!Spec.run_hash} through
+    {!Svt_engine.Prng.of_seed}, so a given run_id produces bit-identical
+    metrics whether it executes sequentially, on a worker domain, or in
+    a re-run campaign. *)
+
+type status = Run_ok | Run_failed of string | Run_timeout
+
+val status_name : status -> string
+(** "ok", "failed", "timeout". *)
+
+type result = {
+  point : Spec.point;
+  run_id : string;
+  status : status;
+  attempts : int;
+  wall_s : float;  (** host wall-clock of the final attempt *)
+  metrics : (string * float) list;
+      (** workload metrics plus [sim_events] and [sim_now_us];
+          empty unless [status = Run_ok] *)
+}
+
+val workload_names : string list
+(** The registry: cpuid, rr, stream, ioping, fio, etc, tpcc, video. *)
+
+val exec : Spec.point -> (string * float) list
+(** Run one point to completion and return its metrics; raises on
+    unknown workload or simulation failure. Workload parameters are
+    fixed, modest constants so sweeps stay fast and deterministic. *)

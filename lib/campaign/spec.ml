@@ -1,0 +1,213 @@
+(* Campaign specs: the run matrix as data. A spec is just a point list;
+   the combinators build matrices and the axis-grammar parser turns
+   `--axis mode=baseline,hw-svt --axis level=l1,l2` into one.
+
+   Identity is content-addressed: run_id hashes the canonical key of the
+   point, so two campaigns that enumerate the same point in different
+   orders (or shard it to different worker domains) agree on its id and
+   therefore on its derived PRNG stream. *)
+
+module Mode = Svt_core.Mode
+module System = Svt_core.System
+
+type point = {
+  mode : Mode.t;
+  level : System.level;
+  workload : string;
+  vcpus : int;
+  seed : int;
+}
+
+type t = point list
+
+let point ?(level = System.L2_nested) ?(workload = "cpuid") ?(vcpus = 1)
+    ?(seed = 0) mode =
+  { mode; level; workload; vcpus; seed }
+
+let cartesian ?(modes = [ Mode.Baseline ]) ?(levels = [ System.L2_nested ])
+    ?(workloads = [ "cpuid" ]) ?(vcpus = [ 1 ]) ?(seeds = [ 0 ]) () =
+  List.concat_map
+    (fun mode ->
+      List.concat_map
+        (fun level ->
+          List.concat_map
+            (fun workload ->
+              List.concat_map
+                (fun n ->
+                  List.map
+                    (fun seed -> { mode; level; workload; vcpus = n; seed })
+                    seeds)
+                vcpus)
+            workloads)
+        levels)
+    modes
+
+let default_merge a b =
+  { a with workload = b.workload; vcpus = b.vcpus; seed = b.seed }
+
+let zip ?(merge = default_merge) a b =
+  if List.length a <> List.length b then
+    invalid_arg "Spec.zip: length mismatch";
+  List.map2 merge a b
+
+let ( @+ ) = List.append
+
+(* ---- canonical naming ---- *)
+
+(* Mode names must round-trip through the axis grammar, so they are
+   flatter than Mode.name's pretty form. *)
+let mode_to_string = function
+  | Mode.Baseline -> "baseline"
+  | Mode.Sw_svt { wait = Mode.Mwait; placement = Mode.Smt_sibling } -> "sw-svt"
+  | Mode.Sw_svt { wait; placement = Mode.Smt_sibling } ->
+      "sw-svt-" ^ Mode.wait_name wait
+  | Mode.Sw_svt { wait; placement } ->
+      Printf.sprintf "sw-svt-%s@%s" (Mode.wait_name wait)
+        (Mode.placement_name placement)
+  | Mode.Hw_svt -> "hw-svt"
+  | Mode.Hw_full_nesting -> "hw-full-nesting"
+
+let wait_of_string = function
+  | "polling" -> Some Mode.Polling
+  | "mwait" -> Some Mode.Mwait
+  | "mutex" -> Some Mode.Mutex
+  | _ -> None
+
+let placement_of_string = function
+  | "smt-sibling" -> Some Mode.Smt_sibling
+  | "same-numa-core" -> Some Mode.Same_numa_core
+  | "cross-numa" -> Some Mode.Cross_numa
+  | _ -> None
+
+let mode_of_string s =
+  let err () = Error (Printf.sprintf "unknown mode %S" s) in
+  match s with
+  | "baseline" -> Ok Mode.Baseline
+  | "sw-svt" | "sw" -> Ok Mode.sw_svt_default
+  | "hw-svt" | "hw" -> Ok Mode.Hw_svt
+  | "hw-full-nesting" | "full" -> Ok Mode.Hw_full_nesting
+  | s when String.length s > 7 && String.sub s 0 7 = "sw-svt-" -> (
+      let rest = String.sub s 7 (String.length s - 7) in
+      let wait_s, placement_s =
+        match String.index_opt rest '@' with
+        | Some i ->
+            ( String.sub rest 0 i,
+              Some (String.sub rest (i + 1) (String.length rest - i - 1)) )
+        | None -> (rest, None)
+      in
+      match (wait_of_string wait_s, placement_s) with
+      | Some wait, None -> Ok (Mode.Sw_svt { wait; placement = Mode.Smt_sibling })
+      | Some wait, Some p -> (
+          match placement_of_string p with
+          | Some placement -> Ok (Mode.Sw_svt { wait; placement })
+          | None -> err ())
+      | None, _ -> err ())
+  | _ -> err ()
+
+let level_to_string = function
+  | System.L0_native -> "l0"
+  | System.L1_leaf -> "l1"
+  | System.L2_nested -> "l2"
+
+let level_of_string = function
+  | "l0" | "native" -> Ok System.L0_native
+  | "l1" -> Ok System.L1_leaf
+  | "l2" | "nested" -> Ok System.L2_nested
+  | s -> Error (Printf.sprintf "unknown level %S" s)
+
+let canonical_key p =
+  Printf.sprintf "mode=%s;level=%s;workload=%s;vcpus=%d;seed=%d"
+    (mode_to_string p.mode) (level_to_string p.level) p.workload p.vcpus p.seed
+
+(* FNV-1a over the canonical key, then a splitmix64 finalizer for
+   diffusion (FNV alone keeps low-byte correlations between nearby keys,
+   and the hash seeds a PRNG downstream). *)
+let run_hash p =
+  let key = canonical_key p in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    key;
+  let z = Int64.add !h 0x9E3779B97F4A7C15L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let run_id p = Printf.sprintf "%016Lx" (run_hash p)
+
+let dedup points =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun p ->
+      let id = run_id p in
+      if Hashtbl.mem seen id then false
+      else begin
+        Hashtbl.add seen id ();
+        true
+      end)
+    points
+
+(* ---- axis grammar ---- *)
+
+let split_commas s = String.split_on_char ',' s |> List.filter (( <> ) "")
+
+let parse_axis arg =
+  match String.index_opt arg '=' with
+  | None -> Error (Printf.sprintf "axis %S: expected key=v1,v2,..." arg)
+  | Some i ->
+      let key = String.sub arg 0 i in
+      let values = split_commas (String.sub arg (i + 1) (String.length arg - i - 1)) in
+      if values = [] then Error (Printf.sprintf "axis %S: no values" arg)
+      else Ok (key, values)
+
+let collect_axis axes key =
+  List.concat_map (fun (k, vs) -> if k = key then vs else []) axes
+
+let map_result f values =
+  List.fold_right
+    (fun v acc ->
+      match (acc, f v) with
+      | Error e, _ -> Error e
+      | _, Error e -> Error e
+      | Ok rest, Ok x -> Ok (x :: rest))
+    values (Ok [])
+
+let int_of_string_res what s =
+  match int_of_string_opt s with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "%s: %S is not an integer" what s)
+
+let of_axes axes =
+  let known = [ "mode"; "level"; "workload"; "vcpus"; "seed" ] in
+  match List.find_opt (fun (k, _) -> not (List.mem k known)) axes with
+  | Some (k, _) ->
+      Error
+        (Printf.sprintf "unknown axis %S (expected one of %s)" k
+           (String.concat ", " known))
+  | None -> (
+      let or_default d = function [] -> d | vs -> vs in
+      let ( let* ) = Result.bind in
+      let* modes =
+        map_result mode_of_string (or_default [ "baseline" ] (collect_axis axes "mode"))
+      in
+      let* levels =
+        map_result level_of_string (or_default [ "l2" ] (collect_axis axes "level"))
+      in
+      let workloads = or_default [ "cpuid" ] (collect_axis axes "workload") in
+      let* vcpus =
+        map_result (int_of_string_res "vcpus")
+          (or_default [ "1" ] (collect_axis axes "vcpus"))
+      in
+      let* seeds =
+        map_result (int_of_string_res "seed")
+          (or_default [ "0" ] (collect_axis axes "seed"))
+      in
+      match List.find_opt (fun n -> n < 1) vcpus with
+      | Some n -> Error (Printf.sprintf "vcpus must be >= 1 (got %d)" n)
+      | None -> Ok (cartesian ~modes ~levels ~workloads ~vcpus ~seeds ()))
+
+let pp_point ppf p = Fmt.string ppf (canonical_key p)

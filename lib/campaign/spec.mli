@@ -1,0 +1,83 @@
+(** Declarative description of an experiment campaign: a set of run
+    points over the axes of the paper's design space (mode, level,
+    workload, vCPU count, seed), built with cartesian/zip combinators or
+    parsed from the [svt_sim sweep] axis grammar.
+
+    Every point has a stable [run_id] derived by hashing its contents,
+    so per-run PRNG seeding (via {!Svt_engine.Prng.of_seed}) is
+    deterministic no matter how the points are ordered or which worker
+    domain executes them. *)
+
+type point = {
+  mode : Svt_core.Mode.t;
+  level : Svt_core.System.level;
+  workload : string;  (** registry name, e.g. ["cpuid"], ["rr"] *)
+  vcpus : int;
+  seed : int;  (** user-chosen replication index, folded into the hash *)
+}
+
+type t = point list
+
+val point :
+  ?level:Svt_core.System.level ->
+  ?workload:string ->
+  ?vcpus:int ->
+  ?seed:int ->
+  Svt_core.Mode.t ->
+  point
+(** A single point; defaults: [L2_nested], ["cpuid"], 1 vCPU, seed 0. *)
+
+val cartesian :
+  ?modes:Svt_core.Mode.t list ->
+  ?levels:Svt_core.System.level list ->
+  ?workloads:string list ->
+  ?vcpus:int list ->
+  ?seeds:int list ->
+  unit ->
+  t
+(** Full cross product of the given axes (singleton defaults as in
+    {!point}). Order: modes outermost, seeds innermost. *)
+
+val zip : ?merge:(point -> point -> point) -> t -> t -> t
+(** Pointwise combination of two equal-length specs (no cross product):
+    [merge a b] defaults to taking mode and level from [a] and workload,
+    vcpus and seed from [b]. Raises [Invalid_argument] on length
+    mismatch. Useful for pairing a mode×level matrix with a per-point
+    workload/seed list. *)
+
+val ( @+ ) : t -> t -> t
+(** Concatenation (campaign union). *)
+
+(** {2 Stable identity} *)
+
+val canonical_key : point -> string
+(** The canonical textual encoding that is hashed; also a readable
+    one-line description ("mode=...;level=...;..."). *)
+
+val run_hash : point -> int64
+(** FNV-1a/splitmix hash of {!canonical_key}; depends only on the
+    point's contents, never on list order or scheduling. *)
+
+val run_id : point -> string
+(** [Printf.sprintf "%016Lx" (run_hash p)]. *)
+
+val dedup : t -> t
+(** Drop points with duplicate [run_id], keeping first occurrences. *)
+
+(** {2 Axis grammar (svt_sim sweep)} *)
+
+val mode_to_string : Svt_core.Mode.t -> string
+val mode_of_string : string -> (Svt_core.Mode.t, string) result
+val level_to_string : Svt_core.System.level -> string
+val level_of_string : string -> (Svt_core.System.level, string) result
+
+val parse_axis : string -> ((string * string list), string) result
+(** Parse one ["key=v1,v2,..."] argument; keys: mode, level, workload,
+    vcpus, seed. *)
+
+val of_axes : (string * string list) list -> (t, string) result
+(** Cartesian product of parsed axes; unknown keys, unparseable values
+    and empty value lists are reported as [Error]. Repeated keys append
+    to the same axis. *)
+
+val pp_point : Format.formatter -> point -> unit

@@ -137,6 +137,21 @@ let create ?(config = Machine.paper_config) ?(n_vcpus = 1)
         Array.init n_vcpus (fun i ->
             Vcpu.create ~machine ~vm:l1_vm ~index:i ~core_id:i ~hw_ctx:0)
       in
+      (* Under HW SVt a single-level guest still uses the stall/resume
+         mux: L0 holds context 0, the guest context 1. Program the SVt
+         µ-registers and start with the guest context fetching, as
+         Nested.create does for the three-context nested case. *)
+      (match mode with
+      | Mode.Hw_svt ->
+          Array.iter
+            (fun vcpu ->
+              let core = Vcpu.core vcpu in
+              Svt_arch.Smt_core.load_svt_fields core ~visor:0 ~vm:1
+                ~nested:Svt_arch.Smt_core.invalid_ctx;
+              Vcpu.set_hw_ctx vcpu 1;
+              Svt_arch.Smt_core.vm_resume core)
+            vcpus
+      | Mode.Baseline | Mode.Sw_svt _ | Mode.Hw_full_nesting -> ());
       Array.iter (wire_l1_leaf cost mode) vcpus;
       { machine; mode; level; l1_vm; guest_vm = l1_vm; vcpus; nested = [||];
         script; fabric = None }

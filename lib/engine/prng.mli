@@ -6,6 +6,11 @@ type t
 val create : int -> t
 (** Seeded generator; equal seeds give equal streams. *)
 
+val of_seed : int64 -> t
+(** Like {!create} but seeded from a full 64-bit value, e.g. a campaign
+    run-id hash: each run derives an independent, reproducible stream
+    regardless of the order runs are scheduled in. *)
+
 val split : t -> t
 (** Derive an independent stream (one per subsystem). *)
 

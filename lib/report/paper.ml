@@ -90,3 +90,81 @@ let table4 =
     ("L1", "6 vCPUs (1 reserved), 50GB RAM, virtio-net-pci+vhost, virtio disk @ ramfs");
     ("L2", "3 vCPUs (1 reserved), 35GB RAM, virtio-net-pci+vhost, virtio disk @ ramfs");
   ]
+
+(* ---- campaign-ledger consumption ----
+
+   Measured-vs-paper comparison rows computed straight from a campaign
+   run ledger rather than from in-memory result lists: look up the
+   baseline and an SVt mode for the same (workload, level), form the
+   measured speedup, and pair it with the published number above. Only
+   rows whose runs are actually present (status ok) are emitted, so any
+   sweep — however partial — yields exactly the comparisons it supports. *)
+
+module Ledger = Svt_campaign.Ledger
+module Spec = Svt_campaign.Spec
+
+let ledger_metric entries ~mode ~level ~workload name =
+  List.find_map
+    (fun (e : Ledger.entry) ->
+      let p = e.Ledger.point in
+      if
+        e.Ledger.status = "ok"
+        && p.Spec.mode = mode && p.Spec.level = level
+        && p.Spec.workload = workload
+      then
+        match List.assoc_opt name e.Ledger.metrics with
+        | Some v when Float.is_finite v -> Some v
+        | _ -> None
+      else None)
+    entries
+
+(* (metric label, workload, headline metric, lower-is-better, paper SW
+   speedup, paper HW speedup) for every registry workload the paper
+   publishes nested speedups for; the fig7 rows above are the source of
+   truth for the published numbers. *)
+let ledger_speedup_specs =
+  let f7 name =
+    let r = List.find (fun r -> r.name = name) fig7 in
+    (r.sw_speedup, r.hw_speedup)
+  in
+  let net_lat = f7 "net-latency" in
+  let net_bw = f7 "net-bandwidth" in
+  let disk_lat = f7 "disk-randrd-latency" in
+  let disk_bw = f7 "disk-randrd-bandwidth" in
+  [
+    ("cpuid latency", "cpuid", "per_op_us", true, fig6_sw_speedup, fig6_hw_speedup);
+    ("net-latency", "rr", "mean_rtt_us", true, fst net_lat, snd net_lat);
+    ("net-bandwidth", "stream", "mbps", false, fst net_bw, snd net_bw);
+    ("disk-randrd-latency", "ioping", "mean_us", true, fst disk_lat, snd disk_lat);
+    ("disk-randrd-bandwidth", "fio", "kb_per_sec", false, fst disk_bw, snd disk_bw);
+  ]
+
+let speedup_rows_of_ledger entries =
+  let level = Svt_core.System.L2_nested in
+  List.concat_map
+    (fun (label, workload, metric, lower_better, paper_sw, paper_hw) ->
+      match
+        ledger_metric entries ~mode:Svt_core.Mode.Baseline ~level ~workload
+          metric
+      with
+      | None -> []
+      | Some base ->
+          let speedup v = if lower_better then base /. v else v /. base in
+          let row mode paper =
+            match ledger_metric entries ~mode ~level ~workload metric with
+            | None -> []
+            | Some v ->
+                [
+                  {
+                    Compare.metric =
+                      Printf.sprintf "%s %s speedup" label
+                        (Spec.mode_to_string mode);
+                    paper;
+                    measured = speedup v;
+                    unit_ = "x";
+                  };
+                ]
+          in
+          row Svt_core.Mode.sw_svt_default paper_sw
+          @ row Svt_core.Mode.Hw_svt paper_hw)
+    ledger_speedup_specs

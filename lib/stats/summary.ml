@@ -55,6 +55,18 @@ let of_list xs =
   List.iter (add t) xs;
   t
 
+let to_fields t =
+  [
+    ("n", float_of_int t.n);
+    ("mean", mean t);
+    ("stddev", stddev t);
+    ("min", min t);
+    ("max", max t);
+    ("total", total t);
+  ]
+
 let pp ppf t =
-  Fmt.pf ppf "n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g" t.n (mean t)
+  (* Fixed-width columns so rows stay aligned even when a value is
+     negative or nan (one extra character that %.4g would absorb). *)
+  Fmt.pf ppf "n=%-6d mean=%10.4g sd=%10.4g min=%10.4g max=%10.4g" t.n (mean t)
     (stddev t) (min t) (max t)

@@ -16,4 +16,10 @@ val total : t -> float
 val stderr_of_mean : t -> float
 val merge : t -> t -> t
 val of_list : float list -> t
+
+val to_fields : t -> (string * float) list
+(** Flat [(name, value)] export (n, mean, stddev, min, max, total) for
+    machine-readable sinks such as the campaign run ledger. *)
+
 val pp : Format.formatter -> t -> unit
+(** Fixed-width fields; negative and nan values keep columns aligned. *)

@@ -1,0 +1,371 @@
+(* Tests for the campaign subsystem: spec expansion and identity, the
+   worker pool's sequential/parallel equivalence and retry machinery,
+   and the JSONL ledger round trip. *)
+
+module Mode = Svt_core.Mode
+module System = Svt_core.System
+module Spec = Svt_campaign.Spec
+module Pool = Svt_campaign.Pool
+module Runner = Svt_campaign.Runner
+module Ledger = Svt_campaign.Ledger
+module Campaign = Svt_campaign.Campaign
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* --- Spec ---------------------------------------------------------------- *)
+
+let test_cartesian_counts () =
+  let spec =
+    Spec.cartesian
+      ~modes:[ Mode.Baseline; Mode.sw_svt_default; Mode.Hw_svt ]
+      ~levels:[ System.L1_leaf; System.L2_nested ]
+      ()
+  in
+  checki "3 modes x 2 levels" 6 (List.length spec);
+  let spec2 =
+    Spec.cartesian ~modes:[ Mode.Baseline ] ~workloads:[ "cpuid"; "rr" ]
+      ~seeds:[ 0; 1; 2 ] ()
+  in
+  checki "1 x 2 workloads x 3 seeds" 6 (List.length spec2);
+  checki "defaults are singletons" 1 (List.length (Spec.cartesian ()))
+
+let test_zip () =
+  let a = Spec.cartesian ~modes:[ Mode.Baseline; Mode.Hw_svt ] () in
+  let b =
+    [ Spec.point ~workload:"rr" Mode.Baseline;
+      Spec.point ~workload:"etc" ~vcpus:2 Mode.Baseline ]
+  in
+  let z = Spec.zip a b in
+  checki "zip length" 2 (List.length z);
+  let p1 = List.nth z 1 in
+  checkb "mode from left" true (p1.Spec.mode = Mode.Hw_svt);
+  checks "workload from right" "etc" p1.Spec.workload;
+  checki "vcpus from right" 2 p1.Spec.vcpus;
+  Alcotest.check_raises "length mismatch" (Invalid_argument "Spec.zip: length mismatch")
+    (fun () -> ignore (Spec.zip a [ Spec.point Mode.Baseline ]))
+
+let test_run_id_stable_across_orderings () =
+  let spec =
+    Spec.cartesian
+      ~modes:[ Mode.Baseline; Mode.sw_svt_default; Mode.Hw_svt ]
+      ~levels:[ System.L1_leaf; System.L2_nested ]
+      ~seeds:[ 0; 1 ] ()
+  in
+  let ids = List.map Spec.run_id spec in
+  let ids_rev = List.rev_map Spec.run_id (List.rev spec) in
+  checkb "same ids regardless of enumeration order" true (ids = ids_rev);
+  let sorted = List.sort_uniq compare ids in
+  checki "all ids distinct" (List.length spec) (List.length sorted);
+  (* A point's id depends only on its contents. *)
+  let p = Spec.point ~workload:"rr" ~seed:3 Mode.Hw_svt in
+  let p' = Spec.point ~workload:"rr" ~seed:3 Mode.Hw_svt in
+  checks "content-addressed" (Spec.run_id p) (Spec.run_id p');
+  checkb "seed changes the id" true
+    (Spec.run_id p <> Spec.run_id (Spec.point ~workload:"rr" ~seed:4 Mode.Hw_svt))
+
+let test_mode_round_trip () =
+  let modes =
+    [
+      Mode.Baseline; Mode.sw_svt_default; Mode.Hw_svt; Mode.Hw_full_nesting;
+      Mode.Sw_svt { wait = Mode.Polling; placement = Mode.Smt_sibling };
+      Mode.Sw_svt { wait = Mode.Mutex; placement = Mode.Cross_numa };
+    ]
+  in
+  List.iter
+    (fun m ->
+      match Spec.mode_of_string (Spec.mode_to_string m) with
+      | Ok m' -> checkb (Spec.mode_to_string m) true (m = m')
+      | Error e -> Alcotest.fail e)
+    modes
+
+let test_axis_grammar () =
+  let axes =
+    [ "mode=baseline,hw-svt"; "level=l1,l2"; "seed=0,1" ]
+    |> List.map (fun s ->
+           match Spec.parse_axis s with
+           | Ok a -> a
+           | Error e -> Alcotest.fail e)
+  in
+  (match Spec.of_axes axes with
+  | Ok spec -> checki "2x2x2 points" 8 (List.length spec)
+  | Error e -> Alcotest.fail e);
+  checkb "unknown key rejected" true
+    (Result.is_error (Spec.of_axes [ ("frobnicate", [ "1" ]) ]));
+  checkb "bad mode rejected" true
+    (Result.is_error (Spec.of_axes [ ("mode", [ "warp-drive" ]) ]));
+  checkb "bad vcpus rejected" true
+    (Result.is_error (Spec.of_axes [ ("vcpus", [ "zero" ]) ]));
+  checkb "missing = rejected" true (Result.is_error (Spec.parse_axis "mode"))
+
+(* --- Pool ---------------------------------------------------------------- *)
+
+let test_pool_orders_results () =
+  let tasks = Array.init 20 Fun.id in
+  let f x = x * x in
+  let seq = Pool.map ~jobs:1 f tasks in
+  let par = Pool.map ~jobs:4 f tasks in
+  Array.iteri
+    (fun i o ->
+      match (o.Pool.result, par.(i).Pool.result) with
+      | Ok a, Ok b ->
+          checki "sequential value" (i * i) a;
+          checki "parallel value" (i * i) b
+      | _ -> Alcotest.fail "unexpected pool failure")
+    seq
+
+let test_pool_retry () =
+  (* First attempt per task fails; the retry succeeds. Counters are keyed
+     per task so parallel workers never share a cell. *)
+  let attempts = Array.make 8 0 in
+  let mu = Mutex.create () in
+  let f i =
+    let n =
+      Mutex.protect mu (fun () ->
+          attempts.(i) <- attempts.(i) + 1;
+          attempts.(i))
+    in
+    if n = 1 then failwith "flaky";
+    i
+  in
+  let out = Pool.map ~jobs:2 ~retries:1 f (Array.init 8 Fun.id) in
+  Array.iteri
+    (fun i o ->
+      checkb "retried to success" true (o.Pool.result = Ok i);
+      checki "two attempts" 2 o.Pool.attempts)
+    out;
+  (* Zero retries: the failure is final. *)
+  let always_fail _ = failwith "broken" in
+  let out = Pool.map ~jobs:1 ~retries:0 always_fail [| 0 |] in
+  checkb "failure recorded" true (Result.is_error out.(0).Pool.result);
+  checki "single attempt" 1 out.(0).Pool.attempts;
+  (* Exhausted retries: retries+1 attempts, still an error. *)
+  let out = Pool.map ~jobs:1 ~retries:3 always_fail [| 0 |] in
+  checki "retries exhausted" 4 out.(0).Pool.attempts
+
+let test_pool_progress_callback () =
+  let seen = ref 0 in
+  let fails = ref 0 in
+  let f i = if i mod 3 = 0 then failwith "x" else i in
+  let _ =
+    Pool.map ~jobs:4 ~retries:0
+      ~on_result:(fun ~index:_ ~ok ->
+        incr seen;
+        if not ok then incr fails)
+      f (Array.init 12 Fun.id)
+  in
+  checki "callback once per task" 12 !seen;
+  checki "failures seen" 4 !fails
+
+(* --- Campaign: sequential vs parallel equivalence ------------------------ *)
+
+let test_seq_parallel_identical () =
+  let spec =
+    Spec.cartesian
+      ~modes:[ Mode.Baseline; Mode.Hw_svt ]
+      ~levels:[ System.L1_leaf; System.L2_nested ]
+      ()
+  in
+  let run1 = Campaign.execute ~jobs:1 spec in
+  let run4 = Campaign.execute ~jobs:4 spec in
+  checki "all ok sequential" 4 run1.Campaign.ok;
+  checki "all ok parallel" 4 run4.Campaign.ok;
+  List.iter2
+    (fun (a : Runner.result) (b : Runner.result) ->
+      checks "same run_id" a.Runner.run_id b.Runner.run_id;
+      (* Byte-identical: the serialized metric lists match exactly. *)
+      let serialize r =
+        String.concat ";"
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=%.17g" k v)
+             r.Runner.metrics)
+      in
+      checks "byte-identical metrics" (serialize a) (serialize b))
+    run1.Campaign.results run4.Campaign.results
+
+let test_campaign_retry_and_status () =
+  let spec =
+    Spec.cartesian ~modes:[ Mode.Baseline; Mode.Hw_svt ] ~seeds:[ 0; 1 ] ()
+  in
+  (* Injected runner: every point fails once, one point fails always. *)
+  let mu = Mutex.create () in
+  let attempts = Hashtbl.create 8 in
+  let run (p : Spec.point) =
+    let id = Spec.run_id p in
+    let n =
+      Mutex.protect mu (fun () ->
+          let n = (try Hashtbl.find attempts id with Not_found -> 0) + 1 in
+          Hashtbl.replace attempts id n;
+          n)
+    in
+    if p.Spec.seed = 1 && p.Spec.mode = Mode.Hw_svt then failwith "always-broken";
+    if n = 1 then failwith "flaky-once";
+    [ ("value", float_of_int p.Spec.seed) ]
+  in
+  let o = Campaign.execute ~jobs:2 ~retries:1 ~run spec in
+  checki "three points recover" 3 o.Campaign.ok;
+  checki "one point stays failed" 1 o.Campaign.failed;
+  List.iter
+    (fun (r : Runner.result) ->
+      match r.Runner.status with
+      | Runner.Run_ok -> checki "ok after retry" 2 r.Runner.attempts
+      | Runner.Run_failed msg ->
+          checkb "exhausted retries" true (r.Runner.attempts = 2);
+          checkb "message kept" true
+            (String.length msg > 0
+            && String.exists (fun _ -> true) msg)
+      | Runner.Run_timeout -> Alcotest.fail "unexpected timeout")
+    o.Campaign.results
+
+let test_pool_timeout_detection () =
+  let f _ =
+    ignore (Unix.sleepf 0.05);
+    42
+  in
+  let out = Pool.map ~jobs:1 ~timeout_s:0.01 f [| 0 |] in
+  (match out.(0).Pool.result with
+  | Error (Pool.Timed_out _) -> ()
+  | _ -> Alcotest.fail "expected Timed_out");
+  checki "timeouts are not retried" 1 out.(0).Pool.attempts
+
+(* --- Ledger -------------------------------------------------------------- *)
+
+let temp_ledger () = Filename.temp_file "svt_ledger" ".jsonl"
+
+let sample_results () =
+  let spec =
+    Spec.cartesian ~modes:[ Mode.Baseline; Mode.Hw_svt ]
+      ~levels:[ System.L2_nested ] ()
+  in
+  let run (p : Spec.point) =
+    [
+      ("per_op_us", if p.Spec.mode = Mode.Baseline then 10.4 else 5.37);
+      ("weird \"quoted\"", -1.5);
+      ("not_a_number", nan);
+    ]
+  in
+  (Campaign.execute ~jobs:1 ~run spec).Campaign.results
+
+let test_ledger_round_trip () =
+  let path = temp_ledger () in
+  let entries = List.map Ledger.entry_of_result (sample_results ()) in
+  Ledger.write path entries;
+  (match Ledger.load path with
+  | Error e -> Alcotest.fail e
+  | Ok loaded ->
+      checki "entry count" (List.length entries) (List.length loaded);
+      List.iter2
+        (fun (a : Ledger.entry) (b : Ledger.entry) ->
+          checks "run_id" a.Ledger.run_id b.Ledger.run_id;
+          checkb "point" true (a.Ledger.point = b.Ledger.point);
+          checks "status" a.Ledger.status b.Ledger.status;
+          checki "attempts" a.Ledger.attempts b.Ledger.attempts;
+          checki "metric count" (List.length a.Ledger.metrics)
+            (List.length b.Ledger.metrics);
+          List.iter2
+            (fun (ka, va) (kb, vb) ->
+              checks "metric name" ka kb;
+              checkb "metric value" true
+                (va = vb || (Float.is_nan va && Float.is_nan vb)))
+            a.Ledger.metrics b.Ledger.metrics)
+        entries loaded);
+  (* Appending accumulates lines rather than truncating. *)
+  Ledger.write path entries;
+  (match Ledger.load path with
+  | Ok loaded -> checki "append-only" (2 * List.length entries) (List.length loaded)
+  | Error e -> Alcotest.fail e);
+  Sys.remove path
+
+let test_ledger_rejects_garbage () =
+  let path = temp_ledger () in
+  let oc = open_out path in
+  output_string oc "{\"run_id\":\"x\" this is not json}\n";
+  close_out oc;
+  checkb "parse error reported" true (Result.is_error (Ledger.load path));
+  Sys.remove path
+
+let test_ledger_diff () =
+  let entries = List.map Ledger.entry_of_result (sample_results ()) in
+  checki "self-diff is empty" 0 (List.length (Ledger.diff entries entries));
+  let bumped =
+    List.map
+      (fun (e : Ledger.entry) ->
+        if e.Ledger.point.Spec.mode = Mode.Hw_svt then
+          {
+            e with
+            Ledger.metrics =
+              List.map
+                (fun (k, v) ->
+                  (k, if k = "per_op_us" then v +. 1.0 else v))
+                e.Ledger.metrics;
+          }
+        else e)
+      entries
+  in
+  match Ledger.diff entries bumped with
+  | [ (run_id, [ ("per_op_us", old_v, new_v) ]) ] ->
+      let hw =
+        List.find
+          (fun (e : Ledger.entry) -> e.Ledger.point.Spec.mode = Mode.Hw_svt)
+          entries
+      in
+      checks "changed run" hw.Ledger.run_id run_id;
+      checkb "old value" true (old_v = 5.37);
+      checkb "new value" true (new_v = 6.37)
+  | d -> Alcotest.fail (Printf.sprintf "unexpected diff shape (%d runs)" (List.length d))
+
+(* --- end-to-end: sweep writes a ledger the reader accepts ---------------- *)
+
+let test_campaign_writes_ledger () =
+  let path = temp_ledger () in
+  Sys.remove path;
+  let spec = Spec.cartesian ~modes:[ Mode.Baseline ] ~levels:[ System.L1_leaf ] () in
+  let o = Campaign.execute ~jobs:1 ~ledger:path spec in
+  checki "one run" 1 o.Campaign.ok;
+  (match Ledger.load path with
+  | Ok [ e ] ->
+      checks "status ok" "ok" e.Ledger.status;
+      checkb "has cpuid metric" true (Float.is_finite (Ledger.metric e "per_op_us"));
+      checkb "has sim_events" true (Ledger.metric e "sim_events" > 0.0)
+  | Ok es -> Alcotest.fail (Printf.sprintf "expected 1 entry, got %d" (List.length es))
+  | Error e -> Alcotest.fail e);
+  Sys.remove path
+
+let () =
+  Alcotest.run "campaign"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "cartesian counts" `Quick test_cartesian_counts;
+          Alcotest.test_case "zip" `Quick test_zip;
+          Alcotest.test_case "run_id stability" `Quick
+            test_run_id_stable_across_orderings;
+          Alcotest.test_case "mode round trip" `Quick test_mode_round_trip;
+          Alcotest.test_case "axis grammar" `Quick test_axis_grammar;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "ordered results" `Quick test_pool_orders_results;
+          Alcotest.test_case "retry" `Quick test_pool_retry;
+          Alcotest.test_case "progress callback" `Quick
+            test_pool_progress_callback;
+          Alcotest.test_case "timeout detection" `Quick
+            test_pool_timeout_detection;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "jobs=1 vs jobs=4 identical" `Quick
+            test_seq_parallel_identical;
+          Alcotest.test_case "retry and status" `Quick
+            test_campaign_retry_and_status;
+          Alcotest.test_case "writes a loadable ledger" `Quick
+            test_campaign_writes_ledger;
+        ] );
+      ( "ledger",
+        [
+          Alcotest.test_case "round trip" `Quick test_ledger_round_trip;
+          Alcotest.test_case "rejects garbage" `Quick test_ledger_rejects_garbage;
+          Alcotest.test_case "diff" `Quick test_ledger_diff;
+        ] );
+    ]
