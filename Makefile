@@ -1,4 +1,8 @@
-.PHONY: build test fmt-check sweep-smoke clean
+.PHONY: build test check fmt-check sweep-smoke trace-smoke clean
+
+# The default verification bundle: tier-1 tests plus the end-to-end
+# trace-export smoke run.
+check: test trace-smoke
 
 build:
 	dune build @all
@@ -25,6 +29,15 @@ sweep-smoke: build
 		--axis mode=baseline,hw-svt --axis level=l1,l2 \
 		--jobs 2 --ledger _build/sweep-smoke.jsonl
 	@echo "sweep-smoke: ledger at _build/sweep-smoke.jsonl"
+
+# End-to-end exercise of the observability layer: run a small nested
+# workload with the trace sinks installed, export a Chrome trace, and
+# re-parse it requiring >=1 span of each expected kind (--validate
+# exits non-zero otherwise).
+trace-smoke: build
+	dune exec bin/svt_sim.exe -- trace \
+		--mode baseline --level l2 --out _build/trace-smoke.json --validate
+	@echo "trace-smoke: trace at _build/trace-smoke.json"
 
 clean:
 	dune clean

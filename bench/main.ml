@@ -7,7 +7,7 @@
        dune exec bench/main.exe -- jobs=4   # shard run matrices over domains
 
    Sections: table1 table2 table3 table4 fig6 fig7 fig8 fig9 fig10
-             channels ablation bechamel
+             channels ablation obs bechamel
 
    The matrix-shaped sections (fig6, fig7, fig10) go through the
    lib/campaign worker pool: jobs=1 (the default) is the sequential
@@ -497,6 +497,44 @@ let ablation () =
       Printf.printf "   %-22s %6.2f us\n%!" label r.Microbench.per_op_us)
     [ ("3 contexts (proposal)", false); ("2 contexts (multiplexed)", true) ]
 
+(* -------------------------------------------------------------------- obs *)
+
+(* Host-side overhead of the tracing layer: the same nested cpuid run
+   with the probe disarmed, the default null-sink state, the timeline
+   sink, and both sinks. Simulated results are bit-identical in all
+   four (the overhead test suite asserts it); only host wall-clock may
+   move, and the first two rows should be indistinguishable. *)
+let obs_overhead () =
+  header "obs: tracing-layer overhead on the nested cpuid microbench";
+  let median_time prepare =
+    let reps = if quick then 3 else 9 in
+    let samples =
+      List.init reps (fun _ ->
+          let sys = nested Mode.Baseline in
+          prepare sys;
+          let t0 = Unix.gettimeofday () in
+          ignore (Microbench.measure_cpuid sys);
+          Unix.gettimeofday () -. t0)
+    in
+    let a = Array.of_list samples in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  List.iter
+    (fun (label, prepare) ->
+      Printf.printf "   %-26s %8.3f ms\n%!" label (1e3 *. median_time prepare))
+    [
+      ( "probe disarmed",
+        fun sys -> Svt_obs.Recorder.set_enabled (System.obs sys) false );
+      ("null sink (default)", fun _ -> ());
+      ( "timeline sink",
+        fun sys -> ignore (Svt_obs.Recorder.enable_timeline (System.obs sys)) );
+      ( "timeline + chrome sinks",
+        fun sys ->
+          ignore (Svt_obs.Recorder.enable_timeline (System.obs sys));
+          ignore (Svt_obs.Recorder.enable_chrome (System.obs sys)) );
+    ]
+
 (* --------------------------------------------------------------- bechamel *)
 
 (* Wall-clock cost of the simulator itself: one Bechamel test per
@@ -568,5 +606,6 @@ let () =
   if wanted "fig10" then fig10 ();
   if wanted "channels" then channels ();
   if wanted "ablation" then ablation ();
+  if wanted "obs" then obs_overhead ();
   if wanted "bechamel" then bechamel ();
   print_endline "\ndone."

@@ -201,6 +201,119 @@ let video_cmd =
     (Cmd.info "video" ~doc:"Soft-realtime video playback (Figure 10).")
     Term.(const run $ mode_arg $ fps $ seconds)
 
+(* ---- trace export ---- *)
+
+let trace_cmd =
+  let module Spec = Svt_campaign.Spec in
+  let module Runner = Svt_campaign.Runner in
+  let module Recorder = Svt_obs.Recorder in
+  let module Timeline = Svt_obs.Timeline in
+  let workload_arg =
+    Arg.(value & opt string "cpuid"
+         & info [ "w"; "workload" ] ~docv:"NAME"
+             ~doc:"Workload to drive (a campaign registry name: cpuid, rr, \
+                   stream, ioping, fio, etc, tpcc, video).")
+  in
+  let vcpus_arg =
+    Arg.(value & opt int 1 & info [ "vcpus" ] ~docv:"N" ~doc:"Guest vCPUs.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"Replication index.")
+  in
+  let out_arg =
+    Arg.(value & opt string "trace.json"
+         & info [ "o"; "out" ] ~docv:"PATH"
+             ~doc:"Chrome trace-event JSON output (load in Perfetto or \
+                   chrome://tracing).")
+  in
+  let validate_arg =
+    Arg.(value & flag
+         & info [ "validate" ]
+             ~doc:"Re-parse the exported JSON and require at least one span \
+                   of each kind the run should produce; exit 1 on failure.")
+  in
+  (* The span kinds a run at this level must produce (used by --validate
+     and the trace-smoke make target). *)
+  let required_kinds level =
+    match level with
+    | System.L2_nested -> [ "vm-exit"; "svt-resume"; "vmcs-transform" ]
+    | System.L1_leaf -> [ "vm-exit" ]
+    | System.L0_native -> []
+  in
+  let validate_file level path =
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    match Svt_campaign.Ledger.parse_json s with
+    | exception Svt_campaign.Ledger.Parse_error e ->
+        Printf.eprintf "trace: %s is not valid JSON: %s\n" path e;
+        exit 1
+    | Svt_campaign.Ledger.Obj fields -> (
+        match List.assoc_opt "traceEvents" fields with
+        | Some (Svt_campaign.Ledger.Arr events) ->
+            let names = Hashtbl.create 16 in
+            List.iter
+              (function
+                | Svt_campaign.Ledger.Obj ev -> (
+                    match
+                      (List.assoc_opt "ph" ev, List.assoc_opt "name" ev)
+                    with
+                    | Some (Svt_campaign.Ledger.Str "X"),
+                      Some (Svt_campaign.Ledger.Str name) ->
+                        Hashtbl.replace names name ()
+                    | _ -> ())
+                | _ -> ())
+              events;
+            let missing =
+              List.filter
+                (fun k -> not (Hashtbl.mem names k))
+                (required_kinds level)
+            in
+            if missing <> [] then begin
+              Printf.eprintf "trace: %s lacks span kinds: %s\n" path
+                (String.concat ", " missing);
+              exit 1
+            end;
+            Printf.printf "validated: %d events, all required kinds present\n"
+              (List.length events)
+        | _ ->
+            Printf.eprintf "trace: %s has no traceEvents array\n" path;
+            exit 1)
+    | _ ->
+        Printf.eprintf "trace: %s is not a JSON object\n" path;
+        exit 1
+  in
+  let run mode level workload vcpus seed out validate =
+    let p = Spec.point ~level ~workload ~vcpus ~seed mode in
+    let sys = Runner.make_system p in
+    let tl = Recorder.enable_timeline (System.obs sys) in
+    let ct = Recorder.enable_chrome (System.obs sys) in
+    let metrics = Runner.workload_metrics p sys in
+    Svt_obs.Chrome_trace.write_file ct out;
+    Printf.printf "%s at %s under %s: %d spans -> %s\n" workload
+      (System.level_name level) (Mode.name mode) (Timeline.total_spans tl) out;
+    if Svt_obs.Chrome_trace.dropped ct > 0 then
+      Printf.printf "  (%d spans beyond the export limit were dropped)\n"
+        (Svt_obs.Chrome_trace.dropped ct);
+    Format.printf "%a@?" Timeline.pp tl;
+    print_endline "workload metrics:";
+    List.iter (fun (k, v) -> Printf.printf "  %-24s %g\n" k v) metrics;
+    if validate then validate_file level out
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a workload with the structured-tracing sinks installed and \
+             export a Chrome trace-event JSON timeline."
+       ~man:
+         [
+           `S Manpage.s_examples;
+           `P "svt_sim trace --mode baseline --level l2 --out trace.json; \
+               then open the file in https://ui.perfetto.dev";
+         ])
+    Term.(const run $ mode_arg $ level_arg $ workload_arg $ vcpus_arg
+          $ seed_arg $ out_arg $ validate_arg)
+
 (* ---- campaign sweeps ---- *)
 
 let sweep_cmd =
@@ -350,4 +463,5 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ cpuid_cmd; rr_cmd; stream_cmd; ioping_cmd; fio_cmd; etc_cmd;
-            tpcc_cmd; video_cmd; sweep_cmd; sweep_diff_cmd; blocked_demo_cmd ]))
+            tpcc_cmd; video_cmd; trace_cmd; sweep_cmd; sweep_diff_cmd;
+            blocked_demo_cmd ]))

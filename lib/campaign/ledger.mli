@@ -24,6 +24,26 @@ type entry = {
 
 val entry_of_result : Runner.result -> entry
 
+(** {2 JSON}
+
+    The ledger's own minimal JSON representation and parser, exposed so
+    other tooling (trace-export validation, tests) can parse JSON it
+    produced — or any RFC 8259 value on a single line — without an
+    external dependency. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+val parse_json : string -> json
+(** Parse one JSON value from a string; raises {!Parse_error}. *)
+
 (** {2 Writing} *)
 
 type writer

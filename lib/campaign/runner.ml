@@ -101,9 +101,15 @@ let workload_metrics (p : Spec.point) sys =
 
 let exec p =
   let sys = make_system p in
+  (* Per-span-kind summaries ride along in every ledger row, so
+     sweep-diff can compare exit-path composition across revisions. The
+     timeline sink never advances virtual time, so the workload metrics
+     are identical with or without it. *)
+  let tl = Svt_obs.Recorder.enable_timeline (System.obs sys) in
   let metrics = workload_metrics p sys in
   let sim = System.sim sys in
   metrics
+  @ Svt_obs.Export.fields tl
   @ [
       ("sim_events", float_of_int (Svt_engine.Simulator.events_processed sim));
       ("sim_now_us", Time.to_us_f (Svt_engine.Simulator.now sim));

@@ -26,7 +26,19 @@ type result = {
 val workload_names : string list
 (** The registry: cpuid, rr, stream, ioping, fio, etc, tpcc, video. *)
 
+val make_system : Spec.point -> Svt_core.System.t
+(** Build the point's system (content-addressed PRNG seed, paper
+    config) without running anything — callers that want to install
+    observability sinks first (the [trace] subcommand) use this and
+    then {!workload_metrics}. *)
+
+val workload_metrics : Spec.point -> Svt_core.System.t -> (string * float) list
+(** Drive the point's workload on an already-built system and return
+    its metric list (without the [sim_*] extras {!exec} appends). *)
+
 val exec : Spec.point -> (string * float) list
 (** Run one point to completion and return its metrics; raises on
     unknown workload or simulation failure. Workload parameters are
-    fixed, modest constants so sweeps stay fast and deterministic. *)
+    fixed, modest constants so sweeps stay fast and deterministic.
+    Also installs a timeline sink and appends the per-span-kind
+    [obs.*] summary fields ({!Svt_obs.Export.fields}). *)

@@ -19,6 +19,7 @@ module Signal = Simulator.Signal
 module Gpa = Svt_mem.Addr.Gpa
 module Aspace = Svt_mem.Address_space
 module Breakdown = Svt_hyp.Breakdown
+module Probe = Svt_obs.Probe
 
 type command =
   | Vm_trap of { reason : Svt_arch.Exit_reason.t; qual : int64; regs : int64 array }
@@ -44,6 +45,8 @@ type t = {
   core : Svt_arch.Smt_core.t; (* core whose sibling a poller would slow *)
   to_svt : ring; (* L0 -> SVt-thread *)
   from_svt : ring; (* SVt-thread -> L0 *)
+  probe : Probe.t;
+  vcpu_index : int; (* the L2 vCPU these rings serve; -1 when unknown *)
 }
 
 let make_ring sim aspace =
@@ -54,7 +57,7 @@ let make_ring sim aspace =
     signal = Signal.create sim;
     posts = 0 }
 
-let create ~machine ~aspace ~wait ~placement ~core =
+let create ?(vcpu_index = -1) ~machine ~aspace ~wait ~placement ~core () =
   let sim = Svt_hyp.Machine.sim machine in
   {
     cost = Svt_hyp.Machine.cost machine;
@@ -63,6 +66,8 @@ let create ~machine ~aspace ~wait ~placement ~core =
     core;
     to_svt = make_ring sim aspace;
     from_svt = make_ring sim aspace;
+    probe = Svt_hyp.Machine.probe machine;
+    vcpu_index;
   }
 
 let head r = Aspace.read_u32 r.aspace r.base
@@ -123,9 +128,17 @@ let deserialize r i =
   | 3 -> Blocked
   | n -> failwith (Printf.sprintf "Channel: corrupt command code %d" n)
 
+let command_name = function
+  | Vm_trap _ -> "vm-trap"
+  | Vm_resume _ -> "vm-resume"
+  | Blocked -> "blocked"
+
+let direction_name t ring = if ring == t.to_svt then "to-svt" else "from-svt"
+
 (* Producer: serialize, publish, and ding the monitored line. Charged to
    the caller's timeline and the given breakdown bucket. *)
 let post t ring bd cmd =
+  let start = if Probe.is_on t.probe then Probe.now t.probe else Time.zero in
   Breakdown.charge bd Breakdown.Channel t.cost.Svt_arch.Cost_model.ring_write;
   let h = head ring in
   if (h - tail ring) land 0xFFFF >= ring_entries then
@@ -133,17 +146,26 @@ let post t ring bd cmd =
   serialize ring h cmd;
   set_head ring (h + 1);
   ring.posts <- ring.posts + 1;
-  Signal.broadcast ring.signal
+  Signal.broadcast ring.signal;
+  if Probe.is_on t.probe then
+    Probe.span t.probe Svt_obs.Span.Ring_send ~vcpu:t.vcpu_index ~level:0
+      ~tags:[ ("cmd", command_name cmd); ("dir", direction_name t ring) ]
+      ~start ()
 
 let pending ring = (head ring - tail ring) land 0xFFFF > 0
 
 (* Consume the next command without waiting; caller pays the read cost. *)
 let try_recv t ring bd =
   if pending ring then begin
+    let start = if Probe.is_on t.probe then Probe.now t.probe else Time.zero in
     Breakdown.charge bd Breakdown.Channel t.cost.Svt_arch.Cost_model.ring_read;
     let tl = tail ring in
     let cmd = deserialize ring tl in
     set_tail ring (tl + 1);
+    if Probe.is_on t.probe then
+      Probe.span t.probe Svt_obs.Span.Ring_recv ~vcpu:t.vcpu_index ~level:0
+        ~tags:[ ("cmd", command_name cmd); ("dir", direction_name t ring) ]
+        ~start ();
     Some cmd
   end
   else None

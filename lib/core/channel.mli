@@ -23,14 +23,18 @@ type ring
 type t
 
 val create :
+  ?vcpu_index:int ->
   machine:Svt_hyp.Machine.t ->
   aspace:Svt_mem.Address_space.t ->
   wait:Mode.wait_mechanism ->
   placement:Mode.placement ->
   core:Svt_arch.Smt_core.t ->
+  unit ->
   t
 (** Allocate both rings in [aspace] (the ivshmem-style shared pages of
-    §5.2). [core] is the core whose sibling a polling waiter would slow. *)
+    §5.2). [core] is the core whose sibling a polling waiter would slow;
+    [vcpu_index] tags the ring-send/ring-recv observability spans with
+    the L2 vCPU these rings serve (default [-1], untagged). *)
 
 val to_svt : t -> ring
 (** The L0 → SVt-thread direction. *)

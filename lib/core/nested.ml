@@ -33,6 +33,8 @@ module Transform = Svt_vmcs.Transform
 module Exit_reason = Svt_arch.Exit_reason
 module Vcpu = Svt_hyp.Vcpu
 module Reg = Svt_arch.Reg
+module Probe = Svt_obs.Probe
+module Obs_span = Svt_obs.Span
 
 type t = {
   machine : Svt_hyp.Machine.t;
@@ -61,6 +63,21 @@ type t = {
 }
 
 let charge t bucket span = Breakdown.charge (Vcpu.breakdown t.vcpu) bucket span
+
+(* --- observability ------------------------------------------------------ *)
+
+let probe t = Svt_hyp.Machine.probe t.machine
+
+(* Wrap one protocol leg in a span of [kind]; the off path (no sink
+   installed) pays a single branch and builds nothing. *)
+let leg t kind tags f =
+  let p = probe t in
+  if not (Probe.is_on p) then f ()
+  else begin
+    let start = Probe.now p in
+    f ();
+    Probe.span p kind ~vcpu:(Vcpu.index t.vcpu) ~level:2 ~tags ~start ()
+  end
 
 let ctxt_access_bulk t =
   charge t Breakdown.Ctxt_access
@@ -118,15 +135,27 @@ let run_l1_script t (info : Svt_hyp.Exit.info) ~(effect : unit -> unit) =
 (* --- transforms -------------------------------------------------------- *)
 
 let transform_exit t =
+  let p = probe t in
+  let start = if Probe.is_on p then Probe.now p else Time.zero in
   let r = Transform.exit ~vmcs02:t.vmcs02 ~vmcs12:t.vmcs12 in
-  charge t Breakdown.Transform (Transform.cost t.cost r)
+  charge t Breakdown.Transform (Transform.cost t.cost r);
+  if Probe.is_on p then
+    Probe.span p Obs_span.Vmcs_transform ~vcpu:(Vcpu.index t.vcpu) ~level:2
+      ~tags:(Transform.span_tags ~direction:"exit" r)
+      ~start ()
 
 let transform_entry t =
+  let p = probe t in
+  let start = if Probe.is_on p then Probe.now p else Time.zero in
   let r =
     Transform.entry ~vmcs12:t.vmcs12 ~vmcs02:t.vmcs02 ~l1_ept:t.l1_ept
       ~l0_ept_pointer:t.l0_ept_pointer
   in
-  charge t Breakdown.Transform (Transform.cost t.cost r)
+  charge t Breakdown.Transform (Transform.cost t.cost r);
+  if Probe.is_on p then
+    Probe.span p Obs_span.Vmcs_transform ~vcpu:(Vcpu.index t.vcpu) ~level:2
+      ~tags:(Transform.span_tags ~direction:"entry" r)
+      ~start ()
 
 (* Record the trap in vmcs02 as hardware does, then reflect it into vmcs12
    so L1 sees it (②③ of Algorithm 1). *)
@@ -144,7 +173,8 @@ let record_and_reflect t (info : Svt_hyp.Exit.info) =
 
 let handle_baseline t info ~effect =
   (* ① L2 → L0 *)
-  charge t Breakdown.Switch_l2_l0 t.cost.trap_hw;
+  leg t Obs_span.World_switch [ ("leg", "l2-l0") ] (fun () ->
+      charge t Breakdown.Switch_l2_l0 t.cost.trap_hw);
   (* ③ decide to reflect; save the L2-world state the handler will need *)
   charge t Breakdown.L0_handler t.cost.l0_reflect_decision;
   charge t Breakdown.L0_handler
@@ -159,13 +189,15 @@ let handle_baseline t info ~effect =
   charge t Breakdown.L0_handler
     (Time.of_ns (Time.to_ns t.cost.l0_ctx_mgmt_l1 / 2));
   (* ④ VM resume into L1 *)
-  charge t Breakdown.Switch_l0_l1
-    (Time.add t.cost.resume_hw t.cost.l1_world_extra);
+  leg t Obs_span.World_switch [ ("leg", "l0-l1") ] (fun () ->
+      charge t Breakdown.Switch_l0_l1
+        (Time.add t.cost.resume_hw t.cost.l1_world_extra));
   (* ⑤ L1 handles the trap against vmcs01' *)
   run_l1_script t info ~effect;
   (* ④ L1's VMRESUME traps into L0 *)
-  charge t Breakdown.Switch_l0_l1
-    (Time.add t.cost.trap_hw t.cost.l1_world_extra);
+  leg t Obs_span.World_switch [ ("leg", "l1-l0") ] (fun () ->
+      charge t Breakdown.Switch_l0_l1
+        (Time.add t.cost.trap_hw t.cost.l1_world_extra));
   (* ③ emulate the VM entry, restore the L2 world *)
   charge t Breakdown.L0_handler t.cost.l0_emulate_vmentry;
   charge t Breakdown.L0_handler
@@ -178,7 +210,8 @@ let handle_baseline t info ~effect =
   (* ② vmcs12 → vmcs02 *)
   transform_entry t;
   (* ① resume L2 *)
-  charge t Breakdown.Switch_l2_l0 t.cost.resume_hw
+  leg t Obs_span.Svt_resume [ ("leg", "l0-l2") ] (fun () ->
+      charge t Breakdown.Switch_l2_l0 t.cost.resume_hw)
 
 (* --- SW SVt path (§5.2, Figure 5) --------------------------------------- *)
 
@@ -229,13 +262,14 @@ let handle_sw_svt t ch info ~effect =
           wait_resume ()
         end
   in
-  wait_resume ();
+  leg t Obs_span.Svt_stall [ ("on", "svt-thread") ] wait_resume;
   (* restart L2 through the pre-existing path *)
   charge t Breakdown.L0_handler t.cost.sw_prepare_resume;
   charge t Breakdown.L0_handler
     (Time.of_ns (Time.to_ns t.cost.l0_ctx_mgmt_l2 - Time.to_ns t.cost.l0_ctx_mgmt_l2 / 2));
   transform_entry t;
-  charge t Breakdown.Switch_l2_l0 t.cost.resume_hw
+  leg t Obs_span.Svt_resume [ ("leg", "l0-l2") ] (fun () ->
+      charge t Breakdown.Switch_l2_l0 t.cost.resume_hw)
 
 (* The SVt-thread: pinned to the SMT sibling, parked inside the (L1 guest)
    kernel, serving CMD_VM_TRAP commands (Figure 5's L1₁). *)
@@ -281,8 +315,9 @@ let charge_multiplex_reload t =
 
 let handle_hw_svt t info ~effect =
   (* ① VM trap = stall L2's context, fetch from SVt_visor's *)
-  Smt_core.vm_trap t.core;
-  charge t Breakdown.Switch_l2_l0 t.cost.thread_switch;
+  leg t Obs_span.Svt_trap [ ("leg", "l2-l0") ] (fun () ->
+      Smt_core.vm_trap t.core;
+      charge t Breakdown.Switch_l2_l0 t.cost.thread_switch);
   (* ③ the handler reads L2's registers through ctxtld instead of a
      memory save/restore *)
   ctxt_access_bulk t;
@@ -294,15 +329,17 @@ let handle_hw_svt t info ~effect =
   charge t Breakdown.L0_handler t.cost.l0_inject_exit_info;
   (* ④ resume into L1's hardware context; when L1 and L2 multiplex one
      context (§3.1), its register state must be reloaded first *)
-  charge_multiplex_reload t;
-  Smt_core.vm_resume t.core;
-  charge t Breakdown.Switch_l0_l1 t.cost.thread_switch;
+  leg t Obs_span.Svt_resume [ ("leg", "l0-l1") ] (fun () ->
+      charge_multiplex_reload t;
+      Smt_core.vm_resume t.core;
+      charge t Breakdown.Switch_l0_l1 t.cost.thread_switch);
   (* ⑤ L1 handles; its cross-context accesses to L2's registers resolve
      through SVt_nested (context virtualization, §4) *)
   run_l1_script t info ~effect;
   (* ④ L1's VMRESUME traps into L0's context *)
-  Smt_core.vm_trap t.core;
-  charge t Breakdown.Switch_l0_l1 t.cost.thread_switch;
+  leg t Obs_span.Svt_trap [ ("leg", "l1-l0") ] (fun () ->
+      Smt_core.vm_trap t.core;
+      charge t Breakdown.Switch_l0_l1 t.cost.thread_switch);
   (* ... and the shared context must be reloaded with L2's state *)
   charge_multiplex_reload t;
   (* ③ emulate the entry; restore goes through ctxtst *)
@@ -314,8 +351,9 @@ let handle_hw_svt t info ~effect =
   (* ② *)
   transform_entry t;
   (* ① resume L2's context *)
-  Smt_core.vm_resume t.core;
-  charge t Breakdown.Switch_l2_l0 t.cost.thread_switch
+  leg t Obs_span.Svt_resume [ ("leg", "l0-l2") ] (fun () ->
+      Smt_core.vm_resume t.core;
+      charge t Breakdown.Switch_l2_l0 t.cost.thread_switch)
 
 (* --- construction ------------------------------------------------------- *)
 
@@ -375,7 +413,8 @@ let create ~machine ~mode ~vcpu ~l1_vm ~script () =
     match mode with
     | Mode.Sw_svt { wait; placement } ->
         Some
-          (Channel.create ~machine ~aspace:l1_aspace ~wait ~placement ~core)
+          (Channel.create ~vcpu_index:(Vcpu.index vcpu) ~machine
+             ~aspace:l1_aspace ~wait ~placement ~core ())
     | _ -> None
   in
   let t =
@@ -441,7 +480,8 @@ let handle_full_nesting t (info : Svt_hyp.Exit.info) ~effect =
           (* a plain VMCS access on real hardware *)
           Breakdown.charge bd Breakdown.L1_handler (Time.of_ns 50))
     steps;
-  charge t Breakdown.Switch_l0_l1 t.cost.resume_hw
+  leg t Obs_span.Svt_resume [ ("leg", "l1-l2") ] (fun () ->
+      charge t Breakdown.Switch_l0_l1 t.cost.resume_hw)
 
 (* --- entry points ------------------------------------------------------- *)
 
@@ -472,7 +512,14 @@ let handle t (info : Svt_hyp.Exit.info) =
   t.last_episode_end <- Proc.now ();
   Svt_stats.Metrics.add_time t.metrics
     ("l2_exit_time." ^ Exit_reason.name info.reason)
-    (Time.diff (Proc.now ()) started)
+    (Time.diff (Proc.now ()) started);
+  let p = probe t in
+  if Probe.is_on p then
+    Probe.span p Obs_span.Vm_exit ~vcpu:(Vcpu.index t.vcpu) ~level:2
+      ~tags:
+        [ ("reason", Exit_reason.name info.reason);
+          ("mode", Mode.name t.mode) ]
+      ~start:started ()
 
 (* An interrupt destined for L1 arriving while this vCPU runs L2: a full
    reflection episode normally, or the SVT_BLOCKED light path when it
@@ -484,13 +531,22 @@ let interrupt_for_l1 t ~vector ~work =
     Svt_hyp.Exit.of_action (Svt_hyp.Exit.External_interrupt { vector })
   in
   let effect () = work () in
+  let started = Proc.now () in
   (match (t.mode, t.channel) with
   | Mode.Baseline, _ -> handle_baseline t info ~effect
   | Mode.Sw_svt _, Some ch -> handle_sw_svt t ch info ~effect
   | Mode.Sw_svt _, None -> failwith "Nested: SW SVt without a channel"
   | Mode.Hw_svt, _ -> handle_hw_svt t info ~effect
   | Mode.Hw_full_nesting, _ -> handle_full_nesting t info ~effect);
-  t.last_episode_end <- Proc.now ()
+  t.last_episode_end <- Proc.now ();
+  let p = probe t in
+  if Probe.is_on p then
+    Probe.span p Obs_span.Vm_exit ~vcpu:(Vcpu.index t.vcpu) ~level:2
+      ~tags:
+        [ ("reason", "external-interrupt-l1");
+          ("vector", string_of_int vector);
+          ("mode", Mode.name t.mode) ]
+      ~start:started ()
 
 (* Whether the vCPU is (virtually) inside/just past a trap episode, so a
    pending vector can be injected on the upcoming VM entry instead of

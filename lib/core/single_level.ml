@@ -36,6 +36,14 @@ let aux_round_trip ~(cost : Cost_model.t) ~(mode : Mode.t) ~breakdown ~bucket
    management, the L0 handler (which applies the semantics), resume. *)
 let handle ~(cost : Cost_model.t) ~(mode : Mode.t) (vcpu : Svt_hyp.Vcpu.t)
     (info : Svt_hyp.Exit.info) =
+  let probe = Svt_hyp.Machine.probe (Svt_hyp.Vcpu.machine vcpu) in
+  Svt_obs.Probe.wrap probe Svt_obs.Span.Vm_exit
+    ~vcpu:(Svt_hyp.Vcpu.index vcpu)
+    ~level:(Svt_hyp.Vm.level (Svt_hyp.Vcpu.vm vcpu))
+    ~tags:(fun () ->
+      [ ("reason", Svt_arch.Exit_reason.name info.reason);
+        ("mode", Mode.name mode) ])
+  @@ fun () ->
   let bd = Svt_hyp.Vcpu.breakdown vcpu in
   let profile = Cost_model.profile cost info.reason in
   Breakdown.count_exit bd;

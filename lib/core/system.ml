@@ -86,11 +86,15 @@ let wire_l2 nested vcpu =
          plus an interrupt-window exit. Network vectors always come from
          L1's vhost worker on another CPU (an IPI into a running guest),
          so they never hit the boundary. *)
-      if vector = net_vector || not (Nested.at_entry_boundary nested) then begin
-        Nested.handle nested
-          (Exit.of_action (Exit.External_interrupt { vector }));
-        Nested.handle nested (Exit.of_action Exit.Interrupt_window)
-      end;
+      (if vector = net_vector || not (Nested.at_entry_boundary nested) then
+         let probe = Machine.probe (Vcpu.machine v) in
+         Svt_obs.Probe.wrap probe Svt_obs.Span.Irq_inject ~vcpu:(Vcpu.index v)
+           ~level:2
+           ~tags:(fun () -> [ ("vector", string_of_int vector) ])
+           (fun () ->
+             Nested.handle nested
+               (Exit.of_action (Exit.External_interrupt { vector }));
+             Nested.handle nested (Exit.of_action Exit.Interrupt_window)));
       (match Vcpu.isr_handler v vector with Some f -> f () | None -> ());
       Nested.handle nested (Exit.of_action Exit.Eoi));
   Vcpu.set_deliver_host_event vcpu (fun _ ~vector ~work ->
@@ -174,6 +178,8 @@ let create ?(config = Machine.paper_config) ?(n_vcpus = 1)
         fabric = None }
 
 let machine t = t.machine
+let obs t = Machine.obs t.machine
+let probe t = Machine.probe t.machine
 let sim t = Machine.sim t.machine
 let cost t = Machine.cost t.machine
 let mode t = t.mode

@@ -46,6 +46,13 @@ val create :
 (** {2 Accessors} *)
 
 val machine : t -> Svt_hyp.Machine.t
+
+val obs : t -> Svt_obs.Recorder.t
+(** The machine's observability recorder (install sinks here). *)
+
+val probe : t -> Svt_obs.Probe.t
+(** The machine's probe (the emitter side of the obs layer). *)
+
 val sim : t -> Svt_engine.Simulator.t
 val cost : t -> Svt_arch.Cost_model.t
 val mode : t -> Mode.t

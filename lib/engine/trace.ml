@@ -26,23 +26,30 @@ let record t ~time ~tag detail =
 
 let recordf t ~time ~tag fmt = Format.kasprintf (record t ~time ~tag) fmt
 
-let to_list t =
-  (* Oldest first. *)
-  let acc = ref [] in
+(* Visit retained entries oldest-first without building a list; [find]
+   and [dump] run on top of this with no intermediate allocation. *)
+let iter t f =
   for i = 0 to t.capacity - 1 do
     let idx = (t.next + i) mod t.capacity in
     match t.entries.(idx) with
-    | Some e -> acc := e :: !acc
+    | Some e -> f e
     | None -> ()
-  done;
+  done
+
+let to_list t =
+  (* Oldest first. *)
+  let acc = ref [] in
+  iter t (fun e -> acc := e :: !acc);
   List.rev !acc
 
 let total_recorded t = t.total
 
 let find t ~tag =
-  List.filter (fun e -> e.tag = tag) (to_list t)
+  let acc = ref [] in
+  iter t (fun e -> if e.tag = tag then acc := e :: !acc);
+  List.rev !acc
 
 let pp_entry ppf e =
   Fmt.pf ppf "[%a] %-20s %s" Time.pp e.time e.tag e.detail
 
-let dump ppf t = List.iter (fun e -> Fmt.pf ppf "%a@." pp_entry e) (to_list t)
+let dump ppf t = iter t (fun e -> Fmt.pf ppf "%a@." pp_entry e)

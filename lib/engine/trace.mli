@@ -12,6 +12,9 @@ val record : t -> time:Time.t -> tag:string -> string -> unit
 val recordf :
   t -> time:Time.t -> tag:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
 
+val iter : t -> (entry -> unit) -> unit
+(** Visit retained entries oldest-first without allocating. *)
+
 val to_list : t -> entry list
 (** Oldest first; at most [capacity] entries are retained. *)
 

@@ -32,7 +32,7 @@ type t = {
   cores : Svt_arch.Smt_core.t array;
   host_cpuid : Svt_arch.Cpuid_db.t;
   metrics : Svt_stats.Metrics.t;
-  trace : Svt_engine.Trace.t;
+  obs : Svt_obs.Recorder.t;
   rng : Svt_engine.Prng.t;
 }
 
@@ -53,7 +53,7 @@ let create ?(config = paper_config) () =
           Svt_arch.Smt_core.create ~id ~n_contexts:config.smt_per_core ());
     host_cpuid = Svt_arch.Cpuid_db.host ();
     metrics = Svt_stats.Metrics.create ();
-    trace = Svt_engine.Trace.create ();
+    obs = Svt_obs.Recorder.create ~clock:(fun () -> Simulator.now sim) ();
     rng = Svt_engine.Prng.create config.seed;
   }
 
@@ -68,5 +68,9 @@ let same_numa t a b = numa_node t a = numa_node t b
 
 let now t = Simulator.now t.sim
 
-let trace t ~tag fmt =
-  Svt_engine.Trace.recordf t.trace ~time:(now t) ~tag fmt
+let obs t = t.obs
+let probe t = Svt_obs.Recorder.probe t.obs
+
+(* Formatted text annotation; kept as the cheap always-available surface,
+   now one sink of the obs layer (the bounded Trace ring underneath). *)
+let trace t ~tag fmt = Svt_obs.Recorder.annotate t.obs ~tag fmt

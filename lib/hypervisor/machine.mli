@@ -24,7 +24,7 @@ type t = {
   cores : Svt_arch.Smt_core.t array;
   host_cpuid : Svt_arch.Cpuid_db.t;
   metrics : Svt_stats.Metrics.t;
-  trace : Svt_engine.Trace.t;
+  obs : Svt_obs.Recorder.t;
   rng : Svt_engine.Prng.t;
 }
 
@@ -40,6 +40,15 @@ val numa_node : t -> int -> int
 val same_numa : t -> int -> int -> bool
 val now : t -> Svt_engine.Time.t
 
+val obs : t -> Svt_obs.Recorder.t
+(** The machine's observability recorder (no sinks installed by
+    default). *)
+
+val probe : t -> Svt_obs.Probe.t
+(** Shorthand for [Svt_obs.Recorder.probe (obs t)] — what the
+    instrumented trap paths emit spans through. *)
+
 val trace :
   t -> tag:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
-(** Record a formatted entry in the machine's trace ring. *)
+(** Record a formatted entry in the machine's bounded annotation ring
+    (the obs layer's text sink). *)

@@ -170,6 +170,8 @@ let wait_for_interrupt t =
   done;
   t.halted <- false;
   t.halted_ns <- t.halted_ns + Time.to_ns (Time.diff (Proc.now ()) started);
+  Svt_obs.Probe.span (Machine.probe t.machine) Svt_obs.Span.Halt
+    ~vcpu:t.index ~level:(Vm.level t.vm) ~start:started ();
   drain t
 
 (* Spawn the guest program as this vCPU's process. *)

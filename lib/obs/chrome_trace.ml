@@ -1,0 +1,116 @@
+(* Sink 2: Chrome trace-event JSON export. Collects spans (bounded) and
+   serializes them as complete ("ph":"X") events in the trace-event
+   format understood by Perfetto and chrome://tracing: one pid for the
+   simulated machine, one tid per vCPU, timestamps in microseconds of
+   virtual time, span tags as "args".
+
+   The JSON printer lives here on purpose: svt_obs sits below the
+   campaign layer (which has its own JSONL writer) and the two must not
+   depend on each other. *)
+
+module Time = Svt_engine.Time
+
+type t = {
+  limit : int;
+  mutable spans : Span.t list; (* newest first *)
+  mutable kept : int;
+  mutable dropped : int;
+}
+
+let create ?(limit = 1_000_000) () = { limit; spans = []; kept = 0; dropped = 0 }
+
+let sink t (s : Span.t) =
+  if t.kept < t.limit then begin
+    t.spans <- s :: t.spans;
+    t.kept <- t.kept + 1
+  end
+  else t.dropped <- t.dropped + 1
+
+let kept t = t.kept
+let dropped t = t.dropped
+
+(* JSON string escaping per RFC 8259 (control chars as \u00XX). *)
+let buf_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+(* Microseconds with nanosecond resolution, the unit of the "ts"/"dur"
+   fields. *)
+let buf_us b ns = Buffer.add_string b (Printf.sprintf "%.3f" (float_of_int ns /. 1e3))
+
+let buf_event b (s : Span.t) =
+  Buffer.add_string b "{\"name\":";
+  buf_string b (Span.kind_name s.Span.kind);
+  Buffer.add_string b ",\"cat\":\"svt\",\"ph\":\"X\",\"pid\":0,\"tid\":";
+  Buffer.add_string b (string_of_int (s.Span.vcpu + 1));
+  Buffer.add_string b ",\"ts\":";
+  buf_us b (Time.to_ns s.Span.start);
+  Buffer.add_string b ",\"dur\":";
+  buf_us b (Span.duration_ns s);
+  Buffer.add_string b ",\"args\":{\"level\":";
+  Buffer.add_string b (string_of_int s.Span.level);
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char b ',';
+      buf_string b k;
+      Buffer.add_char b ':';
+      buf_string b v)
+    s.Span.tags;
+  Buffer.add_string b "}}"
+
+(* Metadata events so Perfetto labels the rows. *)
+let buf_metadata b vcpus =
+  Buffer.add_string b
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"svt-sim\"}}";
+  List.iter
+    (fun v ->
+      Buffer.add_string b
+        (Printf.sprintf
+           ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":%s}}"
+           (v + 1)
+           (if v < 0 then "\"host\"" else Printf.sprintf "\"vcpu%d\"" v)))
+    vcpus
+
+let to_buffer t b =
+  let spans =
+    List.stable_sort
+      (fun (a : Span.t) (c : Span.t) -> Time.compare a.Span.start c.Span.start)
+      (List.rev t.spans)
+  in
+  let vcpus =
+    List.sort_uniq compare (List.map (fun (s : Span.t) -> s.Span.vcpu) spans)
+  in
+  Buffer.add_string b "{\"traceEvents\":[";
+  buf_metadata b vcpus;
+  List.iter
+    (fun s ->
+      Buffer.add_char b ',';
+      buf_event b s)
+    spans;
+  Buffer.add_string b "],\"displayTimeUnit\":\"ns\"}"
+
+let to_string t =
+  let b = Buffer.create (256 + (t.kept * 160)) in
+  to_buffer t b;
+  Buffer.contents b
+
+let write_file t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let b = Buffer.create (256 + (t.kept * 160)) in
+      to_buffer t b;
+      Buffer.output_buffer oc b)

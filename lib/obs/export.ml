@@ -1,0 +1,42 @@
+(* Sink 3, the ledger bridge: flatten per-span-kind timeline summaries
+   into flat (name, value) metric fields, the shape Campaign.Ledger
+   stores and sweep-diff compares. Field names are stable:
+   obs.<kind>.count / .mean_ns / .p99_ns / .total_ns. *)
+
+let field_name kind stat = Printf.sprintf "obs.%s.%s" (Span.kind_name kind) stat
+
+let fields_of_summary (s : Timeline.summary) =
+  [
+    (field_name s.Timeline.kind "count", float_of_int s.Timeline.count);
+    (field_name s.Timeline.kind "mean_ns", s.Timeline.mean_ns);
+    (field_name s.Timeline.kind "p99_ns", float_of_int s.Timeline.p99_ns);
+    (field_name s.Timeline.kind "total_ns", float_of_int s.Timeline.total_ns);
+  ]
+
+(* Only kinds that recorded at least one span: ledgers stay compact and
+   sweep-diff reports a field appearing/vanishing as a real change. *)
+let fields timeline =
+  List.concat_map fields_of_summary (Timeline.summaries timeline)
+
+(* Recover the per-kind summaries from a flat metric list (e.g. a ledger
+   row read back from disk); inverse of [fields] up to float precision. *)
+let summaries_of_fields metrics =
+  List.filter_map
+    (fun kind ->
+      match List.assoc_opt (field_name kind "count") metrics with
+      | None -> None
+      | Some count ->
+          let get stat =
+            Option.value ~default:Float.nan
+              (List.assoc_opt (field_name kind stat) metrics)
+          in
+          Some
+            {
+              Timeline.kind;
+              count = int_of_float count;
+              mean_ns = get "mean_ns";
+              p99_ns = int_of_float (get "p99_ns");
+              max_ns = 0;
+              total_ns = int_of_float (get "total_ns");
+            })
+    Span.all_kinds

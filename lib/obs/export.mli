@@ -1,0 +1,14 @@
+(** Sink 3, the ledger bridge: flatten a {!Timeline}'s per-span-kind
+    summaries into flat [(name, value)] metric fields, the shape the
+    campaign ledger stores and [sweep-diff] compares across runs. *)
+
+val field_name : Span.kind -> string -> string
+(** [field_name Vm_exit "p99_ns"] is ["obs.vm-exit.p99_ns"]. *)
+
+val fields : Timeline.t -> (string * float) list
+(** count / mean_ns / p99_ns / total_ns per non-empty span kind, in
+    kind order. *)
+
+val summaries_of_fields : (string * float) list -> Timeline.summary list
+(** Recover per-kind summaries from a flat metric list (e.g. a ledger
+    row read back); [max_ns] is not exported and reads as 0. *)

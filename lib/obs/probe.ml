@@ -1,0 +1,49 @@
+(* The emitter side of the observability layer. A probe decouples the
+   instrumented hot paths from whatever sinks are (or are not) installed:
+   emitters ask [is_on] — a single bool-and-list test — and skip all span
+   construction when nobody listens, so the default (null-sink) state
+   costs one branch per site and never perturbs the simulation. *)
+
+module Time = Svt_engine.Time
+
+type t = {
+  clock : unit -> Time.t;
+  mutable subs : (Span.t -> unit) list;
+  mutable armed : bool; (* master switch, independent of subscribers *)
+  sealed : bool; (* the shared null probe refuses subscribers *)
+}
+
+let create ~clock () = { clock; subs = []; armed = true; sealed = false }
+
+let null =
+  { clock = (fun () -> Time.zero); subs = []; armed = false; sealed = true }
+
+let is_on t = t.armed && t.subs <> []
+let now t = t.clock ()
+let set_armed t flag = t.armed <- flag
+
+let subscribe t sink =
+  if t.sealed then invalid_arg "Probe.subscribe: the null probe is sealed";
+  t.subs <- t.subs @ [ sink ]
+
+let subscriber_count t = List.length t.subs
+
+let emit t span = if is_on t then List.iter (fun sink -> sink span) t.subs
+
+(* Emit a span ending now. No-op (and no allocation beyond the already
+   evaluated arguments) when the probe is off. *)
+let span t kind ~vcpu ~level ?(tags = []) ~start () =
+  if is_on t then
+    emit t { Span.kind; vcpu; level; start; stop = t.clock (); tags }
+
+(* Run [f] inside a span of [kind]; tags are computed only on emission so
+   the off path pays nothing but the branch. *)
+let wrap t kind ~vcpu ~level ?(tags = fun () -> []) f =
+  if not (is_on t) then f ()
+  else begin
+    let start = t.clock () in
+    let result = f () in
+    emit t
+      { Span.kind; vcpu; level; start; stop = t.clock (); tags = tags () };
+    result
+  end

@@ -1,0 +1,59 @@
+(** Probe: the emitter handle of the observability layer.
+
+    Instrumented hot paths hold a probe and emit {!Span.t}s through it;
+    sinks subscribe without the emitters knowing. With no subscriber (the
+    null-sink state, the default) every operation short-circuits on a
+    single test, so instrumentation is safe to leave in hot paths. Probes
+    never advance virtual time: installing or removing sinks cannot
+    change simulation results. *)
+
+module Time = Svt_engine.Time
+
+type t
+
+val create : clock:(unit -> Time.t) -> unit -> t
+(** [clock] supplies span timestamps (normally the owning machine's
+    simulator clock). *)
+
+val null : t
+(** A sealed, permanently-off probe; {!subscribe} on it raises. Useful
+    as a default for components constructed outside a machine. *)
+
+val is_on : t -> bool
+(** True iff armed and at least one subscriber is installed. Emitters
+    use this to skip span/tag construction entirely. *)
+
+val now : t -> Time.t
+(** The probe's clock ([Time.zero] on {!null}). *)
+
+val set_armed : t -> bool -> unit
+(** Master switch: when disarmed the probe reports [is_on = false] even
+    with subscribers installed. *)
+
+val subscribe : t -> (Span.t -> unit) -> unit
+(** Install a sink; called once per emitted span, in subscription
+    order. *)
+
+val subscriber_count : t -> int
+val emit : t -> Span.t -> unit
+
+val span :
+  t ->
+  Span.kind ->
+  vcpu:int ->
+  level:int ->
+  ?tags:(string * string) list ->
+  start:Time.t ->
+  unit ->
+  unit
+(** Emit a span from [start] to the probe's current clock. *)
+
+val wrap :
+  t ->
+  Span.kind ->
+  vcpu:int ->
+  level:int ->
+  ?tags:(unit -> (string * string) list) ->
+  (unit -> 'a) ->
+  'a
+(** Run the thunk inside a span; [tags] is only evaluated on emission. *)

@@ -1,0 +1,37 @@
+(** The per-machine observability bundle: one {!Probe} for the
+    instrumented hot paths, the bounded {!Svt_engine.Trace} ring for
+    text annotations, and optional structured sinks ({!Timeline},
+    {!Chrome_trace}) installed on demand.
+
+    A fresh recorder has no span sink — the null-sink state: every
+    probe site short-circuits and the simulation is bit-identical to an
+    unobserved one. *)
+
+module Time = Svt_engine.Time
+module Trace = Svt_engine.Trace
+
+type t
+
+val create : ?ring_capacity:int -> clock:(unit -> Time.t) -> unit -> t
+val probe : t -> Probe.t
+val now : t -> Time.t
+
+val ring : t -> Trace.t
+(** The bounded text-annotation ring (the legacy [Machine.trace]
+    storage). *)
+
+val annotate :
+  t -> tag:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted text annotation into the ring. *)
+
+val set_enabled : t -> bool -> unit
+(** Master switch: disarms the probe and the annotation ring. *)
+
+val enable_timeline : ?capacity:int -> t -> Timeline.t
+(** Install (once) and return the per-vCPU timeline sink. *)
+
+val enable_chrome : ?limit:int -> t -> Chrome_trace.t
+(** Install (once) and return the Chrome trace-event sink. *)
+
+val timeline : t -> Timeline.t option
+val chrome : t -> Chrome_trace.t option

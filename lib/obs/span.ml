@@ -1,0 +1,74 @@
+(* The typed event model of the observability layer: a span is one timed
+   step of the virtualization protocol (an exit episode, a world switch, a
+   transform, a command-ring operation), tagged with where it happened.
+   Emitters produce spans through [Probe]; sinks ([Timeline],
+   [Chrome_trace]) consume them without the emitters knowing. *)
+
+module Time = Svt_engine.Time
+
+type kind =
+  | Vm_exit (* one full trap-handling episode, any level/mode *)
+  | World_switch (* a software world-switch leg (trap or resume) *)
+  | Svt_trap (* HW SVt: stall the guest context, fetch from L0's *)
+  | Svt_stall (* SW SVt: L0 blocked on the SVt-thread *)
+  | Svt_resume (* the resume-into-guest leg closing an episode *)
+  | Vmcs_transform (* vmcs12 <-> vmcs02 transform (Algorithm 1 step 2) *)
+  | Ring_send (* command posted into an SVt ring *)
+  | Ring_recv (* command consumed from an SVt ring *)
+  | Irq_inject (* interrupt injection sequence into a guest *)
+  | Halt (* vCPU idle in the architectural HLT state *)
+
+let all_kinds =
+  [ Vm_exit; World_switch; Svt_trap; Svt_stall; Svt_resume; Vmcs_transform;
+    Ring_send; Ring_recv; Irq_inject; Halt ]
+
+let n_kinds = List.length all_kinds
+
+let kind_index = function
+  | Vm_exit -> 0
+  | World_switch -> 1
+  | Svt_trap -> 2
+  | Svt_stall -> 3
+  | Svt_resume -> 4
+  | Vmcs_transform -> 5
+  | Ring_send -> 6
+  | Ring_recv -> 7
+  | Irq_inject -> 8
+  | Halt -> 9
+
+let kind_name = function
+  | Vm_exit -> "vm-exit"
+  | World_switch -> "world-switch"
+  | Svt_trap -> "svt-trap"
+  | Svt_stall -> "svt-stall"
+  | Svt_resume -> "svt-resume"
+  | Vmcs_transform -> "vmcs-transform"
+  | Ring_send -> "ring-send"
+  | Ring_recv -> "ring-recv"
+  | Irq_inject -> "irq-inject"
+  | Halt -> "halt"
+
+let kind_of_name s = List.find_opt (fun k -> kind_name k = s) all_kinds
+
+type t = {
+  kind : kind;
+  vcpu : int; (* vCPU index; -1 when not tied to one *)
+  level : int; (* virtualization level of the guest involved *)
+  start : Time.t;
+  stop : Time.t;
+  tags : (string * string) list; (* reason, mode, leg, direction, ... *)
+}
+
+let duration s = Time.diff s.stop s.start
+let duration_ns s = Time.to_ns (duration s)
+let tag s name = List.assoc_opt name s.tags
+
+(* [a] strictly encloses [b] on the shared virtual timeline. *)
+let encloses a b = Time.(a.start <= b.start) && Time.(b.stop <= a.stop)
+
+let pp ppf s =
+  Fmt.pf ppf "[%a..%a] %s vcpu%d/l%d%a" Time.pp s.start Time.pp s.stop
+    (kind_name s.kind) s.vcpu s.level
+    (fun ppf tags ->
+      List.iter (fun (k, v) -> Fmt.pf ppf " %s=%s" k v) tags)
+    s.tags

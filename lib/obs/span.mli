@@ -1,0 +1,48 @@
+(** Typed spans: the unit of the observability layer. One span is one
+    timed step of the virtualization protocol on the shared virtual
+    clock, tagged with the vCPU, level and free-form key/value context
+    (exit reason, run mode, switch leg, transform direction). *)
+
+module Time = Svt_engine.Time
+
+type kind =
+  | Vm_exit  (** one full trap-handling episode, any level/mode *)
+  | World_switch  (** a software world-switch leg (trap or resume) *)
+  | Svt_trap  (** HW SVt: stall the guest context, fetch from L0's *)
+  | Svt_stall  (** SW SVt: L0 blocked on the SVt-thread *)
+  | Svt_resume  (** the resume-into-guest leg closing an episode *)
+  | Vmcs_transform  (** vmcs12 <-> vmcs02 transform *)
+  | Ring_send  (** command posted into an SVt ring *)
+  | Ring_recv  (** command consumed from an SVt ring *)
+  | Irq_inject  (** interrupt injection sequence into a guest *)
+  | Halt  (** vCPU idle in the architectural HLT state *)
+
+val all_kinds : kind list
+val n_kinds : int
+
+val kind_index : kind -> int
+(** Dense 0-based index, for per-kind arrays. *)
+
+val kind_name : kind -> string
+(** Stable dashed name ("vm-exit", "svt-resume", ...), used in Chrome
+    trace events and ledger field names. *)
+
+val kind_of_name : string -> kind option
+
+type t = {
+  kind : kind;
+  vcpu : int;  (** vCPU index; -1 when not tied to one *)
+  level : int;  (** virtualization level of the guest involved *)
+  start : Time.t;
+  stop : Time.t;
+  tags : (string * string) list;
+}
+
+val duration : t -> Time.t
+val duration_ns : t -> int
+val tag : t -> string -> string option
+
+val encloses : t -> t -> bool
+(** [encloses a b]: [a]'s interval contains [b]'s. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,114 @@
+(* Sink 1: per-vCPU span timelines plus per-span-kind latency histograms,
+   queryable at end of run. Each vCPU keeps a bounded ring of recent
+   spans (the assertion surface for ordering/nesting tests); histograms
+   and totals see every span regardless of ring wraparound. *)
+
+module Time = Svt_engine.Time
+module Histogram = Svt_stats.Histogram
+
+type ring = {
+  spans : Span.t option array;
+  mutable next : int;
+  mutable recorded : int;
+}
+
+type summary = {
+  kind : Span.kind;
+  count : int;
+  mean_ns : float;
+  p99_ns : int;
+  max_ns : int;
+  total_ns : int;
+}
+
+type t = {
+  capacity : int; (* per-vCPU ring capacity *)
+  rings : (int, ring) Hashtbl.t;
+  hists : Histogram.t array; (* one per span kind *)
+  totals : int array; (* accumulated ns per span kind *)
+  mutable total_spans : int;
+}
+
+let create ?(capacity = 4096) () =
+  {
+    capacity;
+    rings = Hashtbl.create 8;
+    hists = Array.init Span.n_kinds (fun _ -> Histogram.create ());
+    totals = Array.make Span.n_kinds 0;
+    total_spans = 0;
+  }
+
+let ring_for t vcpu =
+  match Hashtbl.find_opt t.rings vcpu with
+  | Some r -> r
+  | None ->
+      let r = { spans = Array.make t.capacity None; next = 0; recorded = 0 } in
+      Hashtbl.add t.rings vcpu r;
+      r
+
+(* The subscriber function to install on a probe. *)
+let sink t (s : Span.t) =
+  let r = ring_for t s.Span.vcpu in
+  r.spans.(r.next) <- Some s;
+  r.next <- (r.next + 1) mod Array.length r.spans;
+  r.recorded <- r.recorded + 1;
+  let k = Span.kind_index s.Span.kind in
+  let ns = Span.duration_ns s in
+  Histogram.add t.hists.(k) (max 0 ns);
+  t.totals.(k) <- t.totals.(k) + ns;
+  t.total_spans <- t.total_spans + 1
+
+let total_spans t = t.total_spans
+
+let vcpus t =
+  Hashtbl.fold (fun v _ acc -> v :: acc) t.rings [] |> List.sort compare
+
+let recorded t ~vcpu =
+  match Hashtbl.find_opt t.rings vcpu with Some r -> r.recorded | None -> 0
+
+(* Retained spans of one vCPU, oldest first (at most [capacity]). *)
+let iter t ~vcpu f =
+  match Hashtbl.find_opt t.rings vcpu with
+  | None -> ()
+  | Some r ->
+      let n = Array.length r.spans in
+      for i = 0 to n - 1 do
+        match r.spans.((r.next + i) mod n) with
+        | Some s -> f s
+        | None -> ()
+      done
+
+let spans t ~vcpu =
+  let acc = ref [] in
+  iter t ~vcpu (fun s -> acc := s :: !acc);
+  List.rev !acc
+
+let histogram t kind = t.hists.(Span.kind_index kind)
+let count t kind = Histogram.count (histogram t kind)
+let total_time t kind = Time.of_ns t.totals.(Span.kind_index kind)
+
+let summary t kind =
+  let h = histogram t kind in
+  {
+    kind;
+    count = Histogram.count h;
+    mean_ns = Histogram.mean h;
+    p99_ns = Histogram.p99 h;
+    max_ns = Histogram.max_value h;
+    total_ns = t.totals.(Span.kind_index kind);
+  }
+
+(* Non-empty kinds only, in kind order. *)
+let summaries t =
+  List.filter_map
+    (fun k -> if count t k > 0 then Some (summary t k) else None)
+    Span.all_kinds
+
+let pp_summary ppf s =
+  Fmt.pf ppf "%-15s %8d spans  mean %a  p99 %a  total %a"
+    (Span.kind_name s.kind) s.count Time.pp
+    (Time.of_ns (int_of_float s.mean_ns))
+    Time.pp (Time.of_ns s.p99_ns) Time.pp (Time.of_ns s.total_ns)
+
+let pp ppf t =
+  List.iter (fun s -> Fmt.pf ppf "%a@." pp_summary s) (summaries t)

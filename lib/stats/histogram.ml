@@ -47,14 +47,15 @@ let value_of_index t idx =
   end
 
 let add t v =
-  let idx = index t v in
-  if idx < Array.length t.counts then begin
-    t.counts.(idx) <- t.counts.(idx) + 1;
-    t.total <- t.total + 1;
-    t.sum <- t.sum +. float_of_int v;
-    if v > t.max_v then t.max_v <- v;
-    if v < t.min_v then t.min_v <- v
-  end
+  (* Values beyond the top bucket are clamped into it rather than
+     dropped: count/mean/max must see every sample, and the percentile
+     scan already caps bucket upper bounds at the observed max. *)
+  let idx = Stdlib.min (index t v) (Array.length t.counts - 1) in
+  t.counts.(idx) <- t.counts.(idx) + 1;
+  t.total <- t.total + 1;
+  t.sum <- t.sum +. float_of_int v;
+  if v > t.max_v then t.max_v <- v;
+  if v < t.min_v then t.min_v <- v
 
 let count t = t.total
 let mean t = if t.total = 0 then nan else t.sum /. float_of_int t.total

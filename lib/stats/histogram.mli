@@ -9,6 +9,10 @@ val create : ?sub_bits:int -> unit -> t
     (default 5, ≈3% worst-case relative error). *)
 
 val add : t -> int -> unit
+(** Record one sample. Values beyond the top bucket are clamped into it
+    (still counted in [count]/[mean]/[max_value]); negative values
+    raise [Invalid_argument]. *)
+
 val count : t -> int
 val mean : t -> float
 val min_value : t -> int

@@ -92,3 +92,14 @@ let shadow_write ~vmcs12 field v = Vmcs.write vmcs12 field v
    actually performed. *)
 let cost (cm : Svt_arch.Cost_model.t) result =
   Svt_arch.Cost_model.transform_cost cm ~fields:result.fields_copied
+
+(* Observability payload: how much work this transform did, as span tags
+   for the obs layer (emitted by the nested path, which also knows the
+   charged cost). *)
+let span_tags ~direction result =
+  [
+    ("dir", direction);
+    ("fields", string_of_int result.fields_copied);
+    ("pointers", string_of_int result.pointers_translated);
+    ("controls", string_of_int result.controls_merged);
+  ]

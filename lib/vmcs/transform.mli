@@ -44,3 +44,8 @@ val shadow_write : vmcs12:Vmcs.t -> Field.t -> int64 -> unit
 
 val cost : Svt_arch.Cost_model.t -> result -> Svt_engine.Time.t
 (** The calibrated cost of a transform, from the work actually done. *)
+
+val span_tags : direction:string -> result -> (string * string) list
+(** The transform's work amounts as span tags for the observability
+    layer ([dir]/[fields]/[pointers]/[controls]); [direction] is
+    ["entry"] or ["exit"]. *)

@@ -61,6 +61,7 @@ let make_channel () =
     Channel.create ~machine ~aspace:(Svt_hyp.Vm.aspace vm) ~wait:Mode.Mwait
       ~placement:Mode.Smt_sibling
       ~core:(Svt_hyp.Machine.core machine 0)
+      ()
   in
   (machine, ch)
 

@@ -415,6 +415,18 @@ let test_trace_records_and_wraps () =
   check Alcotest.string "oldest kept is 3" "3"
     (List.hd entries).Trace.detail
 
+let test_trace_iter () =
+  let t = Trace.create ~capacity:4 () in
+  for i = 1 to 6 do
+    Trace.record t ~time:(Time.of_ns i) ~tag:"e" (string_of_int i)
+  done;
+  let seen = ref [] in
+  Trace.iter t (fun e -> seen := e.Trace.detail :: !seen);
+  check
+    Alcotest.(list string)
+    "iter visits retained entries oldest-first" [ "3"; "4"; "5"; "6" ]
+    (List.rev !seen)
+
 let test_trace_find_and_disable () =
   let t = Trace.create () in
   Trace.record t ~time:1 ~tag:"a" "x";
@@ -487,6 +499,7 @@ let () =
       ( "trace",
         [
           Alcotest.test_case "record and wrap" `Quick test_trace_records_and_wraps;
+          Alcotest.test_case "iter oldest-first" `Quick test_trace_iter;
           Alcotest.test_case "find and disable" `Quick test_trace_find_and_disable;
         ] );
     ]

@@ -1,0 +1,301 @@
+(* Tests for the observability layer: probe/null-sink semantics, span
+   nesting and ordering on a real nested run, ring wraparound of the
+   bounded timeline sink, Chrome-trace JSON escaping, the ledger bridge
+   round trip, and the null-sink overhead guard. *)
+
+module Time = Svt_engine.Time
+module Span = Svt_obs.Span
+module Probe = Svt_obs.Probe
+module Timeline = Svt_obs.Timeline
+module Chrome_trace = Svt_obs.Chrome_trace
+module Export = Svt_obs.Export
+module Recorder = Svt_obs.Recorder
+module Mode = Svt_core.Mode
+module System = Svt_core.System
+module Guest = Svt_core.Guest
+module Spec = Svt_campaign.Spec
+module Runner = Svt_campaign.Runner
+module Ledger = Svt_campaign.Ledger
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* --- probe basics -------------------------------------------------------- *)
+
+let test_probe_off_by_default () =
+  let p = Probe.create ~clock:(fun () -> Time.zero) () in
+  checkb "no subscriber -> off" false (Probe.is_on p);
+  let hits = ref 0 in
+  Probe.subscribe p (fun _ -> incr hits);
+  checkb "subscriber -> on" true (Probe.is_on p);
+  Probe.set_armed p false;
+  checkb "disarmed -> off" false (Probe.is_on p);
+  Probe.span p Span.Vm_exit ~vcpu:0 ~level:2 ~start:Time.zero ();
+  checki "disarmed emits nothing" 0 !hits;
+  Probe.set_armed p true;
+  Probe.span p Span.Vm_exit ~vcpu:0 ~level:2 ~start:Time.zero ();
+  checki "armed emits" 1 !hits
+
+let test_null_probe_sealed () =
+  checkb "null off" false (Probe.is_on Probe.null);
+  checkb "null subscribe raises" true
+    (try
+       Probe.subscribe Probe.null (fun _ -> ());
+       false
+     with _ -> true)
+
+let test_wrap_tags_lazy () =
+  let p = Probe.create ~clock:(fun () -> Time.zero) () in
+  let evaluated = ref false in
+  let r =
+    Probe.wrap p Span.Vm_exit ~vcpu:0 ~level:2
+      ~tags:(fun () ->
+        evaluated := true;
+        [])
+      (fun () -> 42)
+  in
+  checki "wrap returns thunk value" 42 r;
+  checkb "tags not built when off" false !evaluated
+
+(* --- span nesting / ordering on a real run ------------------------------ *)
+
+let run_small_nested mode =
+  let sys = System.create ~mode ~level:System.L2_nested () in
+  let tl = Recorder.enable_timeline (System.obs sys) in
+  Svt_hyp.Vcpu.spawn_program (System.vcpu0 sys) (fun v ->
+      for _ = 1 to 5 do
+        ignore (Guest.cpuid v ~leaf:1)
+      done);
+  System.run sys;
+  (sys, tl)
+
+let test_nesting_and_ordering () =
+  let _sys, tl = run_small_nested Mode.Baseline in
+  checkb "saw vm-exits" true (Timeline.count tl Span.Vm_exit >= 5);
+  checkb "saw transforms" true (Timeline.count tl Span.Vmcs_transform >= 10);
+  let spans = Timeline.spans tl ~vcpu:0 in
+  let exits = List.filter (fun s -> s.Span.kind = Span.Vm_exit) spans in
+  (* every non-exit protocol span lies inside some vm-exit episode *)
+  List.iter
+    (fun s ->
+      match s.Span.kind with
+      | Span.Vmcs_transform | Span.World_switch | Span.Svt_resume ->
+          checkb
+            (Fmt.str "%s enclosed by a vm-exit" (Span.kind_name s.Span.kind))
+            true
+            (List.exists (fun e -> Span.encloses e s) exits)
+      | _ -> ())
+    spans;
+  (* spans arrive in emission order: non-decreasing stop times *)
+  let ok = ref true in
+  let prev = ref Time.zero in
+  List.iter
+    (fun s ->
+      if Time.(s.Span.stop < !prev) then ok := false;
+      prev := s.Span.stop)
+    spans;
+  checkb "stop times non-decreasing" true !ok;
+  (* episode spans carry their identity tags *)
+  List.iter
+    (fun e ->
+      checkb "reason tag" true (Span.tag e "reason" <> None);
+      checkb "mode tag" true (Span.tag e "mode" = Some "baseline"))
+    exits
+
+let test_sw_svt_ring_spans () =
+  let _sys, tl = run_small_nested Mode.sw_svt_default in
+  checkb "ring sends" true (Timeline.count tl Span.Ring_send > 0);
+  checkb "ring recvs" true (Timeline.count tl Span.Ring_recv > 0);
+  checkb "stalls" true (Timeline.count tl Span.Svt_stall > 0);
+  (* each episode posts CMD_VM_TRAP and receives CMD_VM_RESUME *)
+  checkb "sends >= exits" true
+    (Timeline.count tl Span.Ring_send >= Timeline.count tl Span.Vm_exit)
+
+(* --- ring wraparound ----------------------------------------------------- *)
+
+let synthetic_span i =
+  {
+    Span.kind = Span.Vm_exit;
+    vcpu = 0;
+    level = 2;
+    start = Time.of_ns (i * 100);
+    stop = Time.of_ns ((i * 100) + 50);
+    tags = [ ("i", string_of_int i) ];
+  }
+
+let test_ring_wraparound () =
+  let tl = Timeline.create ~capacity:4 () in
+  for i = 1 to 6 do
+    Timeline.sink tl (synthetic_span i)
+  done;
+  checki "recorded counts everything" 6 (Timeline.recorded tl ~vcpu:0);
+  checki "histograms see everything" 6 (Timeline.count tl Span.Vm_exit);
+  let retained = Timeline.spans tl ~vcpu:0 in
+  checki "ring keeps capacity" 4 (List.length retained);
+  Alcotest.(check (list string))
+    "oldest-first, oldest dropped"
+    [ "3"; "4"; "5"; "6" ]
+    (List.map (fun s -> Option.get (Span.tag s "i")) retained)
+
+(* --- Chrome trace JSON --------------------------------------------------- *)
+
+let json_str = function Ledger.Str s -> s | _ -> Alcotest.fail "expected Str"
+
+let test_chrome_json_escaping () =
+  let ct = Chrome_trace.create () in
+  let nasty = "a\"b\nc\\d\te\r\x01f" in
+  Chrome_trace.sink ct
+    {
+      Span.kind = Span.Vm_exit;
+      vcpu = 0;
+      level = 2;
+      start = Time.of_ns 1500;
+      stop = Time.of_ns 2500;
+      tags = [ ("weird", nasty) ];
+    };
+  let s = Chrome_trace.to_string ct in
+  match Ledger.parse_json s with
+  | Ledger.Obj fields -> (
+      match List.assoc "traceEvents" fields with
+      | Ledger.Arr events ->
+          let span_events =
+            List.filter_map
+              (function
+                | Ledger.Obj ev
+                  when List.assoc_opt "ph" ev = Some (Ledger.Str "X") ->
+                    Some ev
+                | _ -> None)
+              events
+          in
+          checki "one span event" 1 (List.length span_events);
+          let ev = List.hd span_events in
+          Alcotest.(check string)
+            "name" "vm-exit"
+            (json_str (List.assoc "name" ev));
+          (match List.assoc "args" ev with
+          | Ledger.Obj args ->
+              Alcotest.(check string)
+                "nasty tag round-trips" nasty
+                (json_str (List.assoc "weird" args))
+          | _ -> Alcotest.fail "args not an object")
+      | _ -> Alcotest.fail "traceEvents not an array")
+  | _ -> Alcotest.fail "not an object"
+
+(* --- ledger bridge round trip -------------------------------------------- *)
+
+let test_ledger_round_trip () =
+  let _sys, tl = run_small_nested Mode.Baseline in
+  let obs_fields = Export.fields tl in
+  checkb "exports fields" true (obs_fields <> []);
+  let point = Spec.point ~workload:"cpuid" Mode.Baseline in
+  let entry =
+    {
+      Ledger.run_id = Spec.run_id point;
+      point;
+      status = "ok";
+      error = None;
+      attempts = 1;
+      wall_s = 0.01;
+      metrics = ("per_op_us", 10.3) :: obs_fields;
+    }
+  in
+  let path = Filename.temp_file "obs_ledger" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Ledger.write path [ entry ];
+      let loaded = List.hd (Ledger.load_exn path) in
+      List.iter
+        (fun (k, v) ->
+          Alcotest.(check (float 1e-9)) k v (Ledger.metric loaded k))
+        obs_fields;
+      (* the flattened fields recover the original summaries *)
+      let recovered = Export.summaries_of_fields loaded.Ledger.metrics in
+      let original = Timeline.summaries tl in
+      checki "summary count" (List.length original) (List.length recovered);
+      List.iter2
+        (fun (o : Timeline.summary) (r : Timeline.summary) ->
+          checkb "kind" true (o.Timeline.kind = r.Timeline.kind);
+          checki "count" o.Timeline.count r.Timeline.count;
+          checki "p99" o.Timeline.p99_ns r.Timeline.p99_ns;
+          checki "total" o.Timeline.total_ns r.Timeline.total_ns)
+        original recovered)
+
+(* --- overhead guard ------------------------------------------------------ *)
+
+(* The safety property: installing sinks never changes simulated results,
+   and the default null-sink probes cost nothing measurable next to a
+   probe-disarmed run. *)
+
+let point = Spec.point ~workload:"cpuid" Mode.Baseline
+
+let run_with prepare =
+  let sys = Runner.make_system point in
+  prepare sys;
+  let t0 = Unix.gettimeofday () in
+  let metrics = Runner.workload_metrics point sys in
+  (metrics, Unix.gettimeofday () -. t0)
+
+let test_sinks_do_not_perturb () =
+  let bare, _ = run_with (fun _ -> ()) in
+  let observed, _ =
+    run_with (fun sys ->
+        ignore (Recorder.enable_timeline (System.obs sys));
+        ignore (Recorder.enable_chrome (System.obs sys)))
+  in
+  checki "same metric count" (List.length bare) (List.length observed);
+  List.iter2
+    (fun (k, v) (k', v') ->
+      Alcotest.(check string) "metric name" k k';
+      checkb (k ^ " bit-identical") true (Float.equal v v'))
+    bare observed
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let test_null_sink_overhead () =
+  (* warm-up *)
+  ignore (run_with (fun _ -> ()));
+  let time prepare =
+    median (List.init 5 (fun _ -> snd (run_with prepare)))
+  in
+  let disarmed = time (fun sys -> Recorder.set_enabled (System.obs sys) false) in
+  let null_sink = time (fun _ -> ()) in
+  (* 5% relative budget plus absolute slack for timer noise on a
+     sub-millisecond workload *)
+  checkb
+    (Printf.sprintf "null sink %.4fs within budget of disarmed %.4fs"
+       null_sink disarmed)
+    true
+    (null_sink <= (disarmed *. 1.05) +. 0.005)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "probe",
+        [
+          Alcotest.test_case "off by default" `Quick test_probe_off_by_default;
+          Alcotest.test_case "null sealed" `Quick test_null_probe_sealed;
+          Alcotest.test_case "wrap tags lazy" `Quick test_wrap_tags_lazy;
+        ] );
+      ( "timeline",
+        [
+          Alcotest.test_case "nesting and ordering" `Quick
+            test_nesting_and_ordering;
+          Alcotest.test_case "sw-svt ring spans" `Quick test_sw_svt_ring_spans;
+          Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+        ] );
+      ( "chrome",
+        [ Alcotest.test_case "json escaping" `Quick test_chrome_json_escaping ] );
+      ( "export",
+        [ Alcotest.test_case "ledger round trip" `Quick test_ledger_round_trip ] );
+      ( "overhead",
+        [
+          Alcotest.test_case "sinks do not perturb" `Quick
+            test_sinks_do_not_perturb;
+          Alcotest.test_case "null sink overhead" `Quick
+            test_null_sink_overhead;
+        ] );
+    ]

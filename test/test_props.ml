@@ -21,7 +21,8 @@ let make_channel () =
   ( machine,
     Channel.create ~machine ~aspace:(Svt_hyp.Vm.aspace vm) ~wait:Mode.Mwait
       ~placement:Mode.Smt_sibling
-      ~core:(Svt_hyp.Machine.core machine 0) )
+      ~core:(Svt_hyp.Machine.core machine 0)
+      () )
 
 let reasons =
   [| Exit_reason.Cpuid; Exit_reason.Msr_write; Exit_reason.Ept_misconfig;

@@ -91,6 +91,21 @@ let test_histogram_reset () =
   Histogram.reset h;
   checki "empty" 0 (Histogram.count h)
 
+let test_histogram_clamps_overflow () =
+  (* values beyond the top bucket are clamped into it, not dropped:
+     count, mean and max still account for them *)
+  let h = Histogram.create () in
+  Histogram.add h 100;
+  Histogram.add h max_int;
+  checki "both counted" 2 (Histogram.count h);
+  checki "max exact" max_int (Histogram.max_value h);
+  checkf "mean sees the sample"
+    ((100.0 +. float_of_int max_int) /. 2.0)
+    (Histogram.mean h);
+  (* percentile caps at the observed max, never beyond *)
+  checkb "p99 <= max" true (Histogram.percentile h 99.0 <= max_int);
+  checkb "p99 above the small sample" true (Histogram.percentile h 99.0 > 100)
+
 let prop_histogram_percentile_error =
   QCheck.Test.make ~name:"p100 within 4% of true max" ~count:100
     QCheck.(list_of_size Gen.(int_range 1 100) (int_bound 1_000_000))
@@ -213,6 +228,8 @@ let () =
           Alcotest.test_case "large values" `Quick test_histogram_large_values;
           Alcotest.test_case "merge" `Quick test_histogram_merge;
           Alcotest.test_case "reset" `Quick test_histogram_reset;
+          Alcotest.test_case "clamps overflow" `Quick
+            test_histogram_clamps_overflow;
           QCheck_alcotest.to_alcotest prop_histogram_percentile_error;
         ] );
       ( "convergence",
