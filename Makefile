@@ -1,8 +1,8 @@
-.PHONY: build test check fmt-check sweep-smoke trace-smoke clean
+.PHONY: build test check fmt-check sweep-smoke trace-smoke fault-smoke clean
 
 # The default verification bundle: tier-1 tests plus the end-to-end
-# trace-export smoke run.
-check: test trace-smoke
+# trace-export and fault-injection smoke runs.
+check: test trace-smoke fault-smoke
 
 build:
 	dune build @all
@@ -38,6 +38,20 @@ trace-smoke: build
 	dune exec bin/svt_sim.exe -- trace \
 		--mode baseline --level l2 --out _build/trace-smoke.json --validate
 	@echo "trace-smoke: trace at _build/trace-smoke.json"
+
+# Determinism gate for the fault injector: the same seed and plan must
+# produce byte-identical ledger rows (the faults subcommand pins wall_s
+# for exactly this reason). A diff here means an injection point consumed
+# PRNG state or virtual time it should not have.
+FAULT_PLAN = drop-ring:0.05,corrupt-vmcs12:0.02,stall-blocked:0.1
+fault-smoke: build
+	rm -f _build/fault-smoke-a.jsonl _build/fault-smoke-b.jsonl
+	dune exec bin/svt_sim.exe -- faults --mode sw-svt --workload rr \
+		--seed 7 --plan $(FAULT_PLAN) --out _build/fault-smoke-a.jsonl
+	dune exec bin/svt_sim.exe -- faults --mode sw-svt --workload rr \
+		--seed 7 --plan $(FAULT_PLAN) --out _build/fault-smoke-b.jsonl
+	cmp _build/fault-smoke-a.jsonl _build/fault-smoke-b.jsonl
+	@echo "fault-smoke: ledgers byte-identical"
 
 clean:
 	dune clean

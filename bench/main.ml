@@ -7,7 +7,7 @@
        dune exec bench/main.exe -- jobs=4   # shard run matrices over domains
 
    Sections: table1 table2 table3 table4 fig6 fig7 fig8 fig9 fig10
-             channels ablation obs bechamel
+             channels ablation obs faults bechamel
 
    The matrix-shaped sections (fig6, fig7, fig10) go through the
    lib/campaign worker pool: jobs=1 (the default) is the sequential
@@ -535,6 +535,47 @@ let obs_overhead () =
           ignore (Svt_obs.Recorder.enable_chrome (System.obs sys)) );
     ]
 
+(* ----------------------------------------------------------------- faults *)
+
+(* Graceful degradation under injected faults: latency of the SW SVt rr
+   path as ring-fault rates rise, plus the typed outcome counts. The
+   interesting shape: moderate fault rates cost retries and watchdog
+   stalls, certain loss costs a downgrade to baseline reflection — the
+   run always completes. *)
+let faults () =
+  header "faults: SW SVt TCP_RR under injected ring faults";
+  Printf.printf "   %-34s %12s %10s %10s %10s\n" "plan" "mean_rtt_us"
+    "injected" "retries" "downgrades";
+  List.iter
+    (fun plan ->
+      let p =
+        Spec.point ~workload:"rr" ~seed:1 ~fault:plan Mode.sw_svt_default
+      in
+      let m = Svt_campaign.Runner.exec p in
+      let metric k =
+        match List.assoc_opt k m with Some v -> v | None -> 0.0
+      in
+      let injected =
+        List.fold_left
+          (fun acc (k, v) ->
+            if String.length k > 15 && String.sub k 0 15 = "fault.injected." then
+              acc +. v
+            else acc)
+          0.0 m
+      in
+      Printf.printf "   %-34s %12.1f %10.0f %10.0f %10.0f\n%!"
+        (if plan = "" then "(none)" else plan)
+        (metric "mean_rtt_us") injected
+        (metric "fault.resume-retry")
+        (metric "fault.downgrade"))
+    [
+      "";
+      "drop-ring:0.01";
+      "drop-ring:0.05";
+      "drop-ring:0.05,corrupt-vmcs12:0.02";
+      "drop-ring:1";
+    ]
+
 (* --------------------------------------------------------------- bechamel *)
 
 (* Wall-clock cost of the simulator itself: one Bechamel test per
@@ -607,5 +648,6 @@ let () =
   if wanted "channels" then channels ();
   if wanted "ablation" then ablation ();
   if wanted "obs" then obs_overhead ();
+  if wanted "faults" then faults ();
   if wanted "bechamel" then bechamel ();
   print_endline "\ndone."

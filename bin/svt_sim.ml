@@ -22,26 +22,24 @@ module Breakdown = Svt_hyp.Breakdown
 
 (* ---- common arguments ---- *)
 
+(* The CLI shares the campaign axis grammar's name tables (which in turn
+   defer to Wait.Kind for the wait-mechanism selector), so "sw-svt-mwait"
+   or "sw-svt-polling@cross-numa" mean the same thing everywhere. *)
 let mode_conv =
-  let parse = function
-    | "baseline" -> Ok Mode.Baseline
-    | "sw-svt" | "sw" -> Ok Mode.sw_svt_default
-    | "sw-svt-polling" -> Ok (Mode.Sw_svt { wait = Mode.Polling; placement = Mode.Smt_sibling })
-    | "sw-svt-mutex" -> Ok (Mode.Sw_svt { wait = Mode.Mutex; placement = Mode.Smt_sibling })
-    | "hw-svt" | "hw" -> Ok Mode.Hw_svt
-    | "hw-full-nesting" | "full" -> Ok Mode.Hw_full_nesting
-    | s -> Error (`Msg (Printf.sprintf "unknown mode %S" s))
+  let parse s =
+    match Svt_campaign.Spec.mode_of_string s with
+    | Ok m -> Ok m
+    | Error e -> Error (`Msg e)
   in
-  Arg.conv (parse, fun ppf m -> Fmt.string ppf (Mode.name m))
+  Arg.conv (parse, fun ppf m -> Fmt.string ppf (Svt_campaign.Spec.mode_to_string m))
 
 let level_conv =
-  let parse = function
-    | "l0" | "native" -> Ok System.L0_native
-    | "l1" -> Ok System.L1_leaf
-    | "l2" | "nested" -> Ok System.L2_nested
-    | s -> Error (`Msg (Printf.sprintf "unknown level %S" s))
+  let parse s =
+    match Svt_campaign.Spec.level_of_string s with
+    | Ok l -> Ok l
+    | Error e -> Error (`Msg e)
   in
-  Arg.conv (parse, fun ppf l -> Fmt.string ppf (System.level_name l))
+  Arg.conv (parse, fun ppf l -> Fmt.string ppf (Svt_campaign.Spec.level_to_string l))
 
 let mode_arg =
   Arg.(value & opt mode_conv Mode.Baseline
@@ -419,6 +417,115 @@ let sweep_diff_cmd =
        ~doc:"Diff two campaign ledgers run_id by run_id (exit 1 on drift).")
     Term.(const run $ old_arg $ new_arg)
 
+(* ---- fault injection ---- *)
+
+let faults_cmd =
+  let module Spec = Svt_campaign.Spec in
+  let module Runner = Svt_campaign.Runner in
+  let module Ledger = Svt_campaign.Ledger in
+  let module Plan = Svt_fault.Plan in
+  let mode_arg =
+    Arg.(value & opt mode_conv Mode.sw_svt_default
+         & info [ "m"; "mode" ] ~docv:"MODE"
+             ~doc:"Run mode (default sw-svt: the mode with the most \
+                   injection sites).")
+  in
+  let workload_arg =
+    Arg.(value & opt string "cpuid"
+         & info [ "w"; "workload" ] ~docv:"NAME"
+             ~doc:"Workload to drive under faults (campaign registry name).")
+  in
+  let vcpus_arg =
+    Arg.(value & opt int 1 & info [ "vcpus" ] ~docv:"N" ~doc:"Guest vCPUs.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Replication index; the fault PRNG streams are derived \
+                   from it, so the same seed and plan replay the same \
+                   faults.")
+  in
+  let plan_arg =
+    Arg.(value & opt string ""
+         & info [ "plan" ] ~docv:"PLAN"
+             ~doc:"Fault plan: comma-separated kind:rate pairs, e.g. \
+                   drop-ring:0.01,corrupt-vmcs12:0.02. Kinds: drop-ring, \
+                   dup-ring, delay-ring, corrupt-ring, corrupt-vmcs12, \
+                   drop-irq, spurious-irq, stall-blocked. Empty means no \
+                   faults.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"PATH"
+             ~doc:"Append the run's ledger row (JSONL) to PATH. Rows are \
+                   byte-deterministic for a given seed and plan, so two \
+                   ledgers from identical invocations diff empty.")
+  in
+  let run mode level workload vcpus seed plan_s out =
+    match Plan.of_string plan_s with
+    | Error e ->
+        Printf.eprintf "faults: %s\n" e;
+        exit 2
+    | Ok plan ->
+        let p =
+          Spec.point ~level ~workload ~vcpus ~seed
+            ~fault:(Plan.to_string plan) mode
+        in
+        let metrics = Runner.exec p in
+        Printf.printf "%s\n" (Spec.canonical_key p);
+        Printf.printf "run_id %s\n" (Spec.run_id p);
+        let faulty, plain =
+          List.partition
+            (fun (k, _) -> String.length k > 6 && String.sub k 0 6 = "fault.")
+            metrics
+        in
+        List.iter (fun (k, v) -> Printf.printf "  %-28s %g\n" k v) plain;
+        if Plan.is_empty plan then
+          print_endline "fault outcomes: (empty plan, injector inert)"
+        else begin
+          print_endline "fault outcomes:";
+          if faulty = [] then print_endline "  (no faults fired)"
+          else
+            List.iter
+              (fun (k, v) ->
+                Printf.printf "  %-28s %.0f\n"
+                  (String.sub k 6 (String.length k - 6)) v)
+              faulty
+        end;
+        match out with
+        | None -> ()
+        | Some path ->
+            (* wall_s is pinned to 0.0: it is the one nondeterministic
+               field, and this subcommand's ledger rows are byte-diffed
+               by `make fault-smoke`. *)
+            let entry =
+              {
+                Ledger.run_id = Spec.run_id p;
+                point = p;
+                status = "ok";
+                error = None;
+                attempts = 1;
+                wall_s = 0.0;
+                metrics;
+              }
+            in
+            Ledger.write path [ entry ];
+            Printf.printf "ledger row -> %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"Run one workload under a seeded fault-injection plan and \
+             report the typed fault outcomes."
+       ~man:
+         [
+           `S Manpage.s_examples;
+           `P "svt_sim faults --seed 7 --plan drop-ring:0.01; repeat with \
+               the same seed and plan and the ledger rows are \
+               byte-identical.";
+         ])
+    Term.(const run $ mode_arg $ level_arg $ workload_arg $ vcpus_arg
+          $ seed_arg $ plan_arg $ out_arg)
+
 (* ---- demos ---- *)
 
 (* Reproduce the §5.3 scenario: an interrupt for L1 arrives while L0₀
@@ -464,4 +571,4 @@ let () =
        (Cmd.group ~default info
           [ cpuid_cmd; rr_cmd; stream_cmd; ioping_cmd; fio_cmd; etc_cmd;
             tpcc_cmd; video_cmd; trace_cmd; sweep_cmd; sweep_diff_cmd;
-            blocked_demo_cmd ]))
+            faults_cmd; blocked_demo_cmd ]))

@@ -92,8 +92,11 @@ let json_of_entry e =
        ("workload", Str e.point.Spec.workload);
        ("vcpus", Num (float_of_int e.point.Spec.vcpus));
        ("seed", Num (float_of_int e.point.Spec.seed));
-       ("status", Str e.status);
      ]
+    @ (* emitted only when set, so fault-free ledgers stay byte-identical
+         to the pre-fault-axis format *)
+    (match e.point.Spec.fault with "" -> [] | f -> [ ("fault", Str f) ])
+    @ [ ("status", Str e.status) ]
     @ (match e.error with None -> [] | Some m -> [ ("error", Str m) ])
     @ [
         ("attempts", Num (float_of_int e.attempts));
@@ -292,6 +295,7 @@ let entry_of_json j =
   let* workload = str_field j "workload" in
   let* vcpus = num_field j "vcpus" in
   let* seed = num_field j "seed" in
+  let fault = match field j "fault" with Some (Str f) -> f | _ -> "" in
   let* status = str_field j "status" in
   let error = match field j "error" with Some (Str m) -> Some m | _ -> None in
   let* attempts = num_field j "attempts" in
@@ -319,6 +323,7 @@ let entry_of_json j =
           workload;
           vcpus = int_of_float vcpus;
           seed = int_of_float seed;
+          fault;
         };
       status;
       error;

@@ -7,6 +7,10 @@
      "metrics":{"per_op_us":5.37,"samples":64.0,...}}
     v}
 
+    A ["fault"] string field (the point's canonical fault-plan) appears
+    after ["seed"] only when the point has one, so fault-free ledgers
+    stay byte-identical to the pre-fault-axis format.
+
     Non-finite metric values are encoded as [null] (JSON has no nan) and
     read back as [nan]. The reader accepts any JSONL produced by the
     writer plus insignificant whitespace; unknown extra keys are

@@ -36,16 +36,26 @@ let workload_names =
 
 let make_system (p : Spec.point) =
   (* Derive the machine seed from the run hash: independent stream per
-     run_id, stable across scheduling orders (Prng satellite). *)
+     run_id, stable across scheduling orders (Prng satellite). The fault
+     seed is a further draw from the same stream, so it is equally
+     content-addressed. *)
   let rng = Prng.of_seed (Spec.run_hash p) in
   let seed = Prng.int rng (1 lsl 30) in
+  let fault_seed = Prng.next_int64 rng in
   let config = { Machine.paper_config with seed } in
   let n_vcpus =
     (* memcached serves one worker per vCPU; keep the paper's 2-vCPU
        floor for it so the Figure 8 shape survives a 1-vCPU axis. *)
     if p.Spec.workload = "etc" then max 2 p.Spec.vcpus else p.Spec.vcpus
   in
-  System.create ~config ~n_vcpus ~mode:p.Spec.mode ~level:p.Spec.level ()
+  let faults =
+    match Svt_fault.Plan.of_string p.Spec.fault with
+    | Ok plan -> plan
+    | Error e -> failwith (Printf.sprintf "run %s: %s" (Spec.run_id p) e)
+  in
+  System.of_config
+    (System.Config.make ~machine:config ~n_vcpus ~faults ~fault_seed
+       ~mode:p.Spec.mode ~level:p.Spec.level ())
 
 let workload_metrics (p : Spec.point) sys =
   match p.Spec.workload with
@@ -108,8 +118,14 @@ let exec p =
   let tl = Svt_obs.Recorder.enable_timeline (System.obs sys) in
   let metrics = workload_metrics p sys in
   let sim = System.sim sys in
+  let inj = System.injector sys in
+  let fault_fields =
+    if Svt_fault.Injector.is_active inj then Svt_fault.Injector.fields inj
+    else []
+  in
   metrics
   @ Svt_obs.Export.fields tl
+  @ fault_fields
   @ [
       ("sim_events", float_of_int (Svt_engine.Simulator.events_processed sim));
       ("sim_now_us", Time.to_us_f (Svt_engine.Simulator.now sim));

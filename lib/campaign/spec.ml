@@ -16,16 +16,18 @@ type point = {
   workload : string;
   vcpus : int;
   seed : int;
+  fault : string; (* canonical fault-plan string; "" = no faults *)
 }
 
 type t = point list
 
 let point ?(level = System.L2_nested) ?(workload = "cpuid") ?(vcpus = 1)
-    ?(seed = 0) mode =
-  { mode; level; workload; vcpus; seed }
+    ?(seed = 0) ?(fault = "") mode =
+  { mode; level; workload; vcpus; seed; fault }
 
 let cartesian ?(modes = [ Mode.Baseline ]) ?(levels = [ System.L2_nested ])
-    ?(workloads = [ "cpuid" ]) ?(vcpus = [ 1 ]) ?(seeds = [ 0 ]) () =
+    ?(workloads = [ "cpuid" ]) ?(vcpus = [ 1 ]) ?(seeds = [ 0 ])
+    ?(faults = [ "" ]) () =
   List.concat_map
     (fun mode ->
       List.concat_map
@@ -34,8 +36,12 @@ let cartesian ?(modes = [ Mode.Baseline ]) ?(levels = [ System.L2_nested ])
             (fun workload ->
               List.concat_map
                 (fun n ->
-                  List.map
-                    (fun seed -> { mode; level; workload; vcpus = n; seed })
+                  List.concat_map
+                    (fun seed ->
+                      List.map
+                        (fun fault ->
+                          { mode; level; workload; vcpus = n; seed; fault })
+                        faults)
                     seeds)
                 vcpus)
             workloads)
@@ -43,7 +49,8 @@ let cartesian ?(modes = [ Mode.Baseline ]) ?(levels = [ System.L2_nested ])
     modes
 
 let default_merge a b =
-  { a with workload = b.workload; vcpus = b.vcpus; seed = b.seed }
+  { a with workload = b.workload; vcpus = b.vcpus; seed = b.seed;
+    fault = b.fault }
 
 let zip ?(merge = default_merge) a b =
   if List.length a <> List.length b then
@@ -67,11 +74,9 @@ let mode_to_string = function
   | Mode.Hw_svt -> "hw-svt"
   | Mode.Hw_full_nesting -> "hw-full-nesting"
 
-let wait_of_string = function
-  | "polling" -> Some Mode.Polling
-  | "mwait" -> Some Mode.Mwait
-  | "mutex" -> Some Mode.Mutex
-  | _ -> None
+(* The wait-mechanism names are owned by Wait.Kind; the axis grammar and
+   the CLI share the same table instead of each keeping their own. *)
+let wait_of_string = Svt_core.Wait.Kind.of_string
 
 let placement_of_string = function
   | "smt-sibling" -> Some Mode.Smt_sibling
@@ -115,9 +120,16 @@ let level_of_string = function
   | "l2" | "nested" -> Ok System.L2_nested
   | s -> Error (Printf.sprintf "unknown level %S" s)
 
+(* The fault suffix appears only when a plan is set, so fault-free points
+   keep the run_ids (and derived PRNG streams) they had before the fault
+   axis existed. *)
 let canonical_key p =
-  Printf.sprintf "mode=%s;level=%s;workload=%s;vcpus=%d;seed=%d"
-    (mode_to_string p.mode) (level_to_string p.level) p.workload p.vcpus p.seed
+  let base =
+    Printf.sprintf "mode=%s;level=%s;workload=%s;vcpus=%d;seed=%d"
+      (mode_to_string p.mode) (level_to_string p.level) p.workload p.vcpus
+      p.seed
+  in
+  if p.fault = "" then base else base ^ ";fault=" ^ p.fault
 
 (* FNV-1a over the canonical key, then a splitmix64 finalizer for
    diffusion (FNV alone keeps low-byte correlations between nearby keys,
@@ -181,8 +193,16 @@ let int_of_string_res what s =
   | Some n -> Ok n
   | None -> Error (Printf.sprintf "%s: %S is not an integer" what s)
 
+(* Parse and canonicalize one fault-plan axis value, so equivalent
+   spellings ("drop-ring:0.010" vs "drop-ring:0.01") share a run_id. *)
+let fault_of_string s =
+  (* "none" lets one axis mix fault-free and faulty points (the comma
+     grammar cannot carry an empty value) *)
+  if s = "none" then Ok ""
+  else Result.map Svt_fault.Plan.to_string (Svt_fault.Plan.of_string s)
+
 let of_axes axes =
-  let known = [ "mode"; "level"; "workload"; "vcpus"; "seed" ] in
+  let known = [ "mode"; "level"; "workload"; "vcpus"; "seed"; "fault" ] in
   match List.find_opt (fun (k, _) -> not (List.mem k known)) axes with
   | Some (k, _) ->
       Error
@@ -206,8 +226,12 @@ let of_axes axes =
         map_result (int_of_string_res "seed")
           (or_default [ "0" ] (collect_axis axes "seed"))
       in
+      let* faults =
+        map_result fault_of_string (or_default [ "" ] (collect_axis axes "fault"))
+      in
       match List.find_opt (fun n -> n < 1) vcpus with
       | Some n -> Error (Printf.sprintf "vcpus must be >= 1 (got %d)" n)
-      | None -> Ok (cartesian ~modes ~levels ~workloads ~vcpus ~seeds ()))
+      | None ->
+          Ok (cartesian ~modes ~levels ~workloads ~vcpus ~seeds ~faults ()))
 
 let pp_point ppf p = Fmt.string ppf (canonical_key p)

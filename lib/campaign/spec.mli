@@ -14,6 +14,9 @@ type point = {
   workload : string;  (** registry name, e.g. ["cpuid"], ["rr"] *)
   vcpus : int;
   seed : int;  (** user-chosen replication index, folded into the hash *)
+  fault : string;
+      (** canonical fault-plan string ({!Svt_fault.Plan.to_string});
+          [""] means no faults and keeps pre-fault-axis run_ids *)
 }
 
 type t = point list
@@ -23,9 +26,11 @@ val point :
   ?workload:string ->
   ?vcpus:int ->
   ?seed:int ->
+  ?fault:string ->
   Svt_core.Mode.t ->
   point
-(** A single point; defaults: [L2_nested], ["cpuid"], 1 vCPU, seed 0. *)
+(** A single point; defaults: [L2_nested], ["cpuid"], 1 vCPU, seed 0,
+    no faults. *)
 
 val cartesian :
   ?modes:Svt_core.Mode.t list ->
@@ -33,15 +38,16 @@ val cartesian :
   ?workloads:string list ->
   ?vcpus:int list ->
   ?seeds:int list ->
+  ?faults:string list ->
   unit ->
   t
 (** Full cross product of the given axes (singleton defaults as in
-    {!point}). Order: modes outermost, seeds innermost. *)
+    {!point}). Order: modes outermost, faults innermost. *)
 
 val zip : ?merge:(point -> point -> point) -> t -> t -> t
 (** Pointwise combination of two equal-length specs (no cross product):
     [merge a b] defaults to taking mode and level from [a] and workload,
-    vcpus and seed from [b]. Raises [Invalid_argument] on length
+    vcpus, seed and fault from [b]. Raises [Invalid_argument] on length
     mismatch. Useful for pairing a mode×level matrix with a per-point
     workload/seed list. *)
 
@@ -73,7 +79,8 @@ val level_of_string : string -> (Svt_core.System.level, string) result
 
 val parse_axis : string -> ((string * string list), string) result
 (** Parse one ["key=v1,v2,..."] argument; keys: mode, level, workload,
-    vcpus, seed. *)
+    vcpus, seed, fault. A fault value is a {!Svt_fault.Plan} string
+    (canonicalized), or ["none"] for the empty plan. *)
 
 val of_axes : (string * string list) list -> (t, string) result
 (** Cartesian product of parsed axes; unknown keys, unparseable values

@@ -10,7 +10,14 @@
    Waiting is modeled per the chosen mechanism (polling / mwait / mutex)
    and placement: the consumer pays the response latency on wake-up, and a
    polling consumer additionally steals issue slots from its SMT sibling
-   for as long as it spins. *)
+   for as long as it spins.
+
+   The channel is also a fault-injection site (ring-send faults: drop,
+   duplicate, delay, corrupt) and degrades gracefully: a full ring is a
+   typed [`Backpressure] result instead of an abort, and an entry whose
+   command code does not parse deserializes to [Corrupt] for the consumer
+   to discard. Commands carry a sequence number so consumers can tell a
+   duplicated or re-posted command from a fresh one. *)
 
 module Time = Svt_engine.Time
 module Simulator = Svt_engine.Simulator
@@ -20,14 +27,21 @@ module Gpa = Svt_mem.Addr.Gpa
 module Aspace = Svt_mem.Address_space
 module Breakdown = Svt_hyp.Breakdown
 module Probe = Svt_obs.Probe
+module Injector = Svt_fault.Injector
 
 type command =
-  | Vm_trap of { reason : Svt_arch.Exit_reason.t; qual : int64; regs : int64 array }
-  | Vm_resume of { regs : int64 array }
+  | Vm_trap of {
+      seq : int;
+      reason : Svt_arch.Exit_reason.t;
+      qual : int64;
+      regs : int64 array;
+    }
+  | Vm_resume of { seq : int; regs : int64 array }
   | Blocked (* SVT_BLOCKED injection notification (§5.3) *)
+  | Corrupt of int (* unparseable entry: the raw command code *)
 
 let regs_count = 16
-let entry_bytes = 4 + 4 + 8 + (8 * regs_count)
+let entry_bytes = 4 + 4 + 8 + 8 + (8 * regs_count)
 let ring_entries = 16
 let header_bytes = 8 (* head u32 | tail u32 *)
 
@@ -47,6 +61,7 @@ type t = {
   from_svt : ring; (* SVt-thread -> L0 *)
   probe : Probe.t;
   vcpu_index : int; (* the L2 vCPU these rings serve; -1 when unknown *)
+  injector : Injector.t;
 }
 
 let make_ring sim aspace =
@@ -57,7 +72,8 @@ let make_ring sim aspace =
     signal = Signal.create sim;
     posts = 0 }
 
-let create ?(vcpu_index = -1) ~machine ~aspace ~wait ~placement ~core () =
+let create ?(vcpu_index = -1) ?injector ~machine ~aspace ~wait ~placement
+    ~core () =
   let sim = Svt_hyp.Machine.sim machine in
   {
     cost = Svt_hyp.Machine.cost machine;
@@ -68,6 +84,7 @@ let create ?(vcpu_index = -1) ~machine ~aspace ~wait ~placement ~core () =
     from_svt = make_ring sim aspace;
     probe = Svt_hyp.Machine.probe machine;
     vcpu_index;
+    injector = (match injector with Some i -> i | None -> Injector.none ());
   }
 
 let head r = Aspace.read_u32 r.aspace r.base
@@ -78,22 +95,28 @@ let set_tail r v = Aspace.write_u32 r.aspace (Gpa.add r.base 4) (v land 0xFFFF)
 let entry_addr r i =
   Gpa.add r.base (header_bytes + (i mod ring_entries * entry_bytes))
 
-let code_of = function Vm_trap _ -> 1 | Vm_resume _ -> 2 | Blocked -> 3
+let code_of = function
+  | Vm_trap _ -> 1
+  | Vm_resume _ -> 2
+  | Blocked -> 3
+  | Corrupt _ -> invalid_arg "Channel: Corrupt commands cannot be posted"
 
 let serialize r i cmd =
   let a = entry_addr r i in
   Aspace.write_u32 r.aspace a (code_of cmd);
-  let reason_num, qual, regs =
+  let reason_num, qual, seq, regs =
     match cmd with
-    | Vm_trap { reason; qual; regs } ->
-        (Svt_arch.Exit_reason.basic_number reason, qual, regs)
-    | Vm_resume { regs } -> (0, 0L, regs)
-    | Blocked -> (0, 0L, [||])
+    | Vm_trap { seq; reason; qual; regs } ->
+        (Svt_arch.Exit_reason.basic_number reason, qual, seq, regs)
+    | Vm_resume { seq; regs } -> (0, 0L, seq, regs)
+    | Blocked -> (0, 0L, 0, [||])
+    | Corrupt _ -> assert false
   in
   Aspace.write_u32 r.aspace (Gpa.add a 4) reason_num;
   Aspace.write_u64 r.aspace (Gpa.add a 8) qual;
+  Aspace.write_u64 r.aspace (Gpa.add a 16) (Int64.of_int seq);
   Array.iteri
-    (fun j v -> Aspace.write_u64 r.aspace (Gpa.add a (16 + (8 * j))) v)
+    (fun j v -> Aspace.write_u64 r.aspace (Gpa.add a (24 + (8 * j))) v)
     (Array.sub regs 0 (min regs_count (Array.length regs)))
 
 let reason_table =
@@ -113,8 +136,9 @@ let deserialize r i =
   let code = Aspace.read_u32 r.aspace a in
   let reason_num = Aspace.read_u32 r.aspace (Gpa.add a 4) in
   let qual = Aspace.read_u64 r.aspace (Gpa.add a 8) in
+  let seq = Int64.to_int (Aspace.read_u64 r.aspace (Gpa.add a 16)) in
   let regs =
-    Array.init regs_count (fun j -> Aspace.read_u64 r.aspace (Gpa.add a (16 + (8 * j))))
+    Array.init regs_count (fun j -> Aspace.read_u64 r.aspace (Gpa.add a (24 + (8 * j))))
   in
   match code with
   | 1 ->
@@ -123,34 +147,81 @@ let deserialize r i =
           (Hashtbl.find_opt reason_table reason_num)
           ~default:Svt_arch.Exit_reason.Vmcall
       in
-      Vm_trap { reason; qual; regs }
-  | 2 -> Vm_resume { regs }
+      Vm_trap { seq; reason; qual; regs }
+  | 2 -> Vm_resume { seq; regs }
   | 3 -> Blocked
-  | n -> failwith (Printf.sprintf "Channel: corrupt command code %d" n)
+  | n -> Corrupt n
 
 let command_name = function
   | Vm_trap _ -> "vm-trap"
   | Vm_resume _ -> "vm-resume"
   | Blocked -> "blocked"
+  | Corrupt _ -> "corrupt"
 
 let direction_name t ring = if ring == t.to_svt then "to-svt" else "from-svt"
 
-(* Producer: serialize, publish, and ding the monitored line. Charged to
-   the caller's timeline and the given breakdown bucket. *)
-let post t ring bd cmd =
-  let start = if Probe.is_on t.probe then Probe.now t.probe else Time.zero in
-  Breakdown.charge bd Breakdown.Channel t.cost.Svt_arch.Cost_model.ring_write;
+let full ring = (head ring - tail ring) land 0xFFFF >= ring_entries
+
+(* Publish [cmd] at the current head. Precondition: not [full]. *)
+let publish ring cmd =
   let h = head ring in
-  if (h - tail ring) land 0xFFFF >= ring_entries then
-    failwith "Channel: ring overflow";
   serialize ring h cmd;
   set_head ring (h + 1);
   ring.posts <- ring.posts + 1;
-  Signal.broadcast ring.signal;
-  if Probe.is_on t.probe then
-    Probe.span t.probe Svt_obs.Span.Ring_send ~vcpu:t.vcpu_index ~level:0
-      ~tags:[ ("cmd", command_name cmd); ("dir", direction_name t ring) ]
-      ~start ()
+  Signal.broadcast ring.signal
+
+(* Producer: serialize, publish, and ding the monitored line. Charged to
+   the caller's timeline and the given breakdown bucket. A full ring is
+   reported as backpressure for the caller to back off and retry. *)
+let post t ring bd cmd =
+  let start = if Probe.is_on t.probe then Probe.now t.probe else Time.zero in
+  Breakdown.charge bd Breakdown.Channel t.cost.Svt_arch.Cost_model.ring_write;
+  let inj = t.injector in
+  if Injector.is_active inj && Injector.roll inj Svt_fault.Kind.Delay_ring then
+    Proc.delay (Time.of_ns (Svt_fault.Kind.param_ns Svt_fault.Kind.Delay_ring));
+  if full ring then Error `Backpressure
+  else begin
+    let dropped =
+      Injector.is_active inj && Injector.roll inj Svt_fault.Kind.Drop_ring
+    in
+    if not dropped then begin
+      publish ring cmd;
+      (* corruption smashes the command code of the entry just written *)
+      if Injector.is_active inj && Injector.roll inj Svt_fault.Kind.Corrupt_ring
+      then
+        Aspace.write_u32 ring.aspace
+          (entry_addr ring (head ring - 1))
+          (0xC0 + Injector.pick inj Svt_fault.Kind.Corrupt_ring 16);
+      if
+        Injector.is_active inj
+        && Injector.roll inj Svt_fault.Kind.Dup_ring
+        && not (full ring)
+      then publish ring cmd
+    end;
+    if Probe.is_on t.probe then
+      Probe.span t.probe Svt_obs.Span.Ring_send ~vcpu:t.vcpu_index ~level:0
+        ~tags:[ ("cmd", command_name cmd); ("dir", direction_name t ring) ]
+        ~start ();
+    Ok ()
+  end
+
+(* Bounded-retry producer: back off on the virtual clock and re-post
+   until the consumer drains the ring. Only gives up after the backoff
+   schedule is exhausted — at that point the ring is genuinely wedged. *)
+let post_retry t ring bd cmd =
+  let rec go attempt =
+    match post t ring bd cmd with
+    | Ok () -> ()
+    | Error `Backpressure ->
+        if attempt >= 8 then
+          failwith "Channel: ring backpressure did not clear after 8 retries"
+        else begin
+          Injector.record t.injector Svt_fault.Outcome.Backpressure_retry;
+          Proc.delay (Wait.retry_backoff ~attempt);
+          go (attempt + 1)
+        end
+  in
+  go 0
 
 let pending ring = (head ring - tail ring) land 0xFFFF > 0
 
@@ -204,5 +275,6 @@ let to_svt t = t.to_svt
 let from_svt t = t.from_svt
 let posts ring = ring.posts
 let wait_mechanism t = t.wait
+let injector t = t.injector
 let ring_signal ring = ring.signal
 let pending_ring = pending

@@ -6,24 +6,36 @@
     [CMD_VM_RESUME]. Commands are serialized into the ring bytes for
     real, so payloads genuinely travel through shared memory. Waiting is
     charged per the configured mechanism and placement ({!Wait}), and a
-    polling consumer slows its SMT sibling down while it spins. *)
+    polling consumer slows its SMT sibling down while it spins.
+
+    The channel is a fault-injection site (drop / duplicate / delay /
+    corrupt on send) and degrades gracefully: a full ring surfaces as a
+    typed [`Backpressure] result rather than an abort, and unparseable
+    entries deserialize to {!command.Corrupt} for the consumer to
+    discard. Commands carry a sequence number so consumers can tell
+    duplicated or re-posted commands from fresh ones. *)
 
 type command =
   | Vm_trap of {
+      seq : int;
       reason : Svt_arch.Exit_reason.t;
       qual : int64;
       regs : int64 array;
     }  (** L0 → SVt-thread: handle this L2 exit *)
-  | Vm_resume of { regs : int64 array }
+  | Vm_resume of { seq : int; regs : int64 array }
       (** SVt-thread → L0: handling complete, restart L2 *)
   | Blocked
       (** L0 → L1₀: the SVT_BLOCKED injection notification (§5.3) *)
+  | Corrupt of int
+      (** an entry whose command code did not parse; carries the raw
+          code. Never posted — only produced by deserialization. *)
 
 type ring
 type t
 
 val create :
   ?vcpu_index:int ->
+  ?injector:Svt_fault.Injector.t ->
   machine:Svt_hyp.Machine.t ->
   aspace:Svt_mem.Address_space.t ->
   wait:Mode.wait_mechanism ->
@@ -34,7 +46,8 @@ val create :
 (** Allocate both rings in [aspace] (the ivshmem-style shared pages of
     §5.2). [core] is the core whose sibling a polling waiter would slow;
     [vcpu_index] tags the ring-send/ring-recv observability spans with
-    the L2 vCPU these rings serve (default [-1], untagged). *)
+    the L2 vCPU these rings serve (default [-1], untagged). [injector]
+    defaults to the inert injector (no faults, zero overhead). *)
 
 val to_svt : t -> ring
 (** The L0 → SVt-thread direction. *)
@@ -42,10 +55,18 @@ val to_svt : t -> ring
 val from_svt : t -> ring
 (** The SVt-thread → L0 direction. *)
 
-val post : t -> ring -> Svt_hyp.Breakdown.t -> command -> unit
+val post :
+  t -> ring -> Svt_hyp.Breakdown.t -> command -> (unit, [ `Backpressure ]) result
 (** Serialize, publish, and ding the monitored line. Charges the ring
-    write to the breakdown's channel bucket; must run in a process.
-    Raises on ring overflow. *)
+    write to the breakdown's channel bucket; must run in a process. A
+    full ring is [Error `Backpressure] — nothing is published and the
+    caller decides whether to back off ({!post_retry}) or drop. *)
+
+val post_retry : t -> ring -> Svt_hyp.Breakdown.t -> command -> unit
+(** {!post} with bounded virtual-clock exponential backoff
+    ({!Wait.retry_backoff}) on backpressure; each retry is recorded as a
+    [Backpressure_retry] fault outcome. Raises only once the backoff
+    schedule (8 attempts) is exhausted. *)
 
 val pending : ring -> bool
 val pending_ring : ring -> bool
@@ -67,3 +88,4 @@ val ring_signal : ring -> Svt_engine.Simulator.Signal.t
 
 val posts : ring -> int
 val wait_mechanism : t -> Mode.wait_mechanism
+val injector : t -> Svt_fault.Injector.t

@@ -19,7 +19,14 @@
      register file.
 
    All costs flow through the per-vCPU Breakdown buckets, so Table 1 is
-   literally a printout of this module's execution. *)
+   literally a printout of this module's execution.
+
+   Fault tolerance: the path degrades rather than aborts. An invalid
+   vmcs12 (corrupted by a fault or by a malicious L1) is reflected to L1
+   as a failed VM entry (§2.1) instead of reaching hardware; a stalled
+   SVt round trip is re-posted under a virtual-clock watchdog and, if it
+   stays stuck, the vCPU falls back from SVt to baseline trap-and-emulate
+   for the rest of the run (recorded as a downgrade). *)
 
 module Time = Svt_engine.Time
 module Simulator = Svt_engine.Simulator
@@ -35,6 +42,9 @@ module Vcpu = Svt_hyp.Vcpu
 module Reg = Svt_arch.Reg
 module Probe = Svt_obs.Probe
 module Obs_span = Svt_obs.Span
+module Injector = Svt_fault.Injector
+module Fault_kind = Svt_fault.Kind
+module Fault_outcome = Svt_fault.Outcome
 
 type t = {
   machine : Svt_hyp.Machine.t;
@@ -48,9 +58,13 @@ type t = {
   vmcs02 : Vmcs.t; (* the descriptor L2 actually runs on *)
   l1_ept : Svt_mem.Ept.t; (* for pointer translation in transforms *)
   l0_ept_pointer : int64;
+  injector : Injector.t;
   (* SW SVt state *)
   channel : Channel.t option;
   mutable pending : (Svt_hyp.Exit.info * (unit -> unit)) option;
+  mutable seq : int; (* episode sequence number carried by ring commands *)
+  mutable thread_last_done : int; (* last seq the SVt-thread answered *)
+  mutable downgraded : bool; (* watchdog fell back to baseline for good *)
   (* HW SVt hardware context assignment (paper §4's worked example) *)
   ctx_l0 : int;
   ctx_l1 : int;
@@ -157,6 +171,65 @@ let transform_entry t =
       ~tags:(Transform.span_tags ~direction:"entry" r)
       ~start ()
 
+(* Reflect a failed VM entry to L1 (§2.1): instead of launching a guest
+   from an invalid vmcs02, L0 re-enters L1 with the entry-failure
+   indication; L1's handler observes it and corrects vmcs01'. *)
+let reflect_entry_failure t =
+  let bd = Vcpu.breakdown t.vcpu in
+  Svt_stats.Metrics.incr t.metrics "vmentry_fail_reflected";
+  Injector.record t.injector Fault_outcome.Entry_fail_reflected;
+  leg t Obs_span.World_switch
+    [ ("leg", "l0-l1"); ("cause", "entry-fail") ]
+    (fun () ->
+      Breakdown.charge bd Breakdown.Switch_l0_l1
+        (Time.add t.cost.resume_hw t.cost.l1_world_extra));
+  (* L1's entry-failure handler inspects and corrects vmcs01' *)
+  Breakdown.charge bd Breakdown.L1_handler (Time.of_us 2);
+  leg t Obs_span.World_switch
+    [ ("leg", "l1-l0"); ("cause", "entry-fail") ]
+    (fun () ->
+      Breakdown.charge bd Breakdown.Switch_l0_l1
+        (Time.add t.cost.trap_hw t.cost.l1_world_extra))
+
+(* ② vmcs12 → vmcs02, guarded: L0 validates L1's vmcs12 (and the
+   transform's pointer translation) before trusting it. Invalid state is
+   not fatal — per §2.1 the entry fails back into L1, which repairs its
+   vmcs01' and retries. The corrupt-vmcs12 fault fires here, just before
+   the transform. The clean path pays only the pure (uncharged) checks. *)
+let guarded_transform_entry t =
+  if
+    Injector.is_active t.injector
+    && Injector.roll t.injector Fault_kind.Corrupt_vmcs12
+  then begin
+    let field, value =
+      match Injector.pick t.injector Fault_kind.Corrupt_vmcs12 3 with
+      | 0 -> (Field.Vmcs_link_pointer, 0x1001L) (* unaligned link pointer *)
+      | 1 -> (Field.Guest_cr0, 0L) (* PE/PG clear *)
+      | _ -> (Field.Svt_visor, 7L) (* context id out of range *)
+    in
+    Vmcs.write t.vmcs12 field value
+  end;
+  let n_ctx = Smt_core.n_contexts t.core in
+  let rec attempt budget =
+    if budget = 0 then
+      failwith "Nested: vmcs12 still invalid after repeated entry failures";
+    match Svt_vmcs.Checks.run ~n_hw_contexts:n_ctx t.vmcs12 with
+    | Error es ->
+        reflect_entry_failure t;
+        (* L1's failure handler resets the offending fields, then retries *)
+        List.iter (Svt_vmcs.Checks.repair t.vmcs12) es;
+        attempt (budget - 1)
+    | Ok () -> (
+        match transform_entry t with
+        | () -> ()
+        | exception Transform.Invalid_pointer (f, _) ->
+            reflect_entry_failure t;
+            (* L1 clears the dangling pointer field and retries *)
+            Vmcs.write t.vmcs12 f 0L;
+            attempt (budget - 1))
+  in
+  attempt 3
+
 (* Record the trap in vmcs02 as hardware does, then reflect it into vmcs12
    so L1 sees it (②③ of Algorithm 1). *)
 let record_and_reflect t (info : Svt_hyp.Exit.info) =
@@ -171,16 +244,10 @@ let record_and_reflect t (info : Svt_hyp.Exit.info) =
 
 (* --- baseline path (Algorithm 1 verbatim) ------------------------------ *)
 
-let handle_baseline t info ~effect =
-  (* ① L2 → L0 *)
-  leg t Obs_span.World_switch [ ("leg", "l2-l0") ] (fun () ->
-      charge t Breakdown.Switch_l2_l0 t.cost.trap_hw);
-  (* ③ decide to reflect; save the L2-world state the handler will need *)
-  charge t Breakdown.L0_handler t.cost.l0_reflect_decision;
-  charge t Breakdown.L0_handler
-    (Time.of_ns (Time.to_ns t.cost.l0_ctx_mgmt_l2 / 2));
-  (* ② vmcs02 → vmcs12 *)
-  record_and_reflect t info;
+(* ③ onward: load vmcs01, run L1's handler, take its VMRESUME back,
+   emulate the entry and resume L2. Split out of [handle_baseline] because
+   the SVt→baseline downgrade path joins here after its own prefix. *)
+let baseline_completion t info ~effect =
   (* ③ load vmcs01, inject the trap for L1, prepare L1's world *)
   charge t Breakdown.L0_handler t.cost.vmptrld;
   Vmcs.set_current t.vmcs02 false;
@@ -208,10 +275,22 @@ let handle_baseline t info ~effect =
   charge t Breakdown.L0_handler
     (Time.of_ns (Time.to_ns t.cost.l0_ctx_mgmt_l2 - Time.to_ns t.cost.l0_ctx_mgmt_l2 / 2));
   (* ② vmcs12 → vmcs02 *)
-  transform_entry t;
+  guarded_transform_entry t;
   (* ① resume L2 *)
   leg t Obs_span.Svt_resume [ ("leg", "l0-l2") ] (fun () ->
       charge t Breakdown.Switch_l2_l0 t.cost.resume_hw)
+
+let handle_baseline t info ~effect =
+  (* ① L2 → L0 *)
+  leg t Obs_span.World_switch [ ("leg", "l2-l0") ] (fun () ->
+      charge t Breakdown.Switch_l2_l0 t.cost.trap_hw);
+  (* ③ decide to reflect; save the L2-world state the handler will need *)
+  charge t Breakdown.L0_handler t.cost.l0_reflect_decision;
+  charge t Breakdown.L0_handler
+    (Time.of_ns (Time.to_ns t.cost.l0_ctx_mgmt_l2 / 2));
+  (* ② vmcs02 → vmcs12 *)
+  record_and_reflect t info;
+  baseline_completion t info ~effect
 
 (* --- SW SVt path (§5.2, Figure 5) --------------------------------------- *)
 
@@ -223,7 +302,14 @@ let service_blocked_event t ch event =
   Svt_stats.Metrics.incr t.metrics "svt_blocked_injections";
   let bd = Vcpu.breakdown t.vcpu in
   (* inject SVT_BLOCKED into L1₀ and take its immediate yield back *)
-  Channel.post ch (Channel.to_svt ch) bd Channel.Blocked;
+  Channel.post_retry ch (Channel.to_svt ch) bd Channel.Blocked;
+  (* a stuck SVT_BLOCKED leg: the stall fault holds the injection before
+     L1₀ manages to yield back *)
+  if
+    Injector.is_active t.injector
+    && Injector.roll t.injector Fault_kind.Stall_blocked
+  then
+    Proc.delay (Time.of_ns (Fault_kind.param_ns Fault_kind.Stall_blocked));
   Breakdown.charge bd Breakdown.Switch_l0_l1
     (Time.add t.cost.resume_hw t.cost.l1_world_extra);
   event ();
@@ -240,10 +326,14 @@ let handle_sw_svt t ch info ~effect =
     (Time.of_ns (Time.to_ns t.cost.l0_ctx_mgmt_l2 / 2));
   record_and_reflect t info;
   (* CMD_VM_TRAP to the SVt-thread with the register payload *)
+  t.seq <- t.seq + 1;
+  let seq = t.seq in
+  let trap_cmd =
+    Channel.Vm_trap
+      { seq; reason = info.reason; qual = info.qualification; regs = read_gprs t }
+  in
   t.pending <- Some (info, effect);
-  Channel.post ch (Channel.to_svt ch) bd
-    (Channel.Vm_trap
-       { reason = info.reason; qual = info.qualification; regs = read_gprs t });
+  Channel.post_retry ch (Channel.to_svt ch) bd trap_cmd;
   (* wait for CMD_VM_RESUME, servicing interrupts for L1₀ meanwhile *)
   let rec wait_resume () =
     match Channel.try_recv ch (Channel.from_svt ch) bd with
@@ -262,36 +352,130 @@ let handle_sw_svt t ch info ~effect =
           wait_resume ()
         end
   in
-  leg t Obs_span.Svt_stall [ ("on", "svt-thread") ] wait_resume;
-  (* restart L2 through the pre-existing path *)
-  charge t Breakdown.L0_handler t.cost.sw_prepare_resume;
-  charge t Breakdown.L0_handler
-    (Time.of_ns (Time.to_ns t.cost.l0_ctx_mgmt_l2 - Time.to_ns t.cost.l0_ctx_mgmt_l2 / 2));
-  transform_entry t;
-  leg t Obs_span.Svt_resume [ ("leg", "l0-l2") ] (fun () ->
-      charge t Breakdown.Switch_l2_l0 t.cost.resume_hw)
+  (* Same wait, under a stall watchdog: if the resume does not arrive by
+     the (virtual-clock) deadline, re-post the command; after the backoff
+     schedule is exhausted, give the episode up and fall back to baseline
+     reflection for the rest of the run. Only armed when faults can
+     actually occur — the clean path schedules no events. *)
+  let wait_resume_watchdog () =
+    let sim = Svt_hyp.Machine.sim t.machine in
+    let wd = Simulator.Signal.create sim in
+    let rec await attempt =
+      let expired = ref false in
+      let deadline =
+        Simulator.schedule sim
+          ~after:(Wait.watchdog_timeout ~attempt)
+          (fun () ->
+            expired := true;
+            Simulator.Signal.broadcast wd)
+      in
+      let finish r =
+        Simulator.cancel sim deadline;
+        r
+      in
+      let rec drain () =
+        match Channel.try_recv ch (Channel.from_svt ch) bd with
+        | Some (Channel.Vm_resume { seq = s; _ }) when s = seq ->
+            finish `Resumed
+        | Some (Channel.Vm_resume _) ->
+            Injector.record t.injector Fault_outcome.Stale_ignored;
+            drain ()
+        | Some (Channel.Corrupt _) ->
+            Injector.record t.injector Fault_outcome.Corrupt_discarded;
+            drain ()
+        | Some _ -> drain ()
+        | None ->
+            if Vcpu.take_host_event t.vcpu
+                 (fun ev -> service_blocked_event t ch ev)
+            then drain ()
+            else if !expired then
+              if attempt >= 2 then finish `Downgraded
+              else begin
+                Injector.record t.injector Fault_outcome.Resume_retry;
+                Channel.post_retry ch (Channel.to_svt ch) bd trap_cmd;
+                await (attempt + 1)
+              end
+            else begin
+              Simulator.Signal.wait_any
+                [ Channel.ring_signal (Channel.from_svt ch);
+                  Vcpu.wake_signal t.vcpu; wd ];
+              if Channel.pending_ring (Channel.from_svt ch) then
+                Channel.charge_wake ch bd;
+              drain ()
+            end
+      in
+      drain ()
+    in
+    await 0
+  in
+  let outcome = ref `Resumed in
+  leg t Obs_span.Svt_stall [ ("on", "svt-thread") ] (fun () ->
+      outcome :=
+        if Injector.is_active t.injector then wait_resume_watchdog ()
+        else begin
+          wait_resume ();
+          `Resumed
+        end);
+  match !outcome with
+  | `Resumed ->
+      (* restart L2 through the pre-existing path *)
+      charge t Breakdown.L0_handler t.cost.sw_prepare_resume;
+      charge t Breakdown.L0_handler
+        (Time.of_ns (Time.to_ns t.cost.l0_ctx_mgmt_l2 - Time.to_ns t.cost.l0_ctx_mgmt_l2 / 2));
+      guarded_transform_entry t;
+      leg t Obs_span.Svt_resume [ ("leg", "l0-l2") ] (fun () ->
+          charge t Breakdown.Switch_l2_l0 t.cost.resume_hw)
+  | `Downgraded ->
+      (* the SVt-thread is wedged: abandon the round trip and finish this
+         (and every later) episode through classic reflection *)
+      t.pending <- None;
+      t.downgraded <- true;
+      Svt_stats.Metrics.incr t.metrics "svt_downgrades";
+      Injector.record t.injector Fault_outcome.Downgrade;
+      baseline_completion t info ~effect
 
 (* The SVt-thread: pinned to the SMT sibling, parked inside the (L1 guest)
    kernel, serving CMD_VM_TRAP commands (Figure 5's L1₁). *)
 let svt_thread_body t ch () =
   let bd = Vcpu.breakdown t.vcpu in
+  let answer seq =
+    Channel.post_retry ch (Channel.from_svt ch) bd
+      (Channel.Vm_resume { seq; regs = read_gprs t })
+  in
   let rec loop () =
     let cmd = Channel.recv ch (Channel.to_svt ch) bd () in
     (match cmd with
-    | Channel.Vm_trap _ -> (
+    | Channel.Vm_trap { seq; _ } -> (
         match t.pending with
-        | None -> failwith "SVt-thread: command without pending exit"
-        | Some (info, effect) ->
+        | Some (info, effect) when seq = t.seq ->
             t.pending <- None;
             run_l1_script t info ~effect;
-            Channel.post ch (Channel.from_svt ch) bd
-              (Channel.Vm_resume { regs = read_gprs t }))
+            t.thread_last_done <- seq;
+            answer seq
+        | Some _ ->
+            (* a trap left over from an episode the watchdog abandoned *)
+            Injector.record t.injector Fault_outcome.Stale_ignored
+        | None ->
+            if seq = t.thread_last_done then
+              (* the answer was lost in the ring: the watchdog re-posted
+                 the command, so answer it again *)
+              answer seq
+            else if Injector.is_active t.injector then
+              Injector.record t.injector Fault_outcome.Stale_ignored
+            else failwith "SVt-thread: command without pending exit")
     | Channel.Blocked ->
         (* L1₀ is being interrupted while we handle a trap; nothing for the
            SVt-thread itself to do (§5.3 guarantees no concurrent access
            to the L2₀ vCPU state). *)
         ()
-    | Channel.Vm_resume _ -> failwith "SVt-thread: unexpected CMD_VM_RESUME");
+    | Channel.Corrupt _ ->
+        if Injector.is_active t.injector then
+          Injector.record t.injector Fault_outcome.Corrupt_discarded
+        else failwith "SVt-thread: corrupt ring entry"
+    | Channel.Vm_resume _ ->
+        if Injector.is_active t.injector then
+          Injector.record t.injector Fault_outcome.Stale_ignored
+        else failwith "SVt-thread: unexpected CMD_VM_RESUME");
     loop ()
   in
   loop ()
@@ -349,7 +533,7 @@ let handle_hw_svt t info ~effect =
   Svt_fields.vmptrld t.core t.vmcs02;
   Vmcs.set_current t.vmcs01 false;
   (* ② *)
-  transform_entry t;
+  guarded_transform_entry t;
   (* ① resume L2's context *)
   leg t Obs_span.Svt_resume [ ("leg", "l0-l2") ] (fun () ->
       Smt_core.vm_resume t.core;
@@ -363,7 +547,10 @@ let handle_hw_svt t info ~effect =
    worked example: L0 on context 0, L1 on 1, L2 on 2 when the core has
    three; on 2-way SMT, L1 and L2 share context 1's slot and L0 re-loads
    it per level (the vCPU state is still exchanged with ctxtld/ctxtst). *)
-let create ~machine ~mode ~vcpu ~l1_vm ~script () =
+let create ?injector ~machine ~mode ~vcpu ~l1_vm ~script () =
+  let injector =
+    match injector with Some i -> i | None -> Injector.none ()
+  in
   let cost = Svt_hyp.Machine.cost machine in
   let core = Vcpu.core vcpu in
   let n_ctx = Smt_core.n_contexts core in
@@ -413,7 +600,7 @@ let create ~machine ~mode ~vcpu ~l1_vm ~script () =
     match mode with
     | Mode.Sw_svt { wait; placement } ->
         Some
-          (Channel.create ~vcpu_index:(Vcpu.index vcpu) ~machine
+          (Channel.create ~vcpu_index:(Vcpu.index vcpu) ~injector ~machine
              ~aspace:l1_aspace ~wait ~placement ~core ())
     | _ -> None
   in
@@ -430,8 +617,12 @@ let create ~machine ~mode ~vcpu ~l1_vm ~script () =
       vmcs02;
       l1_ept = Svt_mem.Address_space.ept l1_aspace;
       l0_ept_pointer;
+      injector;
       channel;
       pending = None;
+      seq = 0;
+      thread_last_done = 0;
+      downgraded = false;
       ctx_l0;
       ctx_l1;
       ctx_l2;
@@ -497,7 +688,9 @@ let handle t (info : Svt_hyp.Exit.info) =
   (if Svt_hyp.L1_script.reflects info.reason then
      match (t.mode, t.channel) with
      | Mode.Baseline, _ -> handle_baseline t info ~effect
-     | Mode.Sw_svt _, Some ch -> handle_sw_svt t ch info ~effect
+     | Mode.Sw_svt _, Some ch ->
+         if t.downgraded then handle_baseline t info ~effect
+         else handle_sw_svt t ch info ~effect
      | Mode.Sw_svt _, None -> failwith "Nested: SW SVt without a channel"
      | Mode.Hw_svt, _ -> handle_hw_svt t info ~effect
      | Mode.Hw_full_nesting, _ -> handle_full_nesting t info ~effect
@@ -534,7 +727,9 @@ let interrupt_for_l1 t ~vector ~work =
   let started = Proc.now () in
   (match (t.mode, t.channel) with
   | Mode.Baseline, _ -> handle_baseline t info ~effect
-  | Mode.Sw_svt _, Some ch -> handle_sw_svt t ch info ~effect
+  | Mode.Sw_svt _, Some ch ->
+      if t.downgraded then handle_baseline t info ~effect
+      else handle_sw_svt t ch info ~effect
   | Mode.Sw_svt _, None -> failwith "Nested: SW SVt without a channel"
   | Mode.Hw_svt, _ -> handle_hw_svt t info ~effect
   | Mode.Hw_full_nesting, _ -> handle_full_nesting t info ~effect);
@@ -558,6 +753,8 @@ let note_episode_end t = t.last_episode_end <- Proc.now ()
 
 let episodes t = t.episodes
 let blocked_injections t = t.blocked_injections
+let downgraded t = t.downgraded
+let injector t = t.injector
 let vmcs01 t = t.vmcs01
 let vmcs12 t = t.vmcs12
 let vmcs02 t = t.vmcs02

@@ -22,6 +22,7 @@
 type t
 
 val create :
+  ?injector:Svt_fault.Injector.t ->
   machine:Svt_hyp.Machine.t ->
   mode:Mode.t ->
   vcpu:Svt_hyp.Vcpu.t ->
@@ -33,7 +34,10 @@ val create :
     vmcs01/vmcs12/vmcs02 triple (validated by the VM-entry checks),
     assigns hardware contexts per the §4 worked example, points the
     pointer fields of vmcs01' at pages of [l1_vm]'s address space, and —
-    under SW SVt — allocates the command rings there. *)
+    under SW SVt — allocates the command rings there. [injector]
+    defaults to the inert injector; an active one arms the fault sites
+    (corrupt-vmcs12 before the entry transform, the ring faults through
+    the channel, the stuck-SVT_BLOCKED stall) and the stall watchdog. *)
 
 val start : t -> unit
 (** Spawn the SVt-thread process (SW SVt only; a no-op otherwise). *)
@@ -61,6 +65,12 @@ val note_episode_end : t -> unit
 val episodes : t -> int
 val blocked_injections : t -> int
 (** SVT_BLOCKED events serviced while waiting on the SVt-thread (§5.3). *)
+
+val downgraded : t -> bool
+(** Whether the stall watchdog gave up on the SVt-thread and fell back to
+    baseline trap-and-emulate for the rest of the run. *)
+
+val injector : t -> Svt_fault.Injector.t
 
 val vmcs01 : t -> Svt_vmcs.Vmcs.t
 val vmcs12 : t -> Svt_vmcs.Vmcs.t

@@ -8,7 +8,15 @@
    - [L2_nested]  — the nested guest, under Baseline / SW SVt / HW SVt.
 
    The guest-under-test vCPUs are pinned to distinct cores; under SW SVt
-   each vCPU's SVt-thread occupies the SMT sibling of its core (§5.2). *)
+   each vCPU's SVt-thread occupies the SMT sibling of its core (§5.2).
+
+   Construction goes through a validated [Config]: [Config.make] collects
+   the knobs, [Config.validate] rejects stacks that cannot be wired
+   soundly (most importantly an SVt mode on a machine without the SMT
+   contexts its µ-registers need — the class of bug where a guest silently
+   ran with unprogrammed SVt fields), and [of_config] builds the system.
+   The fault plan (and its seed) also live in the config, so a faulty run
+   is just another configuration. *)
 
 module Time = Svt_engine.Time
 module Simulator = Svt_engine.Simulator
@@ -20,6 +28,9 @@ module Exit = Svt_hyp.Exit
 module Lapic = Svt_interrupt.Lapic
 module Cpuid_db = Svt_arch.Cpuid_db
 module Exit_reason = Svt_arch.Exit_reason
+module Injector = Svt_fault.Injector
+module Fault_kind = Svt_fault.Kind
+module Fault_outcome = Svt_fault.Outcome
 
 type level = L0_native | L1_leaf | L2_nested
 
@@ -32,6 +43,96 @@ let level_name = function
 let net_vector = 0x51
 let blk_vector = 0x52
 let l1_nic_vector = 0x31
+let spurious_vector = 0xFF
+
+module Config = struct
+  type t = {
+    mode : Mode.t;
+    level : level;
+    n_vcpus : int;
+    machine : Machine.config;
+    shadow : Svt_vmcs.Shadow.t;
+    multiplex_contexts : bool;
+    faults : Svt_fault.Plan.t;
+    fault_seed : int64;
+  }
+
+  type error =
+    | Invalid_vcpus of int
+    | Insufficient_cores of { n_vcpus : int; cores : int }
+    | Svt_context_unprogrammable of { mode : Mode.t; smt_per_core : int }
+    | Sw_svt_needs_smt_sibling of { smt_per_core : int }
+
+  let pp_error ppf = function
+    | Invalid_vcpus n -> Fmt.pf ppf "n_vcpus = %d (need at least 1)" n
+    | Insufficient_cores { n_vcpus; cores } ->
+        Fmt.pf ppf "%d vCPUs need %d distinct cores but the machine has %d"
+          n_vcpus n_vcpus cores
+    | Svt_context_unprogrammable { mode; smt_per_core } ->
+        Fmt.pf ppf
+          "%s needs at least 2 hardware contexts per core to program the \
+           SVt µ-registers, but smt_per_core = %d"
+          (Mode.name mode) smt_per_core
+    | Sw_svt_needs_smt_sibling { smt_per_core } ->
+        Fmt.pf ppf
+          "SW SVt with smt-sibling placement needs an SMT sibling, but \
+           smt_per_core = %d"
+          smt_per_core
+
+  let make ?(machine = Machine.paper_config) ?(n_vcpus = 1)
+      ?(shadow = Svt_vmcs.Shadow.hardware_shadowing_enabled)
+      ?(multiplex_contexts = false) ?(faults = Svt_fault.Plan.empty)
+      ?(fault_seed = 0xFA17L) ~mode ~level () =
+    { mode; level; n_vcpus; machine; shadow; multiplex_contexts; faults;
+      fault_seed }
+
+  (* Reject stacks that cannot be wired soundly; normalize the ones that
+     can. The SVt-context rules are the load-bearing part: without them a
+     guest would run with unprogrammed µ-registers (SVt fields at the
+     invalid sentinel) and silently measure the wrong protocol. *)
+  let validate t =
+    let errors = ref [] in
+    let err e = errors := e :: !errors in
+    if t.n_vcpus < 1 then err (Invalid_vcpus t.n_vcpus);
+    let cores = t.machine.Machine.sockets * t.machine.Machine.cores_per_socket in
+    if t.n_vcpus >= 1 && t.n_vcpus > cores then
+      err (Insufficient_cores { n_vcpus = t.n_vcpus; cores });
+    let smt = t.machine.Machine.smt_per_core in
+    (match (t.mode, t.level) with
+    | Mode.Hw_svt, (L1_leaf | L2_nested) when smt < 2 ->
+        err (Svt_context_unprogrammable { mode = t.mode; smt_per_core = smt })
+    | Mode.Sw_svt { placement = Mode.Smt_sibling; _ }, _ when smt < 2 ->
+        err (Sw_svt_needs_smt_sibling { smt_per_core = smt })
+    | _ -> ());
+    match List.rev !errors with
+    | [] ->
+        (* The proposed SVt core provides one hardware context per
+           virtualization level (the §4 worked example needs three);
+           beyond the config's SMT width the hypervisor multiplexes
+           levels on a shared context (§3.1), which [Nested] charges
+           for. The default HW SVt machine is the proposal, so it gets
+           the third context. *)
+        let t =
+          match (t.mode, t.level) with
+          | Mode.Hw_svt, L2_nested
+            when smt < 3 && not t.multiplex_contexts ->
+              { t with machine = { t.machine with Machine.smt_per_core = 3 } }
+          | _ -> t
+        in
+        Ok t
+    | es -> Error es
+end
+
+exception Invalid_config of Config.error list
+
+let () =
+  Printexc.register_printer (function
+    | Invalid_config es ->
+        Some
+          (Fmt.str "System.Invalid_config: %a"
+             Fmt.(list ~sep:(any "; ") Config.pp_error)
+             es)
+    | _ -> None)
 
 type t = {
   machine : Machine.t;
@@ -42,6 +143,7 @@ type t = {
   vcpus : Vcpu.t array;
   nested : Nested.t array; (* per vCPU; empty unless L2_nested *)
   script : Svt_hyp.L1_script.t;
+  injector : Injector.t;
   mutable fabric : Svt_virtio.Fabric.t option;
 }
 
@@ -77,9 +179,26 @@ let wire_l1_leaf cost mode vcpu =
    vector into L2 costs L1 an interrupt-window exit on top of the
    external-interrupt reflection (the guest rarely has interrupts enabled
    at the instant of injection), then the guest's EOI exits again. *)
-let wire_l2 nested vcpu =
+let wire_l2 injector nested vcpu =
   Vcpu.set_privileged vcpu (fun _ info -> Nested.handle nested info);
   Vcpu.set_deliver_guest_irq vcpu (fun v vector ->
+      (* Spurious-interrupt fault: an extra, unsolicited vector arrives
+         ahead of the real one. The guest's ISR table has no handler for
+         it, so it costs a full injection episode and an EOI. *)
+      if Injector.is_active injector && Injector.roll injector Fault_kind.Spurious_irq
+      then begin
+        Nested.handle nested
+          (Exit.of_action (Exit.External_interrupt { vector = spurious_vector }));
+        Nested.handle nested (Exit.of_action Exit.Interrupt_window);
+        Nested.handle nested (Exit.of_action Exit.Eoi)
+      end;
+      (* Lost-interrupt fault: the vector is dropped in delivery and only
+         re-raised when the guest's own recovery timeout notices. *)
+      if Injector.is_active injector && Injector.roll injector Fault_kind.Drop_irq
+      then begin
+        Proc.delay (Time.of_ns (Fault_kind.param_ns Fault_kind.Drop_irq));
+        Injector.record injector Fault_outcome.Irq_recovered
+      end;
       (* If the vCPU is at a VM-entry boundary (it just took an exit for
          the event that raised this vector), L1 injects on that entry for
          free; otherwise injection forces a fresh external-interrupt exit
@@ -100,23 +219,23 @@ let wire_l2 nested vcpu =
   Vcpu.set_deliver_host_event vcpu (fun _ ~vector ~work ->
       Nested.interrupt_for_l1 nested ~vector ~work)
 
-let create ?(config = Machine.paper_config) ?(n_vcpus = 1)
-    ?(shadow = Svt_vmcs.Shadow.hardware_shadowing_enabled)
-    ?(multiplex_contexts = false) ~mode ~level () =
-  (* The proposed SVt core provides one hardware context per
-     virtualization level (the section-4 worked example needs three);
-     beyond the config's SMT width the hypervisor multiplexes levels on a
-     shared context (section 3.1), which [Nested] charges for. The
-     default HW SVt machine is the proposal, so it gets the third
-     context. *)
-  let config =
-    match (mode, level) with
-    | Mode.Hw_svt, L2_nested
-      when config.Machine.smt_per_core < 3 && not multiplex_contexts ->
-        { config with Machine.smt_per_core = 3 }
-    | _ -> config
+let of_config (c : Config.t) =
+  let c =
+    match Config.validate c with
+    | Ok c -> c
+    | Error es -> raise (Invalid_config es)
   in
+  let { Config.mode; level; n_vcpus; machine = config; shadow;
+        multiplex_contexts = _; faults; fault_seed } = c in
   let machine = Machine.create ~config () in
+  let injector = Injector.create ~seed:fault_seed faults in
+  (if Injector.is_active injector then
+     let probe = Machine.probe machine in
+     Injector.set_observer injector (fun o ->
+         if Svt_obs.Probe.is_on probe then
+           Svt_obs.Probe.span probe Svt_obs.Span.Fault ~vcpu:(-1) ~level:0
+             ~tags:[ ("outcome", Fault_outcome.name o) ]
+             ~start:(Svt_obs.Probe.now probe) ()));
   let cost = Machine.cost machine in
   let host_db = machine.Machine.host_cpuid in
   let l1_db = Cpuid_db.guest_view host_db ~expose_vmx:true in
@@ -135,7 +254,7 @@ let create ?(config = Machine.paper_config) ?(n_vcpus = 1)
       in
       Array.iter (wire_native cost) vcpus;
       { machine; mode; level; l1_vm; guest_vm = l0_vm; vcpus; nested = [||];
-        script; fabric = None }
+        script; injector; fabric = None }
   | L1_leaf ->
       let vcpus =
         Array.init n_vcpus (fun i ->
@@ -158,7 +277,7 @@ let create ?(config = Machine.paper_config) ?(n_vcpus = 1)
       | Mode.Baseline | Mode.Sw_svt _ | Mode.Hw_full_nesting -> ());
       Array.iter (wire_l1_leaf cost mode) vcpus;
       { machine; mode; level; l1_vm; guest_vm = l1_vm; vcpus; nested = [||];
-        script; fabric = None }
+        script; injector; fabric = None }
   | L2_nested ->
       let l2_vm =
         Vm.create ~machine ~name:"l2" ~level:2 ~ram_bytes:(4 * mb) ~cpuid:l2_db
@@ -169,13 +288,21 @@ let create ?(config = Machine.paper_config) ?(n_vcpus = 1)
       in
       let nested =
         Array.map
-          (fun vcpu -> Nested.create ~machine ~mode ~vcpu ~l1_vm ~script ())
+          (fun vcpu ->
+            Nested.create ~injector ~machine ~mode ~vcpu ~l1_vm ~script ())
           vcpus
       in
-      Array.iteri (fun i vcpu -> wire_l2 nested.(i) vcpu) vcpus;
+      Array.iteri (fun i vcpu -> wire_l2 injector nested.(i) vcpu) vcpus;
       Array.iter Nested.start nested;
       { machine; mode; level; l1_vm; guest_vm = l2_vm; vcpus; nested; script;
-        fabric = None }
+        injector; fabric = None }
+
+let create ?(config = Machine.paper_config) ?(n_vcpus = 1)
+    ?(shadow = Svt_vmcs.Shadow.hardware_shadowing_enabled)
+    ?(multiplex_contexts = false) ~mode ~level () =
+  of_config
+    (Config.make ~machine:config ~n_vcpus ~shadow ~multiplex_contexts ~mode
+       ~level ())
 
 let machine t = t.machine
 let obs t = Machine.obs t.machine
@@ -190,6 +317,7 @@ let n_vcpus t = Array.length t.vcpus
 let nested_path t i = t.nested.(i)
 let l1_script t = t.script
 let metrics t = t.machine.Machine.metrics
+let injector t = t.injector
 
 let run ?until t =
   match until with

@@ -3,7 +3,10 @@
     virtio devices, and run it.
 
     {[
-      let sys = System.create ~mode:Mode.Hw_svt ~level:System.L2_nested () in
+      let cfg =
+        System.Config.make ~mode:Mode.Hw_svt ~level:System.L2_nested ()
+      in
+      let sys = System.of_config cfg in
       Svt_hyp.Vcpu.spawn_program (System.vcpu0 sys) (fun v ->
           ignore (Guest.cpuid v ~leaf:1));
       System.run sys
@@ -23,7 +26,69 @@ val net_vector : int
 val blk_vector : int
 val l1_nic_vector : int
 
+val spurious_vector : int
+(** The vector the spurious-interrupt fault injects (no ISR handles it). *)
+
+(** A validated system configuration. {!Config.make} collects the knobs
+    with the old [create] defaults; {!Config.validate} rejects stacks
+    that cannot be wired soundly — most importantly an SVt mode on a
+    machine without the SMT contexts its µ-registers need, the class of
+    bug where a guest silently ran with unprogrammed SVt fields. *)
+module Config : sig
+  type t = {
+    mode : Mode.t;
+    level : level;
+    n_vcpus : int;
+    machine : Svt_hyp.Machine.config;
+    shadow : Svt_vmcs.Shadow.t;
+    multiplex_contexts : bool;
+    faults : Svt_fault.Plan.t;
+    fault_seed : int64;
+  }
+
+  type error =
+    | Invalid_vcpus of int
+    | Insufficient_cores of { n_vcpus : int; cores : int }
+    | Svt_context_unprogrammable of { mode : Mode.t; smt_per_core : int }
+        (** an SVt mode on a core without the hardware contexts its
+            µ-registers address *)
+    | Sw_svt_needs_smt_sibling of { smt_per_core : int }
+
+  val pp_error : Format.formatter -> error -> unit
+
+  val make :
+    ?machine:Svt_hyp.Machine.config ->
+    ?n_vcpus:int ->
+    ?shadow:Svt_vmcs.Shadow.t ->
+    ?multiplex_contexts:bool ->
+    ?faults:Svt_fault.Plan.t ->
+    ?fault_seed:int64 ->
+    mode:Mode.t ->
+    level:level ->
+    unit ->
+    t
+
+  val validate : t -> (t, error list) result
+  (** All errors are reported, not just the first. The [Ok] payload is
+      the normalized configuration (a default HW SVt nested machine gets
+      the proposal's third hardware context unless [multiplex_contexts]
+      keeps the configured SMT width). *)
+end
+
+exception Invalid_config of Config.error list
+
 type t
+
+val of_config : Config.t -> t
+(** Validate and build the stack: the simulated machine, the guest
+    hypervisor VM, the guest under test with [n_vcpus] vCPUs pinned to
+    distinct cores, the per-vCPU trap paths of [mode] (including
+    SVt-threads on the SMT siblings under SW SVt), and the fault injector
+    derived from [faults]/[fault_seed] (inert when the plan is empty).
+    [shadow] selects the hardware VMCS-shadowing policy L1 runs under
+    (§2.1); disabling it adds auxiliary traps.
+
+    @raise Invalid_config when {!Config.validate} rejects it. *)
 
 val create :
   ?config:Svt_hyp.Machine.config ->
@@ -34,14 +99,11 @@ val create :
   level:level ->
   unit ->
   t
-(** Build the stack: the simulated machine, the guest hypervisor VM, the
-    guest under test with [n_vcpus] vCPUs pinned to distinct cores, and
-    the per-vCPU trap paths of [mode] (including SVt-threads on the SMT
-    siblings under SW SVt). [shadow] selects the hardware VMCS-shadowing
-    policy L1 runs under (§2.1); disabling it adds auxiliary traps.
-    A default HW SVt machine gets the proposal's three hardware contexts;
-    pass [~multiplex_contexts:true] to keep the configured SMT width and
-    let L1 and L2 multiplex one context (§3.1), paying reload costs. *)
+(** Deprecated shim for the pre-[Config] API, kept for one release so
+    callers can migrate; equivalent to
+    [of_config (Config.make ~machine:config ...)]. New code should use
+    {!Config.make} + {!of_config} (or pass [faults] through the config).
+    Will be removed in the next release. *)
 
 (** {2 Accessors} *)
 
@@ -70,6 +132,10 @@ val l1_script : t -> Svt_hyp.L1_script.t
 
 val metrics : t -> Svt_stats.Metrics.t
 (** Exit counts and per-reason handler time (the §6.2/§6.3 profiles). *)
+
+val injector : t -> Svt_fault.Injector.t
+(** The system's fault injector (inert when the fault plan is empty);
+    its outcome counts are the [fault.*] ledger fields. *)
 
 val run : ?until:Svt_engine.Time.t -> t -> unit
 (** Run the simulation until the event queue drains (all guest programs

@@ -17,6 +17,26 @@
 module Time = Svt_engine.Time
 module Cost_model = Svt_arch.Cost_model
 
+(* The one authoritative name<->mechanism mapping. Channel, the campaign
+   axis parser and the CLI all go through this instead of keeping their
+   own string tables. *)
+module Kind = struct
+  type t = Mode.wait_mechanism = Polling | Mwait | Mutex
+
+  let all = [ Polling; Mwait; Mutex ]
+  let to_string = Mode.wait_name
+
+  let of_string s =
+    List.find_opt (fun k -> to_string k = s) all
+
+  let pp ppf t = Fmt.string ppf (to_string t)
+end
+
+(* Virtual-clock backoff schedules for fault recovery: bounded
+   exponential, deterministic in the attempt number. *)
+let retry_backoff ~attempt = Time.of_ns (500 * (1 lsl min attempt 6))
+let watchdog_timeout ~attempt = Time.of_us (20 * (1 lsl min attempt 4))
+
 let line_transfer (cm : Cost_model.t) (p : Mode.placement) =
   match p with
   | Mode.Smt_sibling -> cm.line_transfer_smt

@@ -2,6 +2,26 @@
     SW SVt command channels (§6.1): polling, monitor/mwait, and a
     futex-style mutex, across thread placements. *)
 
+(** The waiting mechanisms by name. This is the single authority for the
+    mechanism<->string mapping; {!Channel}, the campaign axis grammar
+    and the CLI all share it. *)
+module Kind : sig
+  type t = Mode.wait_mechanism = Polling | Mwait | Mutex
+
+  val all : t list
+  val to_string : t -> string
+  val of_string : string -> t option
+  val pp : Format.formatter -> t -> unit
+end
+
+val retry_backoff : attempt:int -> Svt_engine.Time.t
+(** Bounded exponential backoff (virtual ns) before re-posting after
+    channel backpressure: 500ns doubling, capped at attempt 6. *)
+
+val watchdog_timeout : attempt:int -> Svt_engine.Time.t
+(** Stall-watchdog deadline for the SVt resume wait: 20us doubling,
+    capped at attempt 4. *)
+
 val line_transfer :
   Svt_arch.Cost_model.t -> Mode.placement -> Svt_engine.Time.t
 (** Coherence transfer of the monitored cache line between the producer

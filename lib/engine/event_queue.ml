@@ -81,12 +81,16 @@ let pop_raw q =
     Some e
   end
 
-(* Pop the next non-cancelled event, discarding cancelled ones. *)
+(* Pop the next non-cancelled event, discarding cancelled ones. A popped
+   entry is marked cancelled so that a later [cancel] on its handle — a
+   watchdog calling [cancel] on a deadline that already fired — is a
+   no-op instead of corrupting the live count. *)
 let rec pop q =
   match pop_raw q with
   | None -> None
   | Some e when e.cancelled -> pop q
   | Some e ->
+      e.cancelled <- true;
       q.live <- q.live - 1;
       Some (e.time, e.run)
 

@@ -12,7 +12,8 @@ val add : t -> time:Time.t -> (unit -> unit) -> handle
 (** Enqueue [run] to fire at [time]. *)
 
 val cancel : t -> handle -> unit
-(** Idempotent; a cancelled event is never returned by {!pop}. *)
+(** Idempotent; a cancelled event is never returned by {!pop}. Safe on a
+    handle whose event already fired (a no-op). *)
 
 val is_cancelled : handle -> bool
 

@@ -1,0 +1,70 @@
+(* A fault plan: per-kind Bernoulli rates, parsed from the CLI/axis
+   grammar `kind:rate[,kind:rate,...]`. The empty plan is the common
+   case and must cost nothing downstream — an injector built from it
+   answers every [roll] with a single branch. Entries are kept sorted by
+   kind index and zero rates dropped, so equal plans print equally. *)
+
+type t = (Kind.t * float) list
+
+let empty = []
+let is_empty t = t = []
+let entries t = t
+let rate t k = match List.assoc_opt k t with Some r -> r | None -> 0.0
+
+let known_names = String.concat ", " (List.map Kind.name Kind.all)
+
+let of_string s =
+  if String.trim s = "" then Ok empty
+  else begin
+    let items =
+      String.split_on_char ',' s |> List.filter (fun x -> String.trim x <> "")
+    in
+    let parse_item item =
+      let item = String.trim item in
+      match String.index_opt item ':' with
+      | None -> Error (Printf.sprintf "fault %S: expected kind:rate" item)
+      | Some i -> (
+          let kname = String.sub item 0 i in
+          let rate_s = String.sub item (i + 1) (String.length item - i - 1) in
+          match Kind.of_name kname with
+          | None ->
+              Error
+                (Printf.sprintf "unknown fault kind %S (expected one of %s)"
+                   kname known_names)
+          | Some k -> (
+              match float_of_string_opt rate_s with
+              | None ->
+                  Error
+                    (Printf.sprintf "fault %s: rate %S is not a number" kname
+                       rate_s)
+              | Some r when not (Float.is_finite r) || r < 0.0 || r > 1.0 ->
+                  Error
+                    (Printf.sprintf "fault %s: rate %s out of [0, 1]" kname
+                       rate_s)
+              | Some r -> Ok (k, r)))
+    in
+    let rec go acc = function
+      | [] ->
+          Ok
+            (List.rev acc
+            |> List.filter (fun (_, r) -> r > 0.0)
+            |> List.sort (fun (a, _) (b, _) ->
+                   compare (Kind.index a) (Kind.index b)))
+      | item :: rest -> (
+          match parse_item item with
+          | Error e -> Error e
+          | Ok (k, _) when List.mem_assoc k acc ->
+              Error (Printf.sprintf "fault %s given twice" (Kind.name k))
+          | Ok kv -> go (kv :: acc) rest)
+    in
+    go [] items
+  end
+
+let of_string_exn s =
+  match of_string s with Ok p -> p | Error e -> failwith e
+
+let to_string t =
+  String.concat ","
+    (List.map (fun (k, r) -> Printf.sprintf "%s:%g" (Kind.name k) r) t)
+
+let pp ppf t = Fmt.string ppf (to_string t)

@@ -1,0 +1,25 @@
+(** A fault plan: per-kind Bernoulli rates, parsed from the
+    [kind:rate[,kind:rate,...]] grammar shared by [svt_sim faults
+    --plan] and the campaign [fault] axis. *)
+
+type t
+
+val empty : t
+(** No faults. Systems built with the empty plan behave bit-identically
+    to systems built without an injector at all. *)
+
+val is_empty : t -> bool
+val entries : t -> (Kind.t * float) list
+val rate : t -> Kind.t -> float
+
+val of_string : string -> (t, string) result
+(** Parse ["drop-ring:0.01,corrupt-vmcs12:0.05"]. The empty string is
+    {!empty}. Unknown kinds, unparseable or out-of-range rates, and
+    duplicate kinds are reported as [Error]. *)
+
+val of_string_exn : string -> t
+val to_string : t -> string
+(** Canonical form: entries sorted by kind, zero rates dropped;
+    round-trips through {!of_string}. *)
+
+val pp : Format.formatter -> t -> unit

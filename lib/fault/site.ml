@@ -1,0 +1,19 @@
+(* The trust boundaries of the SVt protocol where faults are injected —
+   the surface NecoFuzz-style fuzzers exercise on real nested stacks:
+   the command rings of §5.2 (both directions), the vmcs12 descriptor L1
+   hands to L0, the interrupt-injection path, and the SVT_BLOCKED
+   handshake of §5.3. *)
+
+type t = Ring_send | Ring_recv | Vmcs12 | Irq | Blocked
+
+let all = [ Ring_send; Ring_recv; Vmcs12; Irq; Blocked ]
+
+let name = function
+  | Ring_send -> "ring-send"
+  | Ring_recv -> "ring-recv"
+  | Vmcs12 -> "vmcs12"
+  | Irq -> "irq"
+  | Blocked -> "blocked"
+
+let of_name s = List.find_opt (fun x -> name x = s) all
+let pp ppf t = Fmt.string ppf (name t)

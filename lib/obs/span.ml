@@ -17,10 +17,11 @@ type kind =
   | Ring_recv (* command consumed from an SVt ring *)
   | Irq_inject (* interrupt injection sequence into a guest *)
   | Halt (* vCPU idle in the architectural HLT state *)
+  | Fault (* an injected fault or its degradation outcome *)
 
 let all_kinds =
   [ Vm_exit; World_switch; Svt_trap; Svt_stall; Svt_resume; Vmcs_transform;
-    Ring_send; Ring_recv; Irq_inject; Halt ]
+    Ring_send; Ring_recv; Irq_inject; Halt; Fault ]
 
 let n_kinds = List.length all_kinds
 
@@ -35,6 +36,7 @@ let kind_index = function
   | Ring_recv -> 7
   | Irq_inject -> 8
   | Halt -> 9
+  | Fault -> 10
 
 let kind_name = function
   | Vm_exit -> "vm-exit"
@@ -47,6 +49,7 @@ let kind_name = function
   | Ring_recv -> "ring-recv"
   | Irq_inject -> "irq-inject"
   | Halt -> "halt"
+  | Fault -> "fault"
 
 let kind_of_name s = List.find_opt (fun k -> kind_name k = s) all_kinds
 

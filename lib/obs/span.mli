@@ -16,6 +16,7 @@ type kind =
   | Ring_recv  (** command consumed from an SVt ring *)
   | Irq_inject  (** interrupt injection sequence into a guest *)
   | Halt  (** vCPU idle in the architectural HLT state *)
+  | Fault  (** an injected fault or its degradation outcome *)
 
 val all_kinds : kind list
 val n_kinds : int

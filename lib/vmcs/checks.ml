@@ -2,19 +2,31 @@
    with invalid state or controls must fail rather than launch the guest.
    L0 runs these on vmcs02 after every transform; tests use them to show
    that a malformed vmcs12 from a (buggy or malicious) L1 cannot reach
-   hardware. *)
+   hardware.
+
+   Each failure names the offending field so callers can act on it: the
+   nested-virtualization layer reflects the failure to L1 as a VM-entry
+   failure and the fault-injection harness repairs the field to continue
+   the run ([repair]). *)
 
 type failure =
-  | Invalid_host_state of string
-  | Invalid_guest_state of string
-  | Invalid_control of string
-  | Invalid_svt_context of string
+  | Invalid_host_state of Field.t * string
+  | Invalid_guest_state of Field.t * string
+  | Invalid_control of Field.t * string
+  | Invalid_svt_context of Field.t * string
 
 let pp_failure ppf = function
-  | Invalid_host_state s -> Fmt.pf ppf "invalid host state: %s" s
-  | Invalid_guest_state s -> Fmt.pf ppf "invalid guest state: %s" s
-  | Invalid_control s -> Fmt.pf ppf "invalid control: %s" s
-  | Invalid_svt_context s -> Fmt.pf ppf "invalid SVt context: %s" s
+  | Invalid_host_state (_, s) -> Fmt.pf ppf "invalid host state: %s" s
+  | Invalid_guest_state (_, s) -> Fmt.pf ppf "invalid guest state: %s" s
+  | Invalid_control (_, s) -> Fmt.pf ppf "invalid control: %s" s
+  | Invalid_svt_context (_, s) -> Fmt.pf ppf "invalid SVt context: %s" s
+
+let offending_field = function
+  | Invalid_host_state (f, _)
+  | Invalid_guest_state (f, _)
+  | Invalid_control (f, _)
+  | Invalid_svt_context (f, _) ->
+      f
 
 let check_bit v bit = Int64.logand v (Int64.shift_left 1L bit) <> 0L
 
@@ -25,16 +37,18 @@ let run ?(n_hw_contexts = 2) vmcs =
   let err e = errors := e :: !errors in
   let guest_cr0 = Vmcs.peek vmcs Field.Guest_cr0 in
   if not (check_bit guest_cr0 0) then
-    err (Invalid_guest_state "CR0.PE clear");
+    err (Invalid_guest_state (Field.Guest_cr0, "CR0.PE clear"));
   if not (check_bit guest_cr0 31) then
-    err (Invalid_guest_state "CR0.PG clear");
+    err (Invalid_guest_state (Field.Guest_cr0, "CR0.PG clear"));
   let host_cr4 = Vmcs.peek vmcs Field.Host_cr4 in
-  if not (check_bit host_cr4 13) then err (Invalid_host_state "CR4.VMXE clear");
+  if not (check_bit host_cr4 13) then
+    err (Invalid_host_state (Field.Host_cr4, "CR4.VMXE clear"));
   if Vmcs.peek vmcs Field.Host_rip = 0L then
-    err (Invalid_host_state "HOST_RIP is null");
+    err (Invalid_host_state (Field.Host_rip, "HOST_RIP is null"));
   let link = Vmcs.peek vmcs Field.Vmcs_link_pointer in
   if link <> 0L && Int64.logand link 0xFFFL <> 0L then
-    err (Invalid_control "VMCS link pointer not page-aligned");
+    err
+      (Invalid_control (Field.Vmcs_link_pointer, "VMCS link pointer not page-aligned"));
   (* SVt fields: target contexts must be within the core or the invalid
      sentinel (all-ones in the field encoding; we use -1). *)
   let check_svt_field name f =
@@ -42,7 +56,7 @@ let run ?(n_hw_contexts = 2) vmcs =
     if v <> -1 && (v < 0 || v >= n_hw_contexts) then
       err
         (Invalid_svt_context
-           (Printf.sprintf "%s = %d out of range [0, %d)" name v n_hw_contexts))
+           (f, Printf.sprintf "%s = %d out of range [0, %d)" name v n_hw_contexts))
   in
   check_svt_field "SVt_visor" Field.Svt_visor;
   check_svt_field "SVt_vm" Field.Svt_vm;
@@ -52,8 +66,21 @@ let run ?(n_hw_contexts = 2) vmcs =
   let visor = Int64.to_int (Vmcs.peek vmcs Field.Svt_visor) in
   let vm = Int64.to_int (Vmcs.peek vmcs Field.Svt_vm) in
   if visor <> -1 && vm <> -1 && visor = vm then
-    err (Invalid_svt_context "SVt_visor equals SVt_vm");
+    err (Invalid_svt_context (Field.Svt_vm, "SVt_visor equals SVt_vm"));
   match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+(* The value [init_minimal] would give the offending field: the known-good
+   state the repair path resets to. *)
+let default_value = function
+  | Field.Guest_cr0 | Field.Host_cr0 -> 0x80000001L (* PG | PE *)
+  | Field.Guest_cr4 | Field.Host_cr4 -> 0x2000L (* VMXE *)
+  | Field.Host_rip -> 0xFFFFFFFF81000000L
+  | Field.Svt_visor | Field.Svt_vm | Field.Svt_nested -> -1L
+  | _ -> 0L
+
+let repair vmcs failure =
+  let f = offending_field failure in
+  Vmcs.write vmcs f (default_value f)
 
 (* Populate the fields a well-formed hypervisor always sets, so tests and
    builders start from a passing configuration. *)

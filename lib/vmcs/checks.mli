@@ -1,20 +1,31 @@
 (** VM-entry consistency checks: an entry with invalid state or controls
     must fail rather than launch the guest. L0 runs these on vmcs02 after
     transforms, so a malformed vmcs12 from a buggy or malicious L1 cannot
-    reach hardware. *)
+    reach hardware. Each failure names the offending field so the nested
+    layer can reflect a VM-entry failure to L1 and the fault harness can
+    {!repair} the field and continue. *)
 
 type failure =
-  | Invalid_host_state of string
-  | Invalid_guest_state of string
-  | Invalid_control of string
-  | Invalid_svt_context of string
+  | Invalid_host_state of Field.t * string
+  | Invalid_guest_state of Field.t * string
+  | Invalid_control of Field.t * string
+  | Invalid_svt_context of Field.t * string
       (** SVt fields out of range, or SVt_visor = SVt_vm *)
 
 val pp_failure : Format.formatter -> failure -> unit
 
+val offending_field : failure -> Field.t
+
 val run : ?n_hw_contexts:int -> Vmcs.t -> (unit, failure list) result
 (** All failures are reported, not just the first. [n_hw_contexts]
     bounds the valid SVt context indices (default 2). *)
+
+val default_value : Field.t -> int64
+(** The value {!init_minimal} gives a field — the known-good state the
+    repair path resets to (0 for fields it does not set). *)
+
+val repair : Vmcs.t -> failure -> unit
+(** Reset the failure's offending field to its {!default_value}. *)
 
 val init_minimal : Vmcs.t -> unit
 (** Populate the fields a well-formed hypervisor always sets, so builders

@@ -65,18 +65,26 @@ let make_channel () =
   in
   (machine, ch)
 
+(* Most channel tests post into a ring with known free space; a
+   backpressure result there is a test bug, not a scenario. *)
+let post_ok ch dir bd cmd =
+  match Channel.post ch dir bd cmd with
+  | Ok () -> ()
+  | Error `Backpressure -> Alcotest.fail "unexpected ring backpressure"
+
 let test_channel_payload_roundtrip () =
   let machine, ch = make_channel () in
   let bd = Breakdown.create () in
   let got = ref None in
   Simulator.spawn (Svt_hyp.Machine.sim machine) (fun () ->
       let regs = Array.init 16 (fun i -> Int64.of_int (1000 + i)) in
-      Channel.post ch (Channel.to_svt ch) bd
-        (Channel.Vm_trap { reason = Exit_reason.Cpuid; qual = 7L; regs });
+      post_ok ch (Channel.to_svt ch) bd
+        (Channel.Vm_trap { seq = 1; reason = Exit_reason.Cpuid; qual = 7L; regs });
       got := Channel.try_recv ch (Channel.to_svt ch) bd);
   Simulator.run (Svt_hyp.Machine.sim machine);
   match !got with
-  | Some (Channel.Vm_trap { reason; qual; regs }) ->
+  | Some (Channel.Vm_trap { seq; reason; qual; regs }) ->
+      checki "seq survives memory" 1 seq;
       checkb "reason survives memory" true (reason = Exit_reason.Cpuid);
       checkb "qual" true (qual = 7L);
       checkb "regs payload" true (regs.(15) = 1015L)
@@ -91,7 +99,8 @@ let test_channel_blocking_recv () =
       got := Some (Channel.recv ch (Channel.to_svt ch) bd ()));
   Simulator.spawn sim ~name:"l0" (fun () ->
       Proc.delay (Time.of_us 5);
-      Channel.post ch (Channel.to_svt ch) bd (Channel.Vm_resume { regs = [||] }));
+      post_ok ch (Channel.to_svt ch) bd
+        (Channel.Vm_resume { seq = 1; regs = [||] }));
   Simulator.run sim;
   checkb "received" true
     (match !got with Some (Channel.Vm_resume _) -> true | _ -> false);
@@ -105,9 +114,10 @@ let test_channel_fifo_and_overflow () =
   let sim = Svt_hyp.Machine.sim machine in
   Simulator.spawn sim (fun () ->
       for i = 1 to 3 do
-        Channel.post ch (Channel.to_svt ch) bd
+        post_ok ch (Channel.to_svt ch) bd
           (Channel.Vm_trap
-             { reason = Exit_reason.Cpuid; qual = Int64.of_int i; regs = [||] })
+             { seq = i; reason = Exit_reason.Cpuid; qual = Int64.of_int i;
+               regs = [||] })
       done;
       for i = 1 to 3 do
         match Channel.try_recv ch (Channel.to_svt ch) bd with
@@ -306,24 +316,25 @@ let test_nested_sw_tlb_shootdown_progress () =
 
 (* Failure injection: a malicious/buggy L1 plants a dangling pointer in
    vmcs01'. The entry transform must refuse it — it cannot reach
-   hardware. *)
-let test_nested_malicious_l1_pointer_rejected () =
+   hardware — but the refusal surfaces to L1 as a failed VM entry (§2.1)
+   rather than tearing the host down. *)
+let test_nested_malicious_l1_pointer_reflected () =
   let sys = System.create ~mode:Mode.Baseline ~level:System.L2_nested () in
   let vcpu = System.vcpu0 sys in
   let n = System.nested_path sys 0 in
+  let completed = ref false in
   Vcpu.spawn_program vcpu (fun v ->
       ignore (Guest.cpuid v ~leaf:1);
       (* L1 writes a pointer to an address its EPT does not map *)
       Svt_vmcs.Vmcs.write (Nested.vmcs12 n) Svt_vmcs.Field.Msr_bitmap
         0x7F_FFFF_F000L;
-      ignore (Guest.cpuid v ~leaf:1));
-  checkb "invalid pointer refused by the transform" true
-    (try
-       System.run sys;
-       false
-     with Failure msg ->
-       (* the process wrapper surfaces Transform.Invalid_pointer *)
-       String.length msg > 0)
+      ignore (Guest.cpuid v ~leaf:1);
+      completed := true);
+  System.run sys;
+  checkb "episode completes despite the bad pointer" true !completed;
+  checkb "L1 saw a reflected VM-entry failure" true
+    (Svt_stats.Metrics.counter (System.metrics sys) "vmentry_fail_reflected"
+     >= 1)
 
 let test_nested_shadowing_off_costs_more () =
   let measure shadow =
@@ -485,8 +496,8 @@ let () =
             test_nested_sw_blocked_protocol;
           Alcotest.test_case "TLB-shootdown progress (section 5.3)" `Quick
             test_nested_sw_tlb_shootdown_progress;
-          Alcotest.test_case "malicious L1 pointer rejected" `Quick
-            test_nested_malicious_l1_pointer_rejected;
+          Alcotest.test_case "malicious L1 pointer reflected" `Quick
+            test_nested_malicious_l1_pointer_reflected;
           Alcotest.test_case "shadowing off costs more (section 2.1)" `Quick
             test_nested_shadowing_off_costs_more;
           Alcotest.test_case "full-nesting upper bound (section 3)" `Quick

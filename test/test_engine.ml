@@ -91,6 +91,21 @@ let test_queue_cancel () =
   drain ();
   checki "only live ran" 1 !hit
 
+(* Regression: cancelling a handle whose event already fired must be a
+   no-op. It used to decrement the live count anyway, making the queue
+   report empty while real events remained — which ended simulation runs
+   early (the fault watchdog cancels fired deadlines routinely). *)
+let test_queue_cancel_after_fire () =
+  let q = Event_queue.create () in
+  let h = Event_queue.add q ~time:1 ignore in
+  let _keep = Event_queue.add q ~time:2 ignore in
+  (match Event_queue.pop q with
+  | Some (t, _) -> checki "fired" 1 t
+  | None -> Alcotest.fail "event expected");
+  Event_queue.cancel q h;
+  checki "live count intact" 1 (Event_queue.length q);
+  checkb "remaining event still delivered" true (Event_queue.pop q <> None)
+
 let test_queue_peek () =
   let q = Event_queue.create () in
   Alcotest.(check (option int)) "empty" None (Event_queue.peek_time q);
@@ -450,6 +465,8 @@ let () =
           Alcotest.test_case "time ordering" `Quick test_queue_order;
           Alcotest.test_case "FIFO at equal times" `Quick test_queue_fifo_same_time;
           Alcotest.test_case "cancellation" `Quick test_queue_cancel;
+          Alcotest.test_case "cancel after fire" `Quick
+            test_queue_cancel_after_fire;
           Alcotest.test_case "peek" `Quick test_queue_peek;
           Alcotest.test_case "growth and drain order" `Quick test_queue_growth;
           QCheck_alcotest.to_alcotest prop_heap_sorted;

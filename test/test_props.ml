@@ -24,6 +24,13 @@ let make_channel () =
       ~core:(Svt_hyp.Machine.core machine 0)
       () )
 
+(* These properties never fill the ring, so a backpressure result is a
+   property violation in its own right. *)
+let post_ok ch dir bd cmd =
+  match Channel.post ch dir bd cmd with
+  | Ok () -> ()
+  | Error `Backpressure -> failwith "unexpected ring backpressure"
+
 let reasons =
   [| Exit_reason.Cpuid; Exit_reason.Msr_write; Exit_reason.Ept_misconfig;
      Exit_reason.Hlt; Exit_reason.External_interrupt; Exit_reason.Eoi_induced |]
@@ -39,8 +46,8 @@ let prop_channel_roundtrip =
       let ok = ref false in
       let reason = reasons.(ri) in
       Simulator.spawn (Svt_hyp.Machine.sim machine) (fun () ->
-          Channel.post ch (Channel.to_svt ch) bd
-            (Channel.Vm_trap { reason; qual = regs.(0); regs });
+          post_ok ch (Channel.to_svt ch) bd
+            (Channel.Vm_trap { seq = 1; reason; qual = regs.(0); regs });
           match Channel.try_recv ch (Channel.to_svt ch) bd with
           | Some (Channel.Vm_trap r) ->
               ok :=
@@ -59,12 +66,12 @@ let prop_channel_order =
       let bd = Breakdown.create () in
       let got = ref [] in
       Simulator.spawn (Svt_hyp.Machine.sim machine) (fun () ->
-          List.iter
-            (fun q ->
-              Channel.post ch (Channel.from_svt ch) bd
+          List.iteri
+            (fun i q ->
+              post_ok ch (Channel.from_svt ch) bd
                 (Channel.Vm_trap
-                   { reason = Exit_reason.Cpuid; qual = Int64.of_int q;
-                     regs = [||] }))
+                   { seq = i + 1; reason = Exit_reason.Cpuid;
+                     qual = Int64.of_int q; regs = [||] }))
             quals;
           let rec drain () =
             match Channel.try_recv ch (Channel.from_svt ch) bd with

@@ -213,6 +213,69 @@ let test_checks_link_pointer_alignment () =
   Vmcs.write v Field.Vmcs_link_pointer 0x1001L;
   checkb "unaligned link rejected" true (Checks.run v <> Ok ())
 
+(* Every rejection rule of Checks.run, one corruption at a time, pinned to
+   the failure constructor and offending field the rule must report. *)
+let test_checks_every_rule () =
+  let expect name field value ~failure =
+    let v = Vmcs.create ~owner_level:0 ~subject_level:1 () in
+    Checks.init_minimal v;
+    Vmcs.write v field value;
+    match Checks.run ~n_hw_contexts:2 v with
+    | Ok () -> Alcotest.fail (name ^ ": corruption must be rejected")
+    | Error es ->
+        checkb (name ^ ": names the offending field") true
+          (List.exists (fun e -> Checks.offending_field e = field) es);
+        checkb (name ^ ": right failure class") true (List.exists failure es)
+  in
+  let guest = function Checks.Invalid_guest_state _ -> true | _ -> false in
+  let host = function Checks.Invalid_host_state _ -> true | _ -> false in
+  let ctrl = function Checks.Invalid_control _ -> true | _ -> false in
+  let svt = function Checks.Invalid_svt_context _ -> true | _ -> false in
+  (* CR0.PE clear (PG still set) *)
+  expect "cr0.pe" Field.Guest_cr0 0x80000000L ~failure:guest;
+  (* CR0.PG clear (PE still set) *)
+  expect "cr0.pg" Field.Guest_cr0 0x1L ~failure:guest;
+  (* CR4.VMXE clear on the host *)
+  expect "cr4.vmxe" Field.Host_cr4 0L ~failure:host;
+  (* null HOST_RIP *)
+  expect "host_rip" Field.Host_rip 0L ~failure:host;
+  (* unaligned VMCS link pointer (0 is the legal "no link" sentinel) *)
+  expect "link" Field.Vmcs_link_pointer 0x1001L ~failure:ctrl;
+  (* each SVt context field out of range on a 2-context core *)
+  expect "svt_visor" Field.Svt_visor 2L ~failure:svt;
+  expect "svt_vm" Field.Svt_vm 7L ~failure:svt;
+  expect "svt_nested" Field.Svt_nested 3L ~failure:svt;
+  (* visor = vm clash needs two writes, so it is spelled out *)
+  let v = Vmcs.create ~owner_level:0 ~subject_level:1 () in
+  Checks.init_minimal v;
+  Vmcs.write v Field.Svt_visor 0L;
+  Vmcs.write v Field.Svt_vm 0L;
+  match Checks.run ~n_hw_contexts:2 v with
+  | Ok () -> Alcotest.fail "visor=vm: corruption must be rejected"
+  | Error es ->
+      checkb "visor=vm: SVt class, pinned to Svt_vm" true
+        (List.exists
+           (fun e -> svt e && Checks.offending_field e = Field.Svt_vm)
+           es)
+
+(* The fault-injection repair path: resetting every offending field to its
+   default turns any combination of rejections back into a passing
+   config. *)
+let test_checks_repair_restores_validity () =
+  let v = Vmcs.create ~owner_level:0 ~subject_level:1 () in
+  Checks.init_minimal v;
+  Vmcs.write v Field.Guest_cr0 0L;
+  Vmcs.write v Field.Host_rip 0L;
+  Vmcs.write v Field.Vmcs_link_pointer 0x1001L;
+  Vmcs.write v Field.Svt_visor 9L;
+  (match Checks.run ~n_hw_contexts:2 v with
+  | Ok () -> Alcotest.fail "corrupted vmcs must fail checks"
+  | Error es ->
+      checkb "multiple rules fire" true (List.length es >= 4);
+      List.iter (Checks.repair v) es);
+  checkb "repair restores a passing config" true
+    (Checks.run ~n_hw_contexts:2 v = Ok ())
+
 let () =
   Alcotest.run "svt_vmcs"
     [
@@ -259,5 +322,9 @@ let () =
           Alcotest.test_case "visor != vm" `Quick test_checks_visor_vm_must_differ;
           Alcotest.test_case "link pointer alignment" `Quick
             test_checks_link_pointer_alignment;
+          Alcotest.test_case "every rejection rule" `Quick
+            test_checks_every_rule;
+          Alcotest.test_case "repair restores validity" `Quick
+            test_checks_repair_restores_validity;
         ] );
     ]
