@@ -1,8 +1,9 @@
-.PHONY: build test check fmt-check sweep-smoke trace-smoke fault-smoke clean
+.PHONY: build test check fmt-check sweep-smoke trace-smoke fault-smoke \
+	resume-smoke clean
 
 # The default verification bundle: tier-1 tests plus the end-to-end
-# trace-export and fault-injection smoke runs.
-check: test trace-smoke fault-smoke
+# trace-export, fault-injection and crash/resume smoke runs.
+check: test trace-smoke fault-smoke resume-smoke
 
 build:
 	dune build @all
@@ -52,6 +53,31 @@ fault-smoke: build
 		--seed 7 --plan $(FAULT_PLAN) --out _build/fault-smoke-b.jsonl
 	cmp _build/fault-smoke-a.jsonl _build/fault-smoke-b.jsonl
 	@echo "fault-smoke: ledgers byte-identical"
+
+# Crash-safety gate for the journaled ledger. One 9-point sweep runs
+# uninterrupted; a second is killed after 3 rows (--max-rows, exit 3),
+# then resumed. The resumed ledger must be byte-identical to the
+# uninterrupted one (--deterministic pins wall_s, the only wall-clock
+# field). The axes deliberately include the hung `spin` workload, which
+# only the simulator fuel budget (--max-sim-events) can terminate: it
+# must land in both ledgers as a bounded `timeout` row, which also makes
+# exit status 1 the *success* criterion for the full sweeps.
+RESUME_AXES = --axis mode=baseline,hw-svt,sw-svt \
+	--axis workload=cpuid,rr,spin --deterministic \
+	--max-sim-events 200000 --quiet
+resume-smoke: build
+	rm -f _build/resume-full.jsonl _build/resume-cut.jsonl
+	dune exec bin/svt_sim.exe -- sweep $(RESUME_AXES) \
+		--jobs 2 --ledger _build/resume-full.jsonl; \
+		test $$? -eq 1
+	dune exec bin/svt_sim.exe -- sweep $(RESUME_AXES) \
+		--jobs 2 --max-rows 3 --ledger _build/resume-cut.jsonl; \
+		test $$? -eq 3
+	dune exec bin/svt_sim.exe -- sweep $(RESUME_AXES) \
+		--jobs 2 --resume --ledger _build/resume-cut.jsonl; \
+		test $$? -eq 1
+	cmp _build/resume-full.jsonl _build/resume-cut.jsonl
+	@echo "resume-smoke: interrupted+resumed ledger byte-identical"
 
 clean:
 	dune clean

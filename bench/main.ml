@@ -73,7 +73,10 @@ let campaign_lookup ?run ~label spec =
                       (Spec.canonical_key r.Svt_campaign.Runner.point) msg)
       | Svt_campaign.Runner.Run_timeout ->
           failwith (Printf.sprintf "%s: %s timed out" label
-                      (Spec.canonical_key r.Svt_campaign.Runner.point)))
+                      (Spec.canonical_key r.Svt_campaign.Runner.point))
+      | Svt_campaign.Runner.Run_quarantined msg ->
+          failwith (Printf.sprintf "%s: %s quarantined: %s" label
+                      (Spec.canonical_key r.Svt_campaign.Runner.point) msg))
     o.Campaign.results;
   fun point metric ->
     match

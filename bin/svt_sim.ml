@@ -317,6 +317,7 @@ let trace_cmd =
 let sweep_cmd =
   let module Spec = Svt_campaign.Spec in
   let module Campaign = Svt_campaign.Campaign in
+  let module Runner = Svt_campaign.Runner in
   let axis_conv =
     let parse s =
       match Spec.parse_axis s with Ok a -> Ok a | Error e -> Error (`Msg e)
@@ -350,25 +351,91 @@ let sweep_cmd =
   let ledger =
     Arg.(value & opt string "sweep.jsonl"
          & info [ "ledger" ] ~docv:"PATH"
-             ~doc:"JSONL run ledger to append to (one object per run).")
+             ~doc:"Journaled JSONL run ledger (one CRC'd object per run).")
+  in
+  let resume =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"Recover the ledger first (tolerating a torn trailing \
+                   line) and skip runs already recorded ok; failed, timed \
+                   out, quarantined and missing runs re-execute.")
+  in
+  let max_rows =
+    Arg.(value & opt (some int) None
+         & info [ "max-rows" ] ~docv:"N"
+             ~doc:"Stop after N rows complete (exit 3). Simulates a crash \
+                   for resume testing.")
+  in
+  let checkpoint =
+    Arg.(value & opt int 1
+         & info [ "checkpoint" ] ~docv:"N"
+             ~doc:"Flush the journal every N rows (1 = every row durable \
+                   immediately).")
+  in
+  let quarantine_after =
+    Arg.(value & opt int Svt_campaign.Pool.default_quarantine_after
+         & info [ "quarantine-after" ] ~docv:"K"
+             ~doc:"Stop retrying a run after K consecutive failures and \
+                   record it quarantined with its backtrace.")
+  in
+  let max_sim_events =
+    Arg.(value & opt int Svt_campaign.Runner.default_max_sim_events
+         & info [ "max-sim-events" ] ~docv:"N"
+             ~doc:"Deterministic fuel budget: abort a run as status timeout \
+                   after N simulator events.")
+  in
+  let max_sim_ms =
+    Arg.(value & opt (some int) None
+         & info [ "max-sim-ms" ] ~docv:"MS"
+             ~doc:"Deterministic fuel budget on virtual time: abort a run \
+                   as status timeout once the simulation clock passes MS \
+                   milliseconds.")
+  in
+  let deterministic =
+    Arg.(value & flag
+         & info [ "deterministic" ]
+             ~doc:"Pin the per-row wall_s field to 0 so two ledgers of the \
+                   same campaign are byte-identical (used by resume-smoke).")
   in
   let quiet =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No stderr progress line.")
   in
-  let run axes jobs retries timeout_s ledger quiet =
+  let run axes jobs retries timeout_s ledger resume max_rows checkpoint
+      quarantine_after max_sim_events max_sim_ms deterministic quiet =
     match Spec.of_axes axes with
     | Error e ->
         Printf.eprintf "sweep: %s\n" e;
         exit 2
     | Ok spec ->
+        let max_sim_time =
+          Option.map (fun ms -> Svt_engine.Time.of_ms ms) max_sim_ms
+        in
         let o =
-          Campaign.execute ~jobs ~retries ?timeout_s ~progress:(not quiet)
-            ~ledger spec
+          Campaign.execute ~jobs ~retries ?timeout_s ~quarantine_after
+            ?max_rows ~checkpoint_every:checkpoint ~resume ~deterministic
+            ~progress:(not quiet) ~ledger
+            ~run:(fun p -> Runner.exec ~max_sim_events ?max_sim_time p)
+            spec
         in
         Svt_stats.Table.print (Campaign.summary_table o);
-        Printf.printf "\n%d runs: %d ok, %d failed in %.2f s (jobs=%d) -> %s\n"
+        Printf.printf
+          "\n%d runs: %d ok, %d failed, %d timeout, %d quarantined%s%s in \
+           %.2f s (jobs=%d) -> %s\n"
           (List.length o.Campaign.results)
-          o.Campaign.ok o.Campaign.failed o.Campaign.wall_s jobs ledger;
+          o.Campaign.ok o.Campaign.failed o.Campaign.timeout
+          o.Campaign.quarantined
+          (if o.Campaign.reused > 0 then
+             Printf.sprintf ", %d reused" o.Campaign.reused
+           else "")
+          (if o.Campaign.skipped > 0 then
+             Printf.sprintf ", %d skipped" o.Campaign.skipped
+           else "")
+          o.Campaign.wall_s jobs ledger;
+        if o.Campaign.interrupted then
+          Printf.printf
+            "campaign interrupted; finish it with: svt_sim sweep --resume \
+             --ledger %s ...\n"
+            ledger;
         let entries =
           List.map Svt_campaign.Ledger.entry_of_result o.Campaign.results
         in
@@ -377,19 +444,26 @@ let sweep_cmd =
         | rows ->
             print_endline "\nmeasured-vs-paper speedups derivable from this sweep:";
             Svt_report.Compare.print rows);
-        if o.Campaign.failed > 0 then exit 1
+        match Campaign.exit_code o with 0 -> () | c -> exit c
   in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Run a parallel experiment campaign over the design space and \
-             record a JSONL ledger."
+             record a crash-safe JSONL ledger."
        ~man:
          [
            `S Manpage.s_examples;
            `P "svt_sim sweep --axis mode=baseline,sw-svt,hw-svt --axis \
                level=l1,l2 --jobs 4";
+           `P "Interrupted (or killed) campaigns resume without re-running \
+               completed work: svt_sim sweep --resume --ledger sweep.jsonl \
+               [same axes]. Exit status: 0 all ok, 1 some run failed / \
+               timed out / was quarantined, 2 usage error, 3 interrupted \
+               by --max-rows.";
          ])
-    Term.(const run $ axes $ jobs $ retries $ timeout_s $ ledger $ quiet)
+    Term.(const run $ axes $ jobs $ retries $ timeout_s $ ledger $ resume
+          $ max_rows $ checkpoint $ quarantine_after $ max_sim_events
+          $ max_sim_ms $ deterministic $ quiet)
 
 let sweep_diff_cmd =
   let old_arg =

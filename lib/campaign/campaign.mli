@@ -1,21 +1,46 @@
 (** The orchestrator: shard a {!Spec.t} across the {!Pool}, adapt each
     point with {!Runner.exec} (or an injected run function), stream a
-    {!Progress} line, and optionally append every result to a
+    {!Progress} line, and journal every result crash-safely to a
     {!Ledger}. Results come back in spec order regardless of how the
     pool interleaved them, so ledgers are reproducible files modulo
-    wall-clock fields. *)
+    wall-clock fields (or exactly, with [deterministic]).
+
+    Crash safety: while the pool runs, completed rows are appended in
+    completion order through {!Journal} (CRC per line, flushed every
+    [checkpoint_every] rows). On clean completion the file is atomically
+    rewritten in canonical spec order. A killed campaign leaves a
+    salvageable journal that [execute ~resume:true] recovers: rows
+    recorded [ok] are reused verbatim, everything else re-runs —
+    content-addressed run_ids make the union identical to an
+    uninterrupted campaign. *)
 
 type outcome = {
-  results : Runner.result list;  (** in spec order *)
+  results : Runner.result list;  (** in spec order; excludes skipped *)
   ok : int;
-  failed : int;  (** includes timeouts *)
+  failed : int;
+  timeout : int;  (** wall-clock or fuel-budget timeouts *)
+  quarantined : int;
+  skipped : int;  (** points never attempted (early stop) *)
+  reused : int;  (** ok rows salvaged from a previous journal *)
+  interrupted : bool;  (** stopped before every point ran ([max_rows]) *)
+  workers : Pool.worker_stats list;  (** per-worker supervision records *)
   wall_s : float;  (** whole-campaign wall clock *)
 }
+
+val exit_code : outcome -> int
+(** Process exit status for CLI drivers: [0] every point ok, [1] some
+    point failed / timed out / was quarantined, [3] interrupted before
+    completing (resume to finish). *)
 
 val execute :
   ?jobs:int ->
   ?retries:int ->
   ?timeout_s:float ->
+  ?quarantine_after:int ->
+  ?max_rows:int ->
+  ?checkpoint_every:int ->
+  ?resume:bool ->
+  ?deterministic:bool ->
   ?progress:bool ->
   ?progress_label:string ->
   ?ledger:string ->
@@ -24,9 +49,20 @@ val execute :
   outcome
 (** Run every point. Duplicated run_ids are executed once (the spec is
     {!Spec.dedup}ed first). Defaults: [jobs = Pool.default_jobs ()],
-    [retries = 1], no timeout, no progress line, no ledger, and
+    [retries = 1], no timeout, [quarantine_after = 3], no row limit,
+    [checkpoint_every = 1], no resume, no progress line, no ledger, and
     [run = Runner.exec]. [jobs = 1] is the fully sequential,
-    domain-free path. *)
+    domain-free path.
+
+    [max_rows] stops the campaign after that many rows complete
+    (outcome is [interrupted]; exit code 3) — the crash-simulation hook
+    for resume-smoke. [resume] reads the ledger back via
+    {!Ledger.recover} before running and skips points whose latest row
+    is [ok]. [deterministic] pins the per-row [wall_s] field to [0.0]
+    so two ledgers of the same campaign are byte-identical.
+    {!Svt_engine.Simulator.Budget_exhausted} from the run function is
+    fatal (never retried) and becomes a [timeout] row carrying the fuel
+    counters as metrics. *)
 
 val summary_table : outcome -> Svt_stats.Table.t
 (** One row per run: run_id, point, status, headline metric, wall. *)

@@ -1,0 +1,32 @@
+(** Crash-consistent JSONL ledger writer.
+
+    Every appended row carries a CRC32 of its canonical bytes
+    ({!Ledger.line_of_entry_crc}); the channel is flushed every
+    [checkpoint_every] rows. A campaign killed mid-sweep therefore
+    leaves a journal whose longest intact prefix {!Ledger.recover} can
+    salvage, and [sweep --resume] restarts from. *)
+
+type t
+
+val create : ?checkpoint_every:int -> ?truncate:bool -> string -> t
+(** Open [path] for appending (created if missing; [truncate] starts a
+    fresh journal instead). [checkpoint_every] (default 1: every row
+    durable immediately) trades crash-window size for write syscalls on
+    large sweeps. *)
+
+val append : t -> Ledger.entry -> unit
+(** Append one CRC'd row, flushing if the checkpoint interval is due. *)
+
+val flush : t -> unit
+val rows : t -> int
+val close : t -> unit
+
+val with_journal :
+  ?checkpoint_every:int -> ?truncate:bool -> string -> (t -> 'a) -> 'a
+(** [create]; run; [close] (which flushes) even on exceptions. *)
+
+val rewrite : string -> Ledger.entry list -> unit
+(** Atomically replace [path] with exactly [entries] (CRC'd, one per
+    line) via a temp file and rename: the clean-completion path that
+    turns a completion-ordered journal into the canonical spec-ordered
+    ledger. A crash mid-rewrite leaves the old journal intact. *)

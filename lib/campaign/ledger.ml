@@ -21,7 +21,7 @@ let entry_of_result (r : Runner.result) =
     status = Runner.status_name r.Runner.status;
     error =
       (match r.Runner.status with
-      | Runner.Run_failed msg -> Some msg
+      | Runner.Run_failed msg | Runner.Run_quarantined msg -> Some msg
       | Runner.Run_ok | Runner.Run_timeout -> None);
     attempts = r.Runner.attempts;
     wall_s = r.Runner.wall_s;
@@ -108,6 +108,70 @@ let line_of_entry e =
   let b = Buffer.create 256 in
   buf_json b (json_of_entry e);
   Buffer.contents b
+
+(* ---- per-line CRC32 (IEEE, reflected — the zlib/PNG polynomial) ---- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let i =
+        Int32.to_int
+          (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      c := Int32.logxor table.(i) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let crc_hex s = Printf.sprintf "%08lx" (crc32 s)
+
+(* The checksum covers the bytes of the plain canonical line; the hex
+   digest rides as a final "crc" field so every journal line stays valid
+   JSON and CRC-free legacy ledgers keep loading. *)
+let line_of_entry_crc e =
+  let plain = line_of_entry e in
+  Printf.sprintf "%s,\"crc\":\"%s\"}"
+    (String.sub plain 0 (String.length plain - 1))
+    (crc_hex plain)
+
+let is_hex c = match c with '0' .. '9' | 'a' .. 'f' -> true | _ -> false
+
+(* [,"crc":"xxxxxxxx"}] — 18 bytes, always written last, and the bare
+   quotes cannot occur inside a JSON string value (they would be
+   escaped), so a textual suffix match cannot be fooled by field
+   contents. *)
+let strip_crc line =
+  let len = String.length line in
+  if
+    len >= 18
+    && String.sub line (len - 18) 8 = ",\"crc\":\""
+    && line.[len - 2] = '"'
+    && line.[len - 1] = '}'
+    && (let ok = ref true in
+        for i = len - 10 to len - 3 do
+          if not (is_hex line.[i]) then ok := false
+        done;
+        !ok)
+  then begin
+    let hex = String.sub line (len - 10) 8 in
+    let plain = String.sub line 0 (len - 18) ^ "}" in
+    if crc_hex plain = hex then Ok plain
+    else Error (Printf.sprintf "crc mismatch (stored %s)" hex)
+  end
+  else Ok line
 
 (* ---- parser ---- *)
 
@@ -374,6 +438,58 @@ let load path =
 
 let load_exn path =
   match load path with Ok es -> es | Error msg -> failwith msg
+
+(* ---- crash-tolerant reader ---- *)
+
+type recovery = {
+  entries : entry list;
+  salvaged : int;
+  dropped_lines : int;
+  dropped_bytes : int;
+  error : string option;
+}
+
+let entry_of_line line =
+  match strip_crc line with
+  | Error e -> Error e
+  | Ok plain -> (
+      match parse_json plain with
+      | exception Parse_error msg -> Error msg
+      | j -> entry_of_json j)
+
+(* Salvage the longest intact prefix of a (possibly torn or corrupt)
+   journal: scan forward verifying CRC and parse per line, stop at the
+   first damaged one, and report what was left behind. Never raises on
+   file contents — a half-written trailing line is the expected crash
+   artifact, not an error. *)
+let recover path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let total = in_channel_length ic in
+      let rec go lineno acc =
+        let start = pos_in ic in
+        match In_channel.input_line ic with
+        | None ->
+            { entries = List.rev acc; salvaged = List.length acc;
+              dropped_lines = 0; dropped_bytes = 0; error = None }
+        | Some line when String.trim line = "" -> go (lineno + 1) acc
+        | Some line -> (
+            match entry_of_line line with
+            | Ok e -> go (lineno + 1) (e :: acc)
+            | Error msg ->
+                let rec remaining n =
+                  match In_channel.input_line ic with
+                  | None -> n
+                  | Some _ -> remaining (n + 1)
+                in
+                { entries = List.rev acc; salvaged = List.length acc;
+                  dropped_lines = remaining 1;
+                  dropped_bytes = total - start;
+                  error = Some (Printf.sprintf "%s:%d: %s" path lineno msg) })
+      in
+      go 1 [])
 
 let find entries ~run_id = List.find_opt (fun e -> e.run_id = run_id) entries
 

@@ -19,7 +19,8 @@
 type entry = {
   run_id : string;
   point : Spec.point;
-  status : string;  (** "ok" | "failed" | "timeout" (free-form on read) *)
+  status : string;
+      (** "ok" | "failed" | "timeout" | "quarantined" (free-form on read) *)
   error : string option;  (** failure detail when status <> "ok" *)
   attempts : int;
   wall_s : float;
@@ -48,6 +49,24 @@ exception Parse_error of string
 val parse_json : string -> json
 (** Parse one JSON value from a string; raises {!Parse_error}. *)
 
+(** {2 Line checksums}
+
+    A journaled row carries a CRC32 of its own canonical bytes as a
+    final ["crc"] field ([{...,"crc":"9a3f04d1"}]), so {!recover} can
+    tell an intact row from a torn or bit-flipped one. Lines without
+    the field are accepted unchecked (legacy ledgers). *)
+
+val crc32 : string -> int32
+(** IEEE-reflected CRC-32 (the zlib/PNG polynomial). *)
+
+val line_of_entry_crc : entry -> string
+(** The entry's canonical JSON line with the checksum field appended. *)
+
+val strip_crc : string -> (string, string) result
+(** Verify and remove a trailing ["crc"] field: [Ok plain] (the bytes
+    the checksum covered, or the unchanged line if it carried no
+    checksum), or [Error] on mismatch. *)
+
 (** {2 Writing} *)
 
 type writer
@@ -70,6 +89,25 @@ val load : string -> (entry list, string) result
 (** Parse a ledger file; [Error] names the first offending line. *)
 
 val load_exn : string -> entry list
+
+(** What {!recover} salvaged from a (possibly torn) journal. *)
+type recovery = {
+  entries : entry list;  (** the intact prefix rows, in file order *)
+  salvaged : int;  (** [List.length entries] *)
+  dropped_lines : int;  (** lines at or after the first damaged one *)
+  dropped_bytes : int;  (** bytes from the first damaged line to EOF *)
+  error : string option;  (** what stopped the scan; [None] if clean *)
+}
+
+val entry_of_line : string -> (entry, string) result
+(** CRC-check (when present) and parse one journal line. *)
+
+val recover : string -> recovery
+(** Salvage the longest intact prefix of a journal: rows are read until
+    the first line that fails its CRC, does not parse, or is not a
+    ledger entry — the expected artifact of a crash mid-append. Never
+    raises on file contents (only on I/O errors such as a missing
+    file). *)
 
 val find : entry list -> run_id:string -> entry option
 

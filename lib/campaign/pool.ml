@@ -1,74 +1,166 @@
-(* Work-stealing-lite: one shared atomic next-index counter and N worker
-   domains. The matrix points are independent simulations, so the only
-   shared state is the counter, the results array (disjoint slots) and
-   the progress callback (serialized by a mutex). *)
+(* Supervised work-stealing-lite: one shared atomic next-index counter
+   and N worker domains. The matrix points are independent simulations,
+   so the only shared state is the counter, the results array (disjoint
+   slots), the stop flag, and the progress callback (serialized by a
+   mutex).
 
-exception Timed_out of float
+   Supervision invariants:
+   - nothing escapes a worker body, so [Array.iter Domain.join] never
+     re-raises and never abandons un-joined domains mid-iteration;
+   - a worker that does die (the outer handler) marks its stats record
+     and leaves its current slot filled with the captured failure, so the
+     remaining workers finish the matrix and the campaign reports the
+     crash instead of losing every completed row;
+   - each worker stamps a heartbeat (host time + task index) when it
+     claims and when it finishes a task, which the summary exposes. *)
 
 type 'b outcome = {
   result : ('b, exn) result;
+  timed_out : bool;
+  quarantined : bool;
+  backtrace : string option;
   attempts : int;
   wall_s : float;
 }
 
+type worker_stats = {
+  id : int;
+  mutable tasks_run : int;
+  mutable last_beat : float;
+  mutable current : int;
+  mutable crash : string option;
+}
+
+type 'b run = {
+  outcomes : 'b outcome option array;
+  completed : int;
+  stopped_early : bool;
+  workers : worker_stats list;
+}
+
 let default_jobs () = min 8 (Domain.recommended_domain_count ())
+let default_quarantine_after = 3
 
 let attempt_once ?timeout_s f task =
   let t0 = Unix.gettimeofday () in
   let result = try Ok (f task) with e -> Error e in
   let wall = Unix.gettimeofday () -. t0 in
-  match (result, timeout_s) with
-  | Ok _, Some limit when wall > limit -> (Error (Timed_out wall), wall)
-  | _ -> (result, wall)
+  let late =
+    match (result, timeout_s) with
+    | Ok _, Some limit -> wall > limit
+    | _ -> false
+  in
+  (result, late, wall)
 
-(* Run one task with bounded retry. Timeouts are final: the work itself
-   succeeded, it was just too slow, so running it again cannot help. *)
-let run_task ?timeout_s ~retries f task =
+(* Run one task with bounded retry. A cooperative timeout is final (the
+   work succeeded, it was just too slow — rerunning cannot help) and the
+   computed value is retained. [fatal] exceptions (a deterministic fuel
+   exhaustion) are never retried either. [quarantine_after] consecutive
+   failures quarantine the task: retries stop even if some remain,
+   because a task that deterministic-crashes K times in a row is not
+   flaky, and the captured backtrace goes to the ledger. *)
+let run_task ?timeout_s ~retries ~quarantine_after ~fatal f task =
   let rec go attempt =
-    let result, wall = attempt_once ?timeout_s f task in
+    let result, late, wall = attempt_once ?timeout_s f task in
     match result with
-    | Error (Timed_out _) | Ok _ -> { result; attempts = attempt; wall_s = wall }
-    | Error _ when attempt <= retries -> go (attempt + 1)
-    | Error _ -> { result; attempts = attempt; wall_s = wall }
+    | Ok _ ->
+        { result; timed_out = late; quarantined = false; backtrace = None;
+          attempts = attempt; wall_s = wall }
+    | Error e ->
+        let bt = Printexc.get_backtrace () in
+        let backtrace = if bt = "" then None else Some bt in
+        if fatal e then
+          { result; timed_out = false; quarantined = false; backtrace;
+            attempts = attempt; wall_s = wall }
+        else if attempt >= quarantine_after then
+          { result; timed_out = false; quarantined = true; backtrace;
+            attempts = attempt; wall_s = wall }
+        else if attempt <= retries then go (attempt + 1)
+        else
+          { result; timed_out = false; quarantined = false; backtrace;
+            attempts = attempt; wall_s = wall }
   in
   go 1
 
-let map ?jobs ?(retries = 1) ?timeout_s ?on_result f tasks =
+let map ?jobs ?(retries = 1) ?timeout_s
+    ?(quarantine_after = default_quarantine_after) ?stop_after
+    ?(fatal = fun _ -> false) ?on_result f tasks =
+  if quarantine_after < 1 then invalid_arg "Pool.map: quarantine_after < 1";
+  Printexc.record_backtrace true;
   let n = Array.length tasks in
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let results = Array.make n None in
   let report = Mutex.create () in
+  let completed = ref 0 in
+  let stop = Atomic.make false in
+  (match stop_after with Some limit when limit <= 0 -> Atomic.set stop true | _ -> ());
   let finished i outcome =
     results.(i) <- Some outcome;
-    match on_result with
-    | None -> ()
-    | Some cb ->
-        Mutex.protect report (fun () ->
-            cb ~index:i ~ok:(Result.is_ok outcome.result))
+    Mutex.protect report (fun () ->
+        incr completed;
+        (match stop_after with
+        | Some limit when !completed >= limit -> Atomic.set stop true
+        | _ -> ());
+        match on_result with None -> () | Some cb -> cb ~index:i outcome)
   in
-  if jobs = 1 || n <= 1 then
-    for i = 0 to n - 1 do
-      finished i (run_task ?timeout_s ~retries f tasks.(i))
-    done
-  else begin
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          finished i (run_task ?timeout_s ~retries f tasks.(i));
-          loop ()
-        end
+  let workers =
+    List.init (if jobs = 1 || n <= 1 then 1 else min jobs n) (fun id ->
+        { id; tasks_run = 0; last_beat = Unix.gettimeofday (); current = -1;
+          crash = None })
+  in
+  let beat w i =
+    w.last_beat <- Unix.gettimeofday ();
+    w.current <- i
+  in
+  let run_one w i =
+    beat w i;
+    (* An exception escaping [finished] (a hostile on_result callback) is
+       captured into the slot rather than killing the domain with slots
+       unclaimed. *)
+    (try finished i (run_task ?timeout_s ~retries ~quarantine_after ~fatal f tasks.(i))
+     with e ->
+       let bt = Printexc.get_backtrace () in
+       results.(i) <-
+         Some
+           { result = Error e; timed_out = false; quarantined = false;
+             backtrace = (if bt = "" then None else Some bt);
+             attempts = 1; wall_s = 0.0 });
+    w.tasks_run <- w.tasks_run + 1;
+    beat w (-1)
+  in
+  (match workers with
+  | [ w ] when jobs = 1 || n <= 1 ->
+      let i = ref 0 in
+      while !i < n && not (Atomic.get stop) do
+        run_one w !i;
+        incr i
+      done
+  | _ ->
+      let next = Atomic.make 0 in
+      let worker w () =
+        let rec loop () =
+          if not (Atomic.get stop) then begin
+            let i = Atomic.fetch_and_add next 1 in
+            if i < n then begin
+              run_one w i;
+              loop ()
+            end
+          end
+        in
+        (* Belt and braces: [run_one] should be total, but if the domain
+           is dying anyway (Stack_overflow, Out_of_memory) record the
+           crash so the supervisor can report which worker was lost. *)
+        try loop ()
+        with e -> w.crash <- Some (Printexc.to_string e)
       in
-      loop ()
-    in
-    let domains =
-      Array.init (min jobs n) (fun _ -> Domain.spawn worker)
-    in
-    Array.iter Domain.join domains
-  end;
-  Array.map
-    (function
-      | Some outcome -> outcome
-      | None -> assert false (* every index was claimed exactly once *))
-    results
+      let domains =
+        List.map (fun w -> Domain.spawn (worker w)) workers
+      in
+      List.iter Domain.join domains);
+  {
+    outcomes = results;
+    completed = !completed;
+    (* A stop that fired on the very last task is not "early". *)
+    stopped_early = Atomic.get stop && !completed < n;
+    workers;
+  }

@@ -15,12 +15,17 @@ module Etc = Svt_workloads.Etc_workload
 module Tpcc = Svt_workloads.Tpcc
 module Video = Svt_workloads.Video
 
-type status = Run_ok | Run_failed of string | Run_timeout
+type status =
+  | Run_ok
+  | Run_failed of string
+  | Run_timeout
+  | Run_quarantined of string
 
 let status_name = function
   | Run_ok -> "ok"
   | Run_failed _ -> "failed"
   | Run_timeout -> "timeout"
+  | Run_quarantined _ -> "quarantined"
 
 type result = {
   point : Spec.point;
@@ -32,9 +37,15 @@ type result = {
 }
 
 let workload_names =
-  [ "cpuid"; "rr"; "stream"; "ioping"; "fio"; "etc"; "tpcc"; "video" ]
+  [ "cpuid"; "rr"; "stream"; "ioping"; "fio"; "etc"; "tpcc"; "video"; "spin" ]
 
-let make_system (p : Spec.point) =
+(* Default event fuel for campaign runs: far above any real workload
+   (the largest sweep rows record ~10^5 events) but low enough that a
+   runaway run is cut in seconds, deterministically, instead of wedging
+   a worker domain until a wall-clock guess expires. *)
+let default_max_sim_events = 50_000_000
+
+let make_system ?max_sim_events ?max_sim_time (p : Spec.point) =
   (* Derive the machine seed from the run hash: independent stream per
      run_id, stable across scheduling orders (Prng satellite). The fault
      seed is a further draw from the same stream, so it is equally
@@ -55,7 +66,7 @@ let make_system (p : Spec.point) =
   in
   System.of_config
     (System.Config.make ~machine:config ~n_vcpus ~faults ~fault_seed
-       ~mode:p.Spec.mode ~level:p.Spec.level ())
+       ?max_sim_events ?max_sim_time ~mode:p.Spec.mode ~level:p.Spec.level ())
 
 let workload_metrics (p : Spec.point) sys =
   match p.Spec.workload with
@@ -104,13 +115,25 @@ let workload_metrics (p : Spec.point) sys =
         ("frames", float_of_int r.Video.frames);
         ("idle_fraction", r.Video.idle_fraction);
       ]
+  | "spin" ->
+      (* Deliberately hung: an unbounded reflection loop (every cpuid is
+         a full nested exit episode), the resume-smoke / fuel-budget
+         victim. Only the simulator budget ends it — with no budget set
+         this never returns. *)
+      let vcpu = System.vcpu0 sys in
+      Svt_hyp.Vcpu.spawn_program vcpu (fun v ->
+          while true do
+            ignore (Svt_core.Guest.cpuid v ~leaf:1)
+          done);
+      System.run sys;
+      [ ("iterations", nan) ]
   | w ->
       failwith
         (Printf.sprintf "unknown workload %S (expected one of %s)" w
            (String.concat ", " workload_names))
 
-let exec p =
-  let sys = make_system p in
+let exec ?(max_sim_events = default_max_sim_events) ?max_sim_time p =
+  let sys = make_system ~max_sim_events ?max_sim_time p in
   (* Per-span-kind summaries ride along in every ledger row, so
      sweep-diff can compare exit-path composition across revisions. The
      timeline sink never advances virtual time, so the workload metrics

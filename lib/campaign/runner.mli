@@ -7,10 +7,20 @@
     metrics whether it executes sequentially, on a worker domain, or in
     a re-run campaign. *)
 
-type status = Run_ok | Run_failed of string | Run_timeout
+type status =
+  | Run_ok
+  | Run_failed of string
+  | Run_timeout
+      (** the run exceeded its budget — either the pool's cooperative
+          wall-clock timeout (metrics are still recorded: the work
+          finished, just too slowly) or the simulator's deterministic
+          fuel budget (the fuel counters become the metrics) *)
+  | Run_quarantined of string
+      (** pulled from retry after K consecutive failures; the payload
+          carries the final exception and its backtrace *)
 
 val status_name : status -> string
-(** "ok", "failed", "timeout". *)
+(** "ok", "failed", "timeout", "quarantined". *)
 
 type result = {
   point : Spec.point;
@@ -24,21 +34,40 @@ type result = {
 }
 
 val workload_names : string list
-(** The registry: cpuid, rr, stream, ioping, fio, etc, tpcc, video. *)
+(** The registry: cpuid, rr, stream, ioping, fio, etc, tpcc, video,
+    spin (a deliberately hung reflection loop for exercising the fuel
+    budget — never run it without one). *)
 
-val make_system : Spec.point -> Svt_core.System.t
+val default_max_sim_events : int
+(** {!exec}'s default event fuel (50M): far above any real workload but
+    low enough to cut a runaway run in seconds, deterministically. *)
+
+val make_system :
+  ?max_sim_events:int ->
+  ?max_sim_time:Svt_engine.Time.t ->
+  Spec.point ->
+  Svt_core.System.t
 (** Build the point's system (content-addressed PRNG seed, paper
     config) without running anything — callers that want to install
     observability sinks first (the [trace] subcommand) use this and
-    then {!workload_metrics}. *)
+    then {!workload_metrics}. The optional fuel budget is installed on
+    the system's simulator (default: none). *)
 
 val workload_metrics : Spec.point -> Svt_core.System.t -> (string * float) list
 (** Drive the point's workload on an already-built system and return
     its metric list (without the [sim_*] extras {!exec} appends). *)
 
-val exec : Spec.point -> (string * float) list
+val exec :
+  ?max_sim_events:int ->
+  ?max_sim_time:Svt_engine.Time.t ->
+  Spec.point ->
+  (string * float) list
 (** Run one point to completion and return its metrics; raises on
-    unknown workload or simulation failure. Workload parameters are
-    fixed, modest constants so sweeps stay fast and deterministic.
-    Also installs a timeline sink and appends the per-span-kind
-    [obs.*] summary fields ({!Svt_obs.Export.fields}). *)
+    unknown workload or simulation failure, and
+    {!Svt_engine.Simulator.Budget_exhausted} when the fuel budget
+    (default [max_sim_events = default_max_sim_events]) is spent — the
+    campaign layer maps that to a [timeout] ledger row carrying the
+    fuel counters. Workload parameters are fixed, modest constants so
+    sweeps stay fast and deterministic. Also installs a timeline sink
+    and appends the per-span-kind [obs.*] summary fields
+    ({!Svt_obs.Export.fields}). *)

@@ -55,6 +55,8 @@ module Config = struct
     multiplex_contexts : bool;
     faults : Svt_fault.Plan.t;
     fault_seed : int64;
+    max_sim_events : int option;
+    max_sim_time : Time.t option;
   }
 
   type error =
@@ -82,9 +84,9 @@ module Config = struct
   let make ?(machine = Machine.paper_config) ?(n_vcpus = 1)
       ?(shadow = Svt_vmcs.Shadow.hardware_shadowing_enabled)
       ?(multiplex_contexts = false) ?(faults = Svt_fault.Plan.empty)
-      ?(fault_seed = 0xFA17L) ~mode ~level () =
+      ?(fault_seed = 0xFA17L) ?max_sim_events ?max_sim_time ~mode ~level () =
     { mode; level; n_vcpus; machine; shadow; multiplex_contexts; faults;
-      fault_seed }
+      fault_seed; max_sim_events; max_sim_time }
 
   (* Reject stacks that cannot be wired soundly; normalize the ones that
      can. The SVt-context rules are the load-bearing part: without them a
@@ -226,8 +228,16 @@ let of_config (c : Config.t) =
     | Error es -> raise (Invalid_config es)
   in
   let { Config.mode; level; n_vcpus; machine = config; shadow;
-        multiplex_contexts = _; faults; fault_seed } = c in
+        multiplex_contexts = _; faults; fault_seed; max_sim_events;
+        max_sim_time } = c in
   let machine = Machine.create ~config () in
+  (* Fuel budget: installed on the fresh simulator so every entry point
+     that drives it (System.run, a workload's own run loop) is bounded. *)
+  (match (max_sim_events, max_sim_time) with
+  | None, None -> ()
+  | _ ->
+      Simulator.set_budget ?max_events:max_sim_events ?max_time:max_sim_time
+        (Machine.sim machine));
   let injector = Injector.create ~seed:fault_seed faults in
   (if Injector.is_active injector then
      let probe = Machine.probe machine in

@@ -44,6 +44,11 @@ module Config : sig
     multiplex_contexts : bool;
     faults : Svt_fault.Plan.t;
     fault_seed : int64;
+    max_sim_events : int option;
+        (** fuel: abort the run with {!Svt_engine.Simulator.Budget_exhausted}
+            after this many processed events ([None] = unlimited) *)
+    max_sim_time : Svt_engine.Time.t option;
+        (** fuel: abort when an event past this virtual instant would run *)
   }
 
   type error =
@@ -63,6 +68,8 @@ module Config : sig
     ?multiplex_contexts:bool ->
     ?faults:Svt_fault.Plan.t ->
     ?fault_seed:int64 ->
+    ?max_sim_events:int ->
+    ?max_sim_time:Svt_engine.Time.t ->
     mode:Mode.t ->
     level:level ->
     unit ->

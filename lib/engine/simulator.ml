@@ -14,11 +14,33 @@ type t = {
   mutable error : exn option;
   mutable events_processed : int;
   mutable spawned : int;
+  mutable budget_events : int option;
+  mutable budget_time : Time.t option;
 }
 
 type sim = t
 
 exception Deadlock of string
+
+(* Deterministic fuel: exhaustion depends only on the event stream, never
+   on the host clock, so the same run exhausts at the same instant on
+   every machine. The payload records where the run stood when the fuel
+   ran out (the campaign ledger keeps these counters). *)
+type fuel = Fuel_events of int | Fuel_time of Time.t
+
+exception Budget_exhausted of { events : int; now : Time.t; fuel : fuel }
+
+let () =
+  Printexc.register_printer (function
+    | Budget_exhausted { events; now; fuel } ->
+        Some
+          (Printf.sprintf
+             "Simulator.Budget_exhausted: %s (at %d events, t=%s)"
+             (match fuel with
+             | Fuel_events n -> Printf.sprintf "max_events=%d" n
+             | Fuel_time t -> "max_time=" ^ Time.to_string t)
+             events (Time.to_string now))
+    | _ -> None)
 
 type _ Effect.t +=
   | E_now : Time.t Effect.t
@@ -28,9 +50,19 @@ type _ Effect.t +=
 
 let create () =
   { now = Time.zero; queue = Event_queue.create (); error = None;
-    events_processed = 0; spawned = 0 }
+    events_processed = 0; spawned = 0; budget_events = None;
+    budget_time = None }
 
 let now t = t.now
+
+let set_budget ?max_events ?max_time t =
+  (match max_events with
+  | Some n when n < 1 -> invalid_arg "Simulator.set_budget: max_events < 1"
+  | _ -> ());
+  t.budget_events <- max_events;
+  t.budget_time <- max_time
+
+let budget t = (t.budget_events, t.budget_time)
 
 let schedule t ~after run =
   if after < 0 then invalid_arg "Simulator.schedule: negative delay";
@@ -76,7 +108,26 @@ let spawn t ?(name = "proc") f =
 
 let default_max_events = 200_000_000
 
+(* Fuel check, performed before an event is consumed: the queue still
+   holds the event that would overrun, so a handler catching the
+   exception sees a consistent (merely truncated) simulation. *)
+let check_budget t =
+  (match t.budget_events with
+  | Some limit
+    when t.events_processed >= limit && not (Event_queue.is_empty t.queue) ->
+      raise
+        (Budget_exhausted
+           { events = t.events_processed; now = t.now; fuel = Fuel_events limit })
+  | _ -> ());
+  match (t.budget_time, Event_queue.peek_time t.queue) with
+  | Some limit, Some next when Time.(limit < next) ->
+      raise
+        (Budget_exhausted
+           { events = t.events_processed; now = t.now; fuel = Fuel_time limit })
+  | _ -> ()
+
 let step t =
+  check_budget t;
   match Event_queue.pop t.queue with
   | None -> false
   | Some (time, run) ->
@@ -94,13 +145,16 @@ let run ?until ?(max_events = default_max_events) t =
         | Some next -> Time.(next <= limit)
         | None -> false)
     | None -> not (Event_queue.is_empty t.queue))
-    && t.events_processed < max_events
   in
+  let before = t.events_processed in
   while continue () do
+    if t.events_processed - before >= max_events then
+      raise
+        (Budget_exhausted
+           { events = t.events_processed; now = t.now;
+             fuel = Fuel_events max_events });
     ignore (step t)
   done;
-  if t.events_processed >= max_events then
-    failwith "Simulator.run: max_events exceeded (runaway simulation?)";
   match until with
   | Some limit when Time.(t.now < limit) && Event_queue.is_empty t.queue ->
       t.now <- limit

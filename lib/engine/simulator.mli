@@ -14,8 +14,28 @@ type sim = t
 
 exception Deadlock of string
 
+(** Which fuel dimension ran out (with its configured limit). *)
+type fuel = Fuel_events of int | Fuel_time of Time.t
+
+exception Budget_exhausted of { events : int; now : Time.t; fuel : fuel }
+(** Raised from {!step}/{!run} when the simulation exceeds the budget set
+    with {!set_budget} (or [run]'s [max_events]). Deterministic: depends
+    only on the event stream, never on the host clock, so a runaway run
+    is cut at the same virtual instant on every machine. The payload is
+    the run's fuel counters at the point of exhaustion. *)
+
 val create : unit -> t
 val now : t -> Time.t
+
+val set_budget : ?max_events:int -> ?max_time:Time.t -> t -> unit
+(** Install a run budget: processing more than [max_events] events, or
+    reaching an event scheduled past [max_time], raises
+    {!Budget_exhausted}. Omitted dimensions are unlimited; calling again
+    replaces the budget. The check happens before an event is consumed,
+    so the queue still holds the overrunning event. *)
+
+val budget : t -> int option * Time.t option
+(** The installed [(max_events, max_time)] budget. *)
 
 val schedule : t -> after:Time.t -> (unit -> unit) -> Event_queue.handle
 (** Run a callback [after] nanoseconds from now. Callbacks must not perform
@@ -31,12 +51,13 @@ val spawn : t -> ?name:string -> (unit -> unit) -> unit
 
 val run : ?until:Time.t -> ?max_events:int -> t -> unit
 (** Process events until the queue drains, [until] is passed, or
-    [max_events] is exceeded (which raises, as a runaway guard). When
-    [until] is given and the queue drains early, the clock still advances
-    to [until]. *)
+    [max_events] events have been processed by this call (which raises
+    {!Budget_exhausted}, as a runaway guard). When [until] is given and
+    the queue drains early, the clock still advances to [until]. *)
 
 val step : t -> bool
-(** Process one event; [false] if the queue was empty. *)
+(** Process one event; [false] if the queue was empty. Raises
+    {!Budget_exhausted} if the {!set_budget} fuel is spent. *)
 
 val events_processed : t -> int
 val processes_spawned : t -> int

@@ -101,19 +101,28 @@ let test_axis_grammar () =
 
 (* --- Pool ---------------------------------------------------------------- *)
 
+(* Unwrap the outcome of task [i]; fails the test if it never ran. *)
+let outcome (run : 'b Pool.run) i =
+  match run.Pool.outcomes.(i) with
+  | Some o -> o
+  | None -> Alcotest.fail (Printf.sprintf "task %d has no outcome" i)
+
 let test_pool_orders_results () =
   let tasks = Array.init 20 Fun.id in
   let f x = x * x in
   let seq = Pool.map ~jobs:1 f tasks in
   let par = Pool.map ~jobs:4 f tasks in
+  checkb "sequential ran everything" true (not seq.Pool.stopped_early);
+  checki "sequential completed" 20 seq.Pool.completed;
+  checki "parallel completed" 20 par.Pool.completed;
   Array.iteri
-    (fun i o ->
-      match (o.Pool.result, par.(i).Pool.result) with
+    (fun i _ ->
+      match ((outcome seq i).Pool.result, (outcome par i).Pool.result) with
       | Ok a, Ok b ->
           checki "sequential value" (i * i) a;
           checki "parallel value" (i * i) b
       | _ -> Alcotest.fail "unexpected pool failure")
-    seq
+    tasks
 
 let test_pool_retry () =
   (* First attempt per task fails; the retry succeeds. Counters are keyed
@@ -131,18 +140,22 @@ let test_pool_retry () =
   in
   let out = Pool.map ~jobs:2 ~retries:1 f (Array.init 8 Fun.id) in
   Array.iteri
-    (fun i o ->
+    (fun i _ ->
+      let o = outcome out i in
       checkb "retried to success" true (o.Pool.result = Ok i);
       checki "two attempts" 2 o.Pool.attempts)
-    out;
+    (Array.make 8 ());
   (* Zero retries: the failure is final. *)
   let always_fail _ = failwith "broken" in
   let out = Pool.map ~jobs:1 ~retries:0 always_fail [| 0 |] in
-  checkb "failure recorded" true (Result.is_error out.(0).Pool.result);
-  checki "single attempt" 1 out.(0).Pool.attempts;
-  (* Exhausted retries: retries+1 attempts, still an error. *)
-  let out = Pool.map ~jobs:1 ~retries:3 always_fail [| 0 |] in
-  checki "retries exhausted" 4 out.(0).Pool.attempts
+  checkb "failure recorded" true (Result.is_error (outcome out 0).Pool.result);
+  checki "single attempt" 1 (outcome out 0).Pool.attempts;
+  (* Exhausted retries: retries+1 attempts, still an error (keep the
+     quarantine threshold out of the way to observe pure retry). *)
+  let out = Pool.map ~jobs:1 ~retries:3 ~quarantine_after:10 always_fail [| 0 |] in
+  checki "retries exhausted" 4 (outcome out 0).Pool.attempts;
+  checkb "not quarantined below threshold" true
+    (not (outcome out 0).Pool.quarantined)
 
 let test_pool_progress_callback () =
   let seen = ref 0 in
@@ -150,9 +163,9 @@ let test_pool_progress_callback () =
   let f i = if i mod 3 = 0 then failwith "x" else i in
   let _ =
     Pool.map ~jobs:4 ~retries:0
-      ~on_result:(fun ~index:_ ~ok ->
+      ~on_result:(fun ~index:_ o ->
         incr seen;
-        if not ok then incr fails)
+        if Result.is_error o.Pool.result then incr fails)
       f (Array.init 12 Fun.id)
   in
   checki "callback once per task" 12 !seen;
@@ -215,7 +228,8 @@ let test_campaign_retry_and_status () =
           checkb "message kept" true
             (String.length msg > 0
             && String.exists (fun _ -> true) msg)
-      | Runner.Run_timeout -> Alcotest.fail "unexpected timeout")
+      | Runner.Run_timeout -> Alcotest.fail "unexpected timeout"
+      | Runner.Run_quarantined _ -> Alcotest.fail "unexpected quarantine")
     o.Campaign.results
 
 let test_pool_timeout_detection () =
@@ -224,10 +238,12 @@ let test_pool_timeout_detection () =
     42
   in
   let out = Pool.map ~jobs:1 ~timeout_s:0.01 f [| 0 |] in
-  (match out.(0).Pool.result with
-  | Error (Pool.Timed_out _) -> ()
-  | _ -> Alcotest.fail "expected Timed_out");
-  checki "timeouts are not retried" 1 out.(0).Pool.attempts
+  let o = outcome out 0 in
+  (* Successful-but-slow keeps its value: the timeout is a status, not
+     a reason to discard finished work. *)
+  checkb "late value retained" true (o.Pool.result = Ok 42);
+  checkb "flagged timed out" true o.Pool.timed_out;
+  checki "timeouts are not retried" 1 o.Pool.attempts
 
 (* --- Ledger -------------------------------------------------------------- *)
 
@@ -315,6 +331,309 @@ let test_ledger_diff () =
       checkb "new value" true (new_v = 6.37)
   | d -> Alcotest.fail (Printf.sprintf "unexpected diff shape (%d runs)" (List.length d))
 
+(* --- Journal: CRC, torn-write recovery, number stability ------------------ *)
+
+module Journal = Svt_campaign.Journal
+
+let test_crc_lines () =
+  let entries = List.map Ledger.entry_of_result (sample_results ()) in
+  List.iter
+    (fun (e : Ledger.entry) ->
+      let line = Ledger.line_of_entry_crc e in
+      (match Ledger.strip_crc line with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.fail ("good line rejected: " ^ msg));
+      (match Ledger.entry_of_line line with
+      | Ok e' -> checks "run_id survives crc" e.Ledger.run_id e'.Ledger.run_id
+      | Error msg -> Alcotest.fail msg);
+      (* Flip one payload byte: the checksum must catch it. *)
+      let corrupt = Bytes.of_string line in
+      Bytes.set corrupt 3 '!';
+      checkb "bit flip detected" true
+        (Result.is_error (Ledger.strip_crc (Bytes.to_string corrupt))))
+    entries;
+  (* A legacy line without a crc field is accepted unchecked. *)
+  let plain = "{\"run_id\":\"x\",\"mode\":\"baseline\",\"level\":\"l2\",\"workload\":\"cpuid\",\"vcpus\":1,\"seed\":0,\"status\":\"ok\",\"attempts\":1,\"wall_s\":0,\"metrics\":{}}" in
+  (match Ledger.entry_of_line plain with
+  | Ok e -> checks "legacy line parses" "x" e.Ledger.run_id
+  | Error msg -> Alcotest.fail msg)
+
+(* The crash-recovery property: truncate a valid journal at EVERY byte
+   offset; [recover] must never raise and must salvage exactly the rows
+   whose full line text survived the cut. *)
+let test_recover_truncation_property () =
+  let path = temp_ledger () in
+  let entries = List.map Ledger.entry_of_result (sample_results ()) in
+  let entries = entries @ entries in
+  Journal.rewrite path entries;
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let bytes = really_input_string ic len in
+  close_in ic;
+  (* Offsets (exclusive) at which each row's line text is complete. *)
+  let line_ends =
+    let ends = ref [] in
+    String.iteri (fun i c -> if c = '\n' then ends := i :: !ends) bytes;
+    List.rev_map (fun e -> e) !ends
+  in
+  let expected cut =
+    List.length (List.filter (fun e -> cut >= e) line_ends)
+  in
+  let tmp = temp_ledger () in
+  for cut = 0 to len do
+    let oc = open_out_bin tmp in
+    output_string oc (String.sub bytes 0 cut);
+    close_out oc;
+    let r =
+      try Ledger.recover tmp
+      with e ->
+        Alcotest.fail
+          (Printf.sprintf "recover raised at offset %d: %s" cut
+             (Printexc.to_string e))
+    in
+    checki (Printf.sprintf "salvaged rows at offset %d" cut) (expected cut)
+      r.Ledger.salvaged;
+    checki "salvaged = |entries|" r.Ledger.salvaged
+      (List.length r.Ledger.entries);
+    (* Salvaged rows are exactly the prefix, in order. *)
+    List.iteri
+      (fun i (got : Ledger.entry) ->
+        let want = List.nth entries i in
+        checks "prefix run_id" want.Ledger.run_id got.Ledger.run_id)
+      r.Ledger.entries;
+    (* A cut at a line boundary (end of text, or just after the newline)
+       leaves no torn bytes; anywhere else recover must report damage. *)
+    let at_boundary =
+      cut = 0 || List.exists (fun e -> cut = e || cut = e + 1) line_ends
+    in
+    if not at_boundary then
+      checkb
+        (Printf.sprintf "damage reported at offset %d" cut)
+        true
+        (r.Ledger.dropped_bytes > 0 || r.Ledger.error <> None)
+  done;
+  Sys.remove tmp;
+  Sys.remove path
+
+(* Ledger numbers must survive write -> parse -> write byte-stably:
+   resume appends rows next to rows parsed back from disk, and the
+   resume-smoke cmp demands the bytes agree. *)
+let test_number_round_trip () =
+  let values =
+    [
+      0.0; 1.0; -1.0; 42.0; 1013756979.0; 3.14; 0.1; 1e-9; -2.5e-3;
+      999999999999999.0; 1e15 -. 1.0; 9007199254740993.0; 1.7e308;
+      5.37; 10.4; nan;
+    ]
+  in
+  let point = Spec.point Mode.Baseline in
+  let e =
+    {
+      Ledger.run_id = Spec.run_id point;
+      point;
+      status = "ok";
+      error = None;
+      attempts = 1;
+      wall_s = 0.125;
+      metrics = List.mapi (fun i v -> (Printf.sprintf "m%02d" i, v)) values;
+    }
+  in
+  let line1 = Ledger.line_of_entry_crc e in
+  match Ledger.entry_of_line line1 with
+  | Error msg -> Alcotest.fail msg
+  | Ok e' ->
+      let line2 = Ledger.line_of_entry_crc e' in
+      checks "write/parse/write is byte-stable" line1 line2
+
+let test_journal_checkpointing () =
+  let path = temp_ledger () in
+  Sys.remove path;
+  let entries = List.map Ledger.entry_of_result (sample_results ()) in
+  let j = Journal.create ~checkpoint_every:100 path in
+  List.iter (Journal.append j) entries;
+  (* Not yet flushed: the file may be empty, but close must flush. *)
+  Journal.close j;
+  let r = Ledger.recover path in
+  checki "all rows durable after close" (List.length entries) r.Ledger.salvaged;
+  (* Append mode: a second journal continues the file. *)
+  Journal.with_journal path (fun j -> List.iter (Journal.append j) entries);
+  checki "appended" (2 * List.length entries) (Ledger.recover path).Ledger.salvaged;
+  (* Atomic rewrite replaces content. *)
+  Journal.rewrite path entries;
+  checki "rewrite is canonical" (List.length entries)
+    (Ledger.recover path).Ledger.salvaged;
+  Sys.remove path
+
+(* --- Pool supervision ----------------------------------------------------- *)
+
+let test_pool_quarantine () =
+  let always_fail _ = failwith "deterministic-crash" in
+  let out = Pool.map ~jobs:1 ~retries:10 ~quarantine_after:3 always_fail [| 0 |] in
+  let o = outcome out 0 in
+  checkb "error kept" true (Result.is_error o.Pool.result);
+  checkb "quarantined" true o.Pool.quarantined;
+  checki "pulled after K consecutive failures" 3 o.Pool.attempts
+
+let test_pool_fatal_not_retried () =
+  let fatal_exn = Svt_engine.Simulator.Budget_exhausted
+      { events = 7; now = Svt_engine.Time.zero;
+        fuel = Svt_engine.Simulator.Fuel_events 7 } in
+  let f _ = raise fatal_exn in
+  let out =
+    Pool.map ~jobs:1 ~retries:5
+      ~fatal:(function Svt_engine.Simulator.Budget_exhausted _ -> true | _ -> false)
+      f [| 0 |]
+  in
+  let o = outcome out 0 in
+  checki "fatal means one attempt" 1 o.Pool.attempts;
+  checkb "not quarantined" true (not o.Pool.quarantined)
+
+let test_pool_callback_crash_isolated () =
+  (* A hostile on_result must not kill the worker domain (the old code
+     deadlocked Domain.join) nor lose the other tasks' outcomes. *)
+  let f x = x + 1 in
+  let out =
+    Pool.map ~jobs:4 ~retries:0
+      ~on_result:(fun ~index o ->
+        if index = 3 && o.Pool.result = Ok 4 then failwith "hostile callback")
+      f (Array.init 12 Fun.id)
+  in
+  let filled = ref 0 in
+  Array.iter (fun o -> if o <> None then incr filled) out.Pool.outcomes;
+  checki "every slot filled" 12 !filled;
+  (* The poisoned slot records the callback failure rather than vanishing. *)
+  checkb "crash captured in slot" true
+    (Result.is_error (outcome out 3).Pool.result);
+  (* All other tasks kept their values. *)
+  Array.iteri
+    (fun i _ ->
+      if i <> 3 then checkb "value kept" true ((outcome out i).Pool.result = Ok (i + 1)))
+    out.Pool.outcomes
+
+let test_pool_stop_after () =
+  let out = Pool.map ~jobs:1 ~stop_after:5 Fun.id (Array.init 20 Fun.id) in
+  checki "stopped at the row limit" 5 out.Pool.completed;
+  checkb "reported early stop" true out.Pool.stopped_early;
+  let filled = ref 0 in
+  Array.iter (fun o -> if o <> None then incr filled) out.Pool.outcomes;
+  checki "no surplus rows" 5 !filled;
+  (* A limit >= n is not an interruption. *)
+  let out = Pool.map ~jobs:1 ~stop_after:20 Fun.id (Array.init 20 Fun.id) in
+  checkb "full run not early" true (not out.Pool.stopped_early);
+  (* Worker stats exist and carry heartbeats. *)
+  checkb "workers reported" true (out.Pool.workers <> []);
+  List.iter
+    (fun (w : Pool.worker_stats) ->
+      checkb "heartbeat stamped" true (w.Pool.last_beat > 0.0))
+    out.Pool.workers
+
+(* --- Campaign: interrupt / resume equivalence ----------------------------- *)
+
+let det_run (p : Spec.point) =
+  [ ("value", float_of_int (p.Spec.seed * 10)); ("mode_is_hw",
+      if p.Spec.mode = Mode.Hw_svt then 1.0 else 0.0) ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_resume_equivalence () =
+  let spec =
+    Spec.cartesian ~modes:[ Mode.Baseline; Mode.Hw_svt ] ~seeds:[ 0; 1; 2 ] ()
+  in
+  let full_path = temp_ledger () and cut_path = temp_ledger () in
+  Sys.remove full_path;
+  Sys.remove cut_path;
+  (* Uninterrupted reference. *)
+  let full =
+    Campaign.execute ~jobs:1 ~deterministic:true ~ledger:full_path ~run:det_run
+      spec
+  in
+  checki "reference all ok" 6 full.Campaign.ok;
+  checki "reference exit code" 0 (Campaign.exit_code full);
+  (* Interrupted after 3 rows (simulated crash)... *)
+  let cut =
+    Campaign.execute ~jobs:1 ~max_rows:3 ~deterministic:true ~ledger:cut_path
+      ~run:det_run spec
+  in
+  checkb "interrupted" true cut.Campaign.interrupted;
+  checki "interrupt exit code" 3 (Campaign.exit_code cut);
+  checki "rows before the cut" 3 (List.length cut.Campaign.results);
+  checki "skipped reported" 3 cut.Campaign.skipped;
+  (* ...then resumed: reuses the 3 ok rows, runs the remaining 3. *)
+  let resumed =
+    Campaign.execute ~jobs:2 ~resume:true ~deterministic:true ~ledger:cut_path
+      ~run:det_run spec
+  in
+  checki "resume reused" 3 resumed.Campaign.reused;
+  checki "resume all ok" 6 resumed.Campaign.ok;
+  checki "resume exit code" 0 (Campaign.exit_code resumed);
+  (* The acceptance bar: byte-identical ledgers. *)
+  checks "resumed ledger == uninterrupted ledger" (read_file full_path)
+    (read_file cut_path);
+  (* Resuming a complete ledger runs nothing and changes nothing. *)
+  let again =
+    Campaign.execute ~jobs:1 ~resume:true ~deterministic:true ~ledger:cut_path
+      ~run:det_run spec
+  in
+  checki "nothing re-run" 6 again.Campaign.reused;
+  checks "idempotent resume" (read_file full_path) (read_file cut_path);
+  Sys.remove full_path;
+  Sys.remove cut_path
+
+let test_resume_survives_torn_tail () =
+  let spec = Spec.cartesian ~modes:[ Mode.Baseline; Mode.Hw_svt ] ~seeds:[ 0; 1 ] () in
+  let path = temp_ledger () in
+  Sys.remove path;
+  let cut =
+    Campaign.execute ~jobs:1 ~max_rows:2 ~deterministic:true ~ledger:path
+      ~run:det_run spec
+  in
+  checkb "interrupted" true cut.Campaign.interrupted;
+  (* Tear the journal mid-row, as a real crash would. *)
+  let bytes = read_file path in
+  let oc = open_out_bin path in
+  output_string oc (String.sub bytes 0 (String.length bytes - 7));
+  close_out oc;
+  let resumed =
+    Campaign.execute ~jobs:1 ~resume:true ~deterministic:true ~ledger:path
+      ~run:det_run spec
+  in
+  (* One row lost to the tear, re-run along with the never-run rows. *)
+  checki "one row salvaged" 1 resumed.Campaign.reused;
+  checki "campaign completes" 4 resumed.Campaign.ok;
+  (match Ledger.load path with
+  | Ok rows -> checki "final ledger complete" 4 (List.length rows)
+  | Error e -> Alcotest.fail e);
+  Sys.remove path
+
+(* The deliberately hung workload: an unbounded reflection loop that only
+   the simulator fuel budget can end, surfacing as a timeout row. *)
+let test_fuel_budget_cuts_hung_workload () =
+  let spec =
+    Spec.cartesian ~modes:[ Mode.Baseline ] ~workloads:[ "spin" ]
+      ~levels:[ Svt_core.System.L2_nested ] ()
+  in
+  let o =
+    Campaign.execute ~jobs:1 ~retries:3
+      ~run:(fun p -> Runner.exec ~max_sim_events:20_000 p)
+      spec
+  in
+  checki "hung run recorded" 1 (List.length o.Campaign.results);
+  checki "as a timeout" 1 o.Campaign.timeout;
+  checki "timeout exit code" 1 (Campaign.exit_code o);
+  let r = List.hd o.Campaign.results in
+  (match r.Runner.status with
+  | Runner.Run_timeout -> ()
+  | s -> Alcotest.fail ("expected timeout, got " ^ Runner.status_name s));
+  checki "fuel exhaustion is fatal: no retries" 1 r.Runner.attempts;
+  checkb "fuel counter in metrics" true
+    (List.assoc "sim_events" r.Runner.metrics = 20_000.0);
+  checkb "budget recorded" true
+    (List.assoc "budget.max_events" r.Runner.metrics = 20_000.0)
+
 (* --- end-to-end: sweep writes a ledger the reader accepts ---------------- *)
 
 let test_campaign_writes_ledger () =
@@ -352,6 +671,14 @@ let () =
             test_pool_progress_callback;
           Alcotest.test_case "timeout detection" `Quick
             test_pool_timeout_detection;
+          Alcotest.test_case "quarantine after K failures" `Quick
+            test_pool_quarantine;
+          Alcotest.test_case "fatal errors skip retry" `Quick
+            test_pool_fatal_not_retried;
+          Alcotest.test_case "callback crash isolated" `Quick
+            test_pool_callback_crash_isolated;
+          Alcotest.test_case "row limit stops early" `Quick
+            test_pool_stop_after;
         ] );
       ( "campaign",
         [
@@ -361,11 +688,26 @@ let () =
             test_campaign_retry_and_status;
           Alcotest.test_case "writes a loadable ledger" `Quick
             test_campaign_writes_ledger;
+          Alcotest.test_case "interrupt/resume equivalence" `Quick
+            test_resume_equivalence;
+          Alcotest.test_case "resume survives torn tail" `Quick
+            test_resume_survives_torn_tail;
+          Alcotest.test_case "fuel budget cuts hung workload" `Quick
+            test_fuel_budget_cuts_hung_workload;
         ] );
       ( "ledger",
         [
           Alcotest.test_case "round trip" `Quick test_ledger_round_trip;
           Alcotest.test_case "rejects garbage" `Quick test_ledger_rejects_garbage;
           Alcotest.test_case "diff" `Quick test_ledger_diff;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "crc lines" `Quick test_crc_lines;
+          Alcotest.test_case "truncation recovery property" `Quick
+            test_recover_truncation_property;
+          Alcotest.test_case "number round trip" `Quick test_number_round_trip;
+          Alcotest.test_case "checkpoint flushing" `Quick
+            test_journal_checkpointing;
         ] );
     ]
