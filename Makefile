@@ -1,9 +1,10 @@
 .PHONY: build test check fmt-check sweep-smoke trace-smoke fault-smoke \
-	resume-smoke clean
+	resume-smoke sched-smoke clean
 
 # The default verification bundle: tier-1 tests plus the end-to-end
-# trace-export, fault-injection and crash/resume smoke runs.
-check: test trace-smoke fault-smoke resume-smoke
+# trace-export, fault-injection, crash/resume and consolidation-scheduler
+# smoke runs.
+check: test trace-smoke fault-smoke resume-smoke sched-smoke
 
 build:
 	dune build @all
@@ -78,6 +79,23 @@ resume-smoke: build
 		test $$? -eq 1
 	cmp _build/resume-full.jsonl _build/resume-cut.jsonl
 	@echo "resume-smoke: interrupted+resumed ledger byte-identical"
+
+# Determinism gate for the multi-tenant host scheduler (lib/sched): the
+# same consolidation sweep run with 1 and 2 worker domains must produce
+# byte-identical ledgers — virtual-time scheduling, SVt-thread placement
+# and debt charging may not depend on wall clock or worker interleaving.
+SCHED_AXES = --axis workload=consolidate \
+	--axis mode=baseline,sw-svt \
+	--axis policy=dedicated-sibling,on-demand-donation,shared-pool:2 \
+	--axis tenants=2,6 --axis cores=4 --deterministic
+sched-smoke: build
+	rm -f _build/sched-j1.jsonl _build/sched-j2.jsonl
+	dune exec bin/svt_sim.exe -- sweep $(SCHED_AXES) \
+		--jobs 1 --ledger _build/sched-j1.jsonl
+	dune exec bin/svt_sim.exe -- sweep $(SCHED_AXES) \
+		--jobs 2 --ledger _build/sched-j2.jsonl
+	cmp _build/sched-j1.jsonl _build/sched-j2.jsonl
+	@echo "sched-smoke: consolidation ledger byte-identical across jobs=1/2"
 
 clean:
 	dune clean

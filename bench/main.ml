@@ -579,6 +579,60 @@ let faults () =
       "drop-ring:1";
     ]
 
+(* ------------------------------------------------------------------ sched *)
+
+(* Whole-host consolidation: eight single-vCPU tenants (each a complete
+   nested stack) packed onto a 4-core x 2-SMT host under each SVt-thread
+   provisioning policy. The interesting shape: dedicating a sibling per
+   vCPU halves the schedulable slots (aggregate drops below plain SMT
+   sharing), on-demand donation recovers the slots at a per-episode wake
+   cost, and a shared pool lands in between. *)
+let sched () =
+  header "sched: 8-tenant consolidation on a 4-core x 2-SMT host";
+  let module Topology = Svt_sched.Topology in
+  let module Policy = Svt_sched.Policy in
+  let module Host = Svt_sched.Host in
+  let horizon = Svt_engine.Time.of_ms (if quick then 5 else 20) in
+  Printf.printf "   %-28s %9s %13s %10s %10s %9s\n" "configuration" "agg kops"
+    "per-exit(us)" "occupancy" "steal(ms)" "wake(us)";
+  List.iter
+    (fun (mode, policy) ->
+      let topology =
+        Topology.create ~sockets:1 ~cores_per_socket:4 ~smt_per_core:2 ()
+      in
+      let host = Host.create ~topology () in
+      for i = 0 to 7 do
+        match Host.add_tenant host (Host.tenant_spec ~policy ~seed:i mode) with
+        | Ok () -> ()
+        | Error es ->
+            failwith
+              (Fmt.str "tenant %d rejected: %a" i
+                 Fmt.(list ~sep:(any "; ") Svt_core.System.Config.pp_error)
+                 es)
+      done;
+      Host.run host ~horizon;
+      let r = Host.report host in
+      let sum f = List.fold_left (fun a tr -> a +. f tr) 0.0 r.Host.tenant_reports in
+      let label =
+        match mode with
+        | Svt_core.Mode.Sw_svt _ ->
+            Printf.sprintf "%s/%s" (Spec.mode_to_string mode) (Policy.name policy)
+        | _ -> Spec.mode_to_string mode
+      in
+      Printf.printf "   %-28s %9.1f %13.2f %9.1f%% %10.2f %9.1f\n%!" label
+        r.Host.aggregate_kops
+        (sum (fun tr -> tr.Host.per_exit_us) /. float_of_int (max 1 (List.length r.Host.tenant_reports)))
+        (100.0 *. r.Host.occupancy)
+        (sum (fun tr -> tr.Host.steal_ms))
+        (sum (fun tr -> tr.Host.wake_penalty_us)))
+    [
+      (Mode.Baseline, Policy.default);
+      (Mode.sw_svt_default, Svt_core.Mode.Dedicated_sibling);
+      (Mode.sw_svt_default, Svt_core.Mode.On_demand_donation);
+      (Mode.sw_svt_default, Svt_core.Mode.Shared_pool { threads = 2 });
+      (Mode.Hw_svt, Policy.default);
+    ]
+
 (* --------------------------------------------------------------- bechamel *)
 
 (* Wall-clock cost of the simulator itself: one Bechamel test per
@@ -652,5 +706,6 @@ let () =
   if wanted "ablation" then ablation ();
   if wanted "obs" then obs_overhead ();
   if wanted "faults" then faults ();
+  if wanted "sched" then sched ();
   if wanted "bechamel" then bechamel ();
   print_endline "\ndone."

@@ -600,6 +600,163 @@ let faults_cmd =
     Term.(const run $ mode_arg $ level_arg $ workload_arg $ vcpus_arg
           $ seed_arg $ plan_arg $ out_arg)
 
+(* ---- host consolidation (lib/sched) ---- *)
+
+let sched_cmd =
+  let module Topology = Svt_sched.Topology in
+  let module Policy = Svt_sched.Policy in
+  let module Host = Svt_sched.Host in
+  let cores_arg =
+    Arg.(value & opt int 4 & info [ "cores" ] ~docv:"N" ~doc:"Host cores.")
+  in
+  let smt_arg =
+    Arg.(value & opt int 2
+         & info [ "smt" ] ~docv:"N" ~doc:"Hardware threads per core.")
+  in
+  let tenants_arg =
+    Arg.(value & opt int 8
+         & info [ "tenants" ] ~docv:"N" ~doc:"Co-located guest stacks.")
+  in
+  let vcpus_arg =
+    Arg.(value & opt int 1 & info [ "vcpus" ] ~docv:"N" ~doc:"vCPUs per tenant.")
+  in
+  let horizon_ms =
+    Arg.(value & opt int 20
+         & info [ "horizon-ms" ] ~docv:"MS" ~doc:"Host run length (virtual ms).")
+  in
+  let quantum_us =
+    Arg.(value & opt int 50
+         & info [ "quantum-us" ] ~docv:"US" ~doc:"Scheduling quantum.")
+  in
+  let config_conv =
+    (* "mode" or "mode/policy" *)
+    let parse s =
+      let mode_s, policy_s =
+        match String.index_opt s '/' with
+        | Some i ->
+            ( String.sub s 0 i,
+              Some (String.sub s (i + 1) (String.length s - i - 1)) )
+        | None -> (s, None)
+      in
+      match Svt_campaign.Spec.mode_of_string mode_s with
+      | Error e -> Error (`Msg e)
+      | Ok mode -> (
+          match policy_s with
+          | None -> Ok (mode, Policy.default)
+          | Some ps -> (
+              match Policy.of_string ps with
+              | Ok p -> Ok (mode, p)
+              | Error e -> Error (`Msg e)))
+    in
+    Arg.conv
+      ( parse,
+        fun ppf (m, p) ->
+          Fmt.pf ppf "%s/%s" (Svt_campaign.Spec.mode_to_string m) (Policy.name p) )
+  in
+  let configs_arg =
+    Arg.(value & opt_all config_conv []
+         & info [ "c"; "config" ] ~docv:"MODE[/POLICY]"
+             ~doc:"One host configuration to compare (repeatable): a run \
+                   mode, optionally with an SVt-thread policy \
+                   (dedicated-sibling, shared-pool:K, on-demand-donation). \
+                   Default: the whole-host consolidation comparison \
+                   baseline, sw-svt/dedicated-sibling, \
+                   sw-svt/on-demand-donation, sw-svt/shared-pool:2, hw-svt.")
+  in
+  let verbose_arg =
+    Arg.(value & flag
+         & info [ "v"; "per-tenant" ] ~doc:"Print the per-tenant table of \
+                                            each configuration.")
+  in
+  let run cores smt tenants vcpus horizon_ms quantum_us configs verbose =
+    let configs =
+      if configs <> [] then configs
+      else
+        [
+          (Mode.Baseline, Policy.default);
+          (Mode.sw_svt_default, Policy.Dedicated_sibling);
+          (Mode.sw_svt_default, Policy.On_demand_donation);
+          (Mode.sw_svt_default, Policy.Shared_pool { threads = 2 });
+          (Mode.Hw_svt, Policy.default);
+        ]
+    in
+    let horizon = Time.of_ms horizon_ms in
+    Printf.printf
+      "consolidating %d tenants x %d vCPU(s) on %d cores x %d SMT \
+       (quantum %d us, horizon %d ms)\n\n"
+      tenants vcpus cores smt quantum_us horizon_ms;
+    Printf.printf "%-34s %9s %12s %11s %10s %9s %9s\n" "configuration"
+      "agg kops" "per-exit(us)" "occupancy" "steal(ms)" "wake(us)" "queue(us)";
+    let failures = ref 0 in
+    List.iter
+      (fun (mode, policy) ->
+        let label =
+          (* the policy only means something for SW SVt stacks *)
+          match mode with
+          | Mode.Sw_svt _ ->
+              Printf.sprintf "%s/%s"
+                (Svt_campaign.Spec.mode_to_string mode)
+                (Svt_sched.Policy.name policy)
+          | _ -> Svt_campaign.Spec.mode_to_string mode
+        in
+        let topology =
+          Topology.create ~sockets:1 ~cores_per_socket:cores
+            ~smt_per_core:smt ()
+        in
+        let host =
+          Host.create ~quantum:(Time.of_us quantum_us) ~topology ()
+        in
+        let rec admit i =
+          if i >= tenants then Ok ()
+          else
+            match
+              Host.add_tenant host
+                (Host.tenant_spec ~policy ~n_vcpus:vcpus ~seed:i mode)
+            with
+            | Ok () -> admit (i + 1)
+            | Error errs -> Error errs
+        in
+        match admit 0 with
+        | Error errs ->
+            incr failures;
+            Printf.printf "%-34s rejected: %s\n" label
+              (String.concat "; "
+                 (List.map (Fmt.str "%a" System.Config.pp_error) errs))
+        | Ok () ->
+            Host.run host ~horizon;
+            let r = Host.report host in
+            let mean_exit, steal, wake, queue =
+              List.fold_left
+                (fun (e, s, w, q) tr ->
+                  ( e +. tr.Host.per_exit_us,
+                    s +. tr.Host.steal_ms,
+                    w +. tr.Host.wake_penalty_us,
+                    q +. tr.Host.queue_penalty_us ))
+                (0.0, 0.0, 0.0, 0.0) r.Host.tenant_reports
+            in
+            let n = float_of_int (List.length r.Host.tenant_reports) in
+            Printf.printf "%-34s %9.1f %12.2f %10.1f%% %10.2f %9.1f %9.1f\n"
+              label r.Host.aggregate_kops (mean_exit /. n)
+              (100.0 *. r.Host.occupancy) steal wake queue;
+            if verbose then
+              Format.printf "@[<v>%a@]@." Host.pp_report r)
+      configs;
+    if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "sched"
+       ~doc:"Consolidate many nested guests on one SMT host and compare \
+             SVt-thread placement policies (whole-host throughput vs \
+             per-exit latency trade-off)."
+       ~man:
+         [
+           `S Manpage.s_examples;
+           `P "svt_sim sched --cores 4 --tenants 8; svt_sim sched -c \
+               baseline -c sw-svt/shared-pool:4 --tenants 16 -v";
+         ])
+    Term.(const run $ cores_arg $ smt_arg $ tenants_arg $ vcpus_arg
+          $ horizon_ms $ quantum_us $ configs_arg $ verbose_arg)
+
 (* ---- demos ---- *)
 
 (* Reproduce the §5.3 scenario: an interrupt for L1 arrives while L0₀
@@ -645,4 +802,4 @@ let () =
        (Cmd.group ~default info
           [ cpuid_cmd; rr_cmd; stream_cmd; ioping_cmd; fio_cmd; etc_cmd;
             tpcc_cmd; video_cmd; trace_cmd; sweep_cmd; sweep_diff_cmd;
-            faults_cmd; blocked_demo_cmd ]))
+            faults_cmd; sched_cmd; blocked_demo_cmd ]))

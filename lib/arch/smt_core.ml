@@ -137,3 +137,42 @@ let interference_factor t =
   | _ -> 1.0 +. (0.35 *. float_of_int t.polling_siblings)
 
 let scale_compute t span = Svt_engine.Time.scale span (interference_factor t)
+
+(* ---- host-level occupancy (lib/sched) ----
+
+   A host scheduler placing many guests on one topology runs its cores in
+   plain SMT mode, where several contexts fetch concurrently. The [states]
+   array then tracks which hardware threads actually hold runnable work
+   this quantum, and a busy context is slowed by its busy siblings —
+   milder than a spin-polling sibling (0.30 vs 0.35 per thread), since
+   co-resident compute shares issue slots instead of burning them. *)
+
+let set_mode t m =
+  t.mode <- m;
+  if m = Smt_mode then Array.fill t.states 0 t.n_contexts Halted
+
+let mode t = t.mode
+
+let set_ctx_busy t ctx busy =
+  check_ctx t ctx;
+  (match t.mode with
+  | Smt_mode -> ()
+  | Svt_mode ->
+      invalid_arg "Smt_core.set_ctx_busy: SVt cores fetch from one context");
+  t.states.(ctx) <- (if busy then Active else Halted)
+
+let busy_contexts t =
+  Array.fold_left (fun n s -> if s = Active then n + 1 else n) 0 t.states
+
+let co_runner_slowdown = 0.30
+
+let co_runner_factor t ~ctx =
+  check_ctx t ctx;
+  let busy_siblings =
+    let n = ref 0 in
+    Array.iteri (fun i s -> if i <> ctx && s = Active then incr n) t.states;
+    !n
+  in
+  1.0
+  +. (co_runner_slowdown *. float_of_int busy_siblings)
+  +. (0.35 *. float_of_int t.polling_siblings)

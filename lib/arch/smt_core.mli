@@ -69,3 +69,32 @@ val ctxtst : t -> lvl:int -> Reg.t -> int64 -> (unit, [ `Trap_to_hypervisor ]) r
 val set_polling_siblings : t -> int -> unit
 val interference_factor : t -> float
 val scale_compute : t -> Svt_engine.Time.t -> Svt_engine.Time.t
+
+(** {2 Host-level occupancy}
+
+    A host scheduler (lib/sched) placing many guests on one topology runs
+    its cores in plain {!Smt_mode}, where several contexts fetch
+    concurrently; the per-context states then track which hardware
+    threads hold runnable work in the current quantum. *)
+
+val set_mode : t -> mode -> unit
+(** Switch the fetch model. Entering [Smt_mode] clears every context to
+    [Halted] (no occupancy yet). *)
+
+val mode : t -> mode
+
+val set_ctx_busy : t -> int -> bool -> unit
+(** Mark a hardware thread as holding runnable work ([Active]) or idle
+    ([Halted]) for the current scheduling quantum. Raises on SVt-mode
+    cores, which fetch from exactly one context by construction. *)
+
+val busy_contexts : t -> int
+(** Number of [Active] contexts. *)
+
+val co_runner_slowdown : float
+(** Issue-slot loss per busy co-resident thread (0.30 — milder than the
+    0.35 of a spin-polling sibling). *)
+
+val co_runner_factor : t -> ctx:int -> float
+(** Slowdown multiplier seen by context [ctx] from busy siblings and
+    polling waiters: [1 + 0.30·busy_siblings + 0.35·polling]. *)

@@ -92,10 +92,16 @@ let json_of_entry e =
        ("workload", Str e.point.Spec.workload);
        ("vcpus", Num (float_of_int e.point.Spec.vcpus));
        ("seed", Num (float_of_int e.point.Spec.seed));
+       (* the consolidation topology rides on every row (schema v2);
+          old ledgers parse back with the single-stack defaults 1/2/1 *)
+       ("cores", Num (float_of_int e.point.Spec.cores));
+       ("smt_per_core", Num (float_of_int e.point.Spec.smt));
+       ("tenants", Num (float_of_int e.point.Spec.tenants));
      ]
     @ (* emitted only when set, so fault-free ledgers stay byte-identical
          to the pre-fault-axis format *)
     (match e.point.Spec.fault with "" -> [] | f -> [ ("fault", Str f) ])
+    @ (match e.point.Spec.policy with "" -> [] | s -> [ ("policy", Str s) ])
     @ [ ("status", Str e.status) ]
     @ (match e.error with None -> [] | Some m -> [ ("error", Str m) ])
     @ [
@@ -360,6 +366,15 @@ let entry_of_json j =
   let* vcpus = num_field j "vcpus" in
   let* seed = num_field j "seed" in
   let fault = match field j "fault" with Some (Str f) -> f | _ -> "" in
+  (* pre-consolidation rows lack the topology fields: single-stack
+     defaults keep their run_ids intact *)
+  let int_or d name =
+    match field j name with Some (Num x) -> int_of_float x | _ -> d
+  in
+  let cores = int_or 1 "cores" in
+  let smt = int_or 2 "smt_per_core" in
+  let tenants = int_or 1 "tenants" in
+  let policy = match field j "policy" with Some (Str s) -> s | _ -> "" in
   let* status = str_field j "status" in
   let error = match field j "error" with Some (Str m) -> Some m | _ -> None in
   let* attempts = num_field j "attempts" in
@@ -388,6 +403,10 @@ let entry_of_json j =
           vcpus = int_of_float vcpus;
           seed = int_of_float seed;
           fault;
+          cores;
+          smt;
+          tenants;
+          policy;
         };
       status;
       error;

@@ -37,7 +37,8 @@ type result = {
 }
 
 let workload_names =
-  [ "cpuid"; "rr"; "stream"; "ioping"; "fio"; "etc"; "tpcc"; "video"; "spin" ]
+  [ "cpuid"; "rr"; "stream"; "ioping"; "fio"; "etc"; "tpcc"; "video"; "spin";
+    "consolidate" ]
 
 (* Default event fuel for campaign runs: far above any real workload
    (the largest sweep rows record ~10^5 events) but low enough that a
@@ -132,7 +133,51 @@ let workload_metrics (p : Spec.point) sys =
         (Printf.sprintf "unknown workload %S (expected one of %s)" w
            (String.concat ", " workload_names))
 
+(* The consolidation workload is host-shaped, not stack-shaped: it
+   builds its own topology and tenant set from the point's cores / smt /
+   tenants / policy axes and time-slices [tenants] copies of the mode
+   under the scheduler. Bounded by the horizon, not by event fuel. *)
+let consolidate_horizon = Time.of_ms 20
+
+let consolidate_metrics (p : Spec.point) =
+  let rng = Prng.of_seed (Spec.run_hash p) in
+  let topology =
+    Svt_sched.Topology.create ~sockets:1 ~cores_per_socket:p.Spec.cores
+      ~smt_per_core:p.Spec.smt ()
+  in
+  let host = Svt_sched.Host.create ~topology () in
+  let policy =
+    match p.Spec.policy with
+    | "" -> Svt_sched.Policy.default
+    | s -> (
+        match Svt_sched.Policy.of_string s with
+        | Ok pol -> pol
+        | Error e -> failwith (Printf.sprintf "run %s: %s" (Spec.run_id p) e))
+  in
+  for i = 0 to p.Spec.tenants - 1 do
+    let spec =
+      Svt_sched.Host.tenant_spec
+        ~name:(Printf.sprintf "t%d" i)
+        ~policy ~n_vcpus:p.Spec.vcpus
+        ~seed:(Prng.int rng (1 lsl 30))
+        p.Spec.mode
+    in
+    match Svt_sched.Host.add_tenant host spec with
+    | Ok () -> ()
+    | Error errs ->
+        failwith
+          (Fmt.str "run %s: tenant %d rejected: %a" (Spec.run_id p) i
+             (Fmt.list ~sep:Fmt.comma System.Config.pp_error)
+             errs)
+  done;
+  Svt_sched.Host.run host ~horizon:consolidate_horizon;
+  let r = Svt_sched.Host.report host in
+  Svt_sched.Host.fields r
+  @ [ ("sim_now_us", Time.to_us_f (Svt_sched.Host.now host)) ]
+
 let exec ?(max_sim_events = default_max_sim_events) ?max_sim_time p =
+  if p.Spec.workload = "consolidate" then consolidate_metrics p
+  else
   let sys = make_system ~max_sim_events ?max_sim_time p in
   (* Per-span-kind summaries ride along in every ledger row, so
      sweep-diff can compare exit-path composition across revisions. The

@@ -17,17 +17,25 @@ type point = {
   vcpus : int;
   seed : int;
   fault : string; (* canonical fault-plan string; "" = no faults *)
+  (* host-consolidation axes (lib/sched); the defaults describe the
+     single-stack runs that predate them *)
+  cores : int; (* host cores available to the scheduler *)
+  smt : int; (* hardware threads per host core *)
+  tenants : int; (* co-located guest stacks *)
+  policy : string; (* canonical svt_policy name; "" = scheduler default *)
 }
 
 type t = point list
 
 let point ?(level = System.L2_nested) ?(workload = "cpuid") ?(vcpus = 1)
-    ?(seed = 0) ?(fault = "") mode =
-  { mode; level; workload; vcpus; seed; fault }
+    ?(seed = 0) ?(fault = "") ?(cores = 1) ?(smt = 2) ?(tenants = 1)
+    ?(policy = "") mode =
+  { mode; level; workload; vcpus; seed; fault; cores; smt; tenants; policy }
 
 let cartesian ?(modes = [ Mode.Baseline ]) ?(levels = [ System.L2_nested ])
     ?(workloads = [ "cpuid" ]) ?(vcpus = [ 1 ]) ?(seeds = [ 0 ])
-    ?(faults = [ "" ]) () =
+    ?(faults = [ "" ]) ?(cores = [ 1 ]) ?(smts = [ 2 ]) ?(tenants = [ 1 ])
+    ?(policies = [ "" ]) () =
   List.concat_map
     (fun mode ->
       List.concat_map
@@ -38,9 +46,32 @@ let cartesian ?(modes = [ Mode.Baseline ]) ?(levels = [ System.L2_nested ])
                 (fun n ->
                   List.concat_map
                     (fun seed ->
-                      List.map
+                      List.concat_map
                         (fun fault ->
-                          { mode; level; workload; vcpus = n; seed; fault })
+                          List.concat_map
+                            (fun c ->
+                              List.concat_map
+                                (fun s ->
+                                  List.concat_map
+                                    (fun tn ->
+                                      List.map
+                                        (fun policy ->
+                                          {
+                                            mode;
+                                            level;
+                                            workload;
+                                            vcpus = n;
+                                            seed;
+                                            fault;
+                                            cores = c;
+                                            smt = s;
+                                            tenants = tn;
+                                            policy;
+                                          })
+                                        policies)
+                                    tenants)
+                                smts)
+                            cores)
                         faults)
                     seeds)
                 vcpus)
@@ -50,7 +81,8 @@ let cartesian ?(modes = [ Mode.Baseline ]) ?(levels = [ System.L2_nested ])
 
 let default_merge a b =
   { a with workload = b.workload; vcpus = b.vcpus; seed = b.seed;
-    fault = b.fault }
+    fault = b.fault; cores = b.cores; smt = b.smt; tenants = b.tenants;
+    policy = b.policy }
 
 let zip ?(merge = default_merge) a b =
   if List.length a <> List.length b then
@@ -120,16 +152,22 @@ let level_of_string = function
   | "l2" | "nested" -> Ok System.L2_nested
   | s -> Error (Printf.sprintf "unknown level %S" s)
 
-(* The fault suffix appears only when a plan is set, so fault-free points
-   keep the run_ids (and derived PRNG streams) they had before the fault
-   axis existed. *)
+(* The fault and consolidation suffixes appear only when set away from
+   their defaults, so pre-existing points keep the run_ids (and derived
+   PRNG streams) they had before each axis existed. *)
 let canonical_key p =
   let base =
     Printf.sprintf "mode=%s;level=%s;workload=%s;vcpus=%d;seed=%d"
       (mode_to_string p.mode) (level_to_string p.level) p.workload p.vcpus
       p.seed
   in
-  if p.fault = "" then base else base ^ ";fault=" ^ p.fault
+  let base = if p.fault = "" then base else base ^ ";fault=" ^ p.fault in
+  let base = if p.cores = 1 then base else Printf.sprintf "%s;cores=%d" base p.cores in
+  let base = if p.smt = 2 then base else Printf.sprintf "%s;smt=%d" base p.smt in
+  let base =
+    if p.tenants = 1 then base else Printf.sprintf "%s;tenants=%d" base p.tenants
+  in
+  if p.policy = "" then base else base ^ ";policy=" ^ p.policy
 
 (* FNV-1a over the canonical key, then a splitmix64 finalizer for
    diffusion (FNV alone keeps low-byte correlations between nearby keys,
@@ -201,8 +239,18 @@ let fault_of_string s =
   if s = "none" then Ok ""
   else Result.map Svt_fault.Plan.to_string (Svt_fault.Plan.of_string s)
 
+(* Parse and canonicalize one svt-policy axis value, so "shared-pool"
+   and "shared-pool:2" share a run_id; "default" lets one axis mix the
+   scheduler default with explicit policies. *)
+let policy_of_string s =
+  if s = "" || s = "default" then Ok ""
+  else Result.map Mode.svt_policy_name (Mode.svt_policy_of_string s)
+
 let of_axes axes =
-  let known = [ "mode"; "level"; "workload"; "vcpus"; "seed"; "fault" ] in
+  let known =
+    [ "mode"; "level"; "workload"; "vcpus"; "seed"; "fault"; "cores"; "smt";
+      "tenants"; "policy" ]
+  in
   match List.find_opt (fun (k, _) -> not (List.mem k known)) axes with
   | Some (k, _) ->
       Error
@@ -229,9 +277,32 @@ let of_axes axes =
       let* faults =
         map_result fault_of_string (or_default [ "" ] (collect_axis axes "fault"))
       in
-      match List.find_opt (fun n -> n < 1) vcpus with
-      | Some n -> Error (Printf.sprintf "vcpus must be >= 1 (got %d)" n)
-      | None ->
-          Ok (cartesian ~modes ~levels ~workloads ~vcpus ~seeds ~faults ()))
+      let* cores =
+        map_result (int_of_string_res "cores")
+          (or_default [ "1" ] (collect_axis axes "cores"))
+      in
+      let* smts =
+        map_result (int_of_string_res "smt")
+          (or_default [ "2" ] (collect_axis axes "smt"))
+      in
+      let* tenants =
+        map_result (int_of_string_res "tenants")
+          (or_default [ "1" ] (collect_axis axes "tenants"))
+      in
+      let* policies =
+        map_result policy_of_string (or_default [ "" ] (collect_axis axes "policy"))
+      in
+      let positive what vs =
+        match List.find_opt (fun n -> n < 1) vs with
+        | Some n -> Error (Printf.sprintf "%s must be >= 1 (got %d)" what n)
+        | None -> Ok vs
+      in
+      let* vcpus = positive "vcpus" vcpus in
+      let* cores = positive "cores" cores in
+      let* smts = positive "smt" smts in
+      let* tenants = positive "tenants" tenants in
+      Ok
+        (cartesian ~modes ~levels ~workloads ~vcpus ~seeds ~faults ~cores
+           ~smts ~tenants ~policies ()))
 
 let pp_point ppf p = Fmt.string ppf (canonical_key p)

@@ -17,6 +17,12 @@ type point = {
   fault : string;
       (** canonical fault-plan string ({!Svt_fault.Plan.to_string});
           [""] means no faults and keeps pre-fault-axis run_ids *)
+  cores : int;  (** host cores available to the scheduler (default 1) *)
+  smt : int;  (** hardware threads per host core (default 2) *)
+  tenants : int;  (** co-located guest stacks (default 1) *)
+  policy : string;
+      (** canonical {!Svt_core.Mode.svt_policy} name; [""] = scheduler
+          default, and keeps pre-consolidation run_ids *)
 }
 
 type t = point list
@@ -27,10 +33,14 @@ val point :
   ?vcpus:int ->
   ?seed:int ->
   ?fault:string ->
+  ?cores:int ->
+  ?smt:int ->
+  ?tenants:int ->
+  ?policy:string ->
   Svt_core.Mode.t ->
   point
 (** A single point; defaults: [L2_nested], ["cpuid"], 1 vCPU, seed 0,
-    no faults. *)
+    no faults, 1 host core x 2 SMT, 1 tenant, default policy. *)
 
 val cartesian :
   ?modes:Svt_core.Mode.t list ->
@@ -39,10 +49,14 @@ val cartesian :
   ?vcpus:int list ->
   ?seeds:int list ->
   ?faults:string list ->
+  ?cores:int list ->
+  ?smts:int list ->
+  ?tenants:int list ->
+  ?policies:string list ->
   unit ->
   t
 (** Full cross product of the given axes (singleton defaults as in
-    {!point}). Order: modes outermost, faults innermost. *)
+    {!point}). Order: modes outermost, policies innermost. *)
 
 val zip : ?merge:(point -> point -> point) -> t -> t -> t
 (** Pointwise combination of two equal-length specs (no cross product):
@@ -79,8 +93,10 @@ val level_of_string : string -> (Svt_core.System.level, string) result
 
 val parse_axis : string -> ((string * string list), string) result
 (** Parse one ["key=v1,v2,..."] argument; keys: mode, level, workload,
-    vcpus, seed, fault. A fault value is a {!Svt_fault.Plan} string
-    (canonicalized), or ["none"] for the empty plan. *)
+    vcpus, seed, fault, cores, smt, tenants, policy. A fault value is a
+    {!Svt_fault.Plan} string (canonicalized), or ["none"] for the empty
+    plan; a policy value is a {!Svt_core.Mode.svt_policy} name
+    (canonicalized), or ["default"]. *)
 
 val of_axes : (string * string list) list -> (t, string) result
 (** Cartesian product of parsed axes; unknown keys, unparseable values

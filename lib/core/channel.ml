@@ -200,6 +200,8 @@ let post t ring bd cmd =
     end;
     if Probe.is_on t.probe then
       Probe.span t.probe Svt_obs.Span.Ring_send ~vcpu:t.vcpu_index ~level:0
+        ~core:(Svt_arch.Smt_core.id t.core)
+        ~ctx:(Svt_arch.Smt_core.current t.core)
         ~tags:[ ("cmd", command_name cmd); ("dir", direction_name t ring) ]
         ~start ();
     Ok ()
@@ -235,6 +237,8 @@ let try_recv t ring bd =
     set_tail ring (tl + 1);
     if Probe.is_on t.probe then
       Probe.span t.probe Svt_obs.Span.Ring_recv ~vcpu:t.vcpu_index ~level:0
+        ~core:(Svt_arch.Smt_core.id t.core)
+        ~ctx:(Svt_arch.Smt_core.current t.core)
         ~tags:[ ("cmd", command_name cmd); ("dir", direction_name t ring) ]
         ~start ();
     Some cmd

@@ -23,6 +23,35 @@ type t =
 
 let sw_svt_default = Sw_svt { wait = Mwait; placement = Smt_sibling }
 
+(* How a consolidated host provisions SVt-threads for its SW SVt guests
+   (the §6.1 trade-off the single-stack runs cannot express). The type
+   lives here rather than in lib/sched because System.Config.validate
+   needs it to check thread budgets, and lib/sched sits above System. *)
+type svt_policy =
+  | Dedicated_sibling (* the paper's setup: the sibling is reserved *)
+  | Shared_pool of { threads : int } (* K service threads serve N guests *)
+  | On_demand_donation (* sibling runs other vCPUs, mwait-woken per trap *)
+
+let default_svt_policy = Dedicated_sibling
+
+let svt_policy_name = function
+  | Dedicated_sibling -> "dedicated-sibling"
+  | Shared_pool { threads } -> Printf.sprintf "shared-pool:%d" threads
+  | On_demand_donation -> "on-demand-donation"
+
+let svt_policy_of_string s =
+  match s with
+  | "dedicated-sibling" | "dedicated" -> Ok Dedicated_sibling
+  | "on-demand-donation" | "donation" -> Ok On_demand_donation
+  | "shared-pool" -> Ok (Shared_pool { threads = 2 })
+  | s when String.length s > 12 && String.sub s 0 12 = "shared-pool:" -> (
+      let k = String.sub s 12 (String.length s - 12) in
+      match int_of_string_opt k with
+      | Some threads when threads >= 1 -> Ok (Shared_pool { threads })
+      | _ -> Error (Printf.sprintf "shared-pool:%s: need a positive thread count" k)
+      )
+  | s -> Error (Printf.sprintf "unknown SVt policy %S" s)
+
 let wait_name = function
   | Polling -> "polling"
   | Mwait -> "mwait"

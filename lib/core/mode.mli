@@ -32,6 +32,30 @@ type t =
 val sw_svt_default : t
 (** [Sw_svt] with mwait on the SMT sibling — the paper's configuration. *)
 
+(** How a consolidated host provisions SVt-threads for SW SVt guests.
+    Only meaningful for [Sw_svt] modes; the single-stack reproduction
+    always behaves as [Dedicated_sibling]. *)
+type svt_policy =
+  | Dedicated_sibling
+      (** the paper's setup (§5.2): the SMT sibling is reserved for the
+          SVt-thread and never runs other vCPUs *)
+  | Shared_pool of { threads : int }
+      (** K host-wide SVt service threads serve every guest's command
+          rings; excess stall demand queues on the virtual clock *)
+  | On_demand_donation
+      (** the sibling runs other vCPUs and is mwait-woken per trap,
+          paying the {!Wait} wake latency on every episode *)
+
+val default_svt_policy : svt_policy
+(** [Dedicated_sibling]. *)
+
+val svt_policy_name : svt_policy -> string
+(** Canonical dashed name ("dedicated-sibling", "shared-pool:K",
+    "on-demand-donation") — round-trips through
+    {!svt_policy_of_string}. *)
+
+val svt_policy_of_string : string -> (svt_policy, string) result
+
 val wait_name : wait_mechanism -> string
 val placement_name : placement -> string
 val name : t -> string

@@ -90,7 +90,8 @@ let leg t kind tags f =
   else begin
     let start = Probe.now p in
     f ();
-    Probe.span p kind ~vcpu:(Vcpu.index t.vcpu) ~level:2 ~tags ~start ()
+    Probe.span p kind ~vcpu:(Vcpu.index t.vcpu) ~level:2
+      ~core:(Smt_core.id t.core) ~ctx:(Smt_core.current t.core) ~tags ~start ()
   end
 
 let ctxt_access_bulk t =
@@ -155,6 +156,7 @@ let transform_exit t =
   charge t Breakdown.Transform (Transform.cost t.cost r);
   if Probe.is_on p then
     Probe.span p Obs_span.Vmcs_transform ~vcpu:(Vcpu.index t.vcpu) ~level:2
+      ~core:(Smt_core.id t.core) ~ctx:(Smt_core.current t.core)
       ~tags:(Transform.span_tags ~direction:"exit" r)
       ~start ()
 
@@ -168,6 +170,7 @@ let transform_entry t =
   charge t Breakdown.Transform (Transform.cost t.cost r);
   if Probe.is_on p then
     Probe.span p Obs_span.Vmcs_transform ~vcpu:(Vcpu.index t.vcpu) ~level:2
+      ~core:(Smt_core.id t.core) ~ctx:(Smt_core.current t.core)
       ~tags:(Transform.span_tags ~direction:"entry" r)
       ~start ()
 
@@ -709,6 +712,7 @@ let handle t (info : Svt_hyp.Exit.info) =
   let p = probe t in
   if Probe.is_on p then
     Probe.span p Obs_span.Vm_exit ~vcpu:(Vcpu.index t.vcpu) ~level:2
+      ~core:(Smt_core.id t.core) ~ctx:(Smt_core.current t.core)
       ~tags:
         [ ("reason", Exit_reason.name info.reason);
           ("mode", Mode.name t.mode) ]
@@ -737,6 +741,7 @@ let interrupt_for_l1 t ~vector ~work =
   let p = probe t in
   if Probe.is_on p then
     Probe.span p Obs_span.Vm_exit ~vcpu:(Vcpu.index t.vcpu) ~level:2
+      ~core:(Smt_core.id t.core) ~ctx:(Smt_core.current t.core)
       ~tags:
         [ ("reason", "external-interrupt-l1");
           ("vector", string_of_int vector);

@@ -40,6 +40,7 @@ let handle ~(cost : Cost_model.t) ~(mode : Mode.t) (vcpu : Svt_hyp.Vcpu.t)
   Svt_obs.Probe.wrap probe Svt_obs.Span.Vm_exit
     ~vcpu:(Svt_hyp.Vcpu.index vcpu)
     ~level:(Svt_hyp.Vm.level (Svt_hyp.Vcpu.vm vcpu))
+    ~core:(Svt_hyp.Vcpu.core_id vcpu) ~ctx:(Svt_hyp.Vcpu.hw_ctx vcpu)
     ~tags:(fun () ->
       [ ("reason", Svt_arch.Exit_reason.name info.reason);
         ("mode", Mode.name mode) ])

@@ -53,6 +53,7 @@ module Config = struct
     machine : Machine.config;
     shadow : Svt_vmcs.Shadow.t;
     multiplex_contexts : bool;
+    svt_policy : Mode.svt_policy;
     faults : Svt_fault.Plan.t;
     fault_seed : int64;
     max_sim_events : int option;
@@ -61,15 +62,25 @@ module Config = struct
 
   type error =
     | Invalid_vcpus of int
-    | Insufficient_cores of { n_vcpus : int; cores : int }
+    | Insufficient_cores of {
+        n_vcpus : int;
+        cores : int;
+        required_threads : int;
+        available_threads : int;
+      }
     | Svt_context_unprogrammable of { mode : Mode.t; smt_per_core : int }
     | Sw_svt_needs_smt_sibling of { smt_per_core : int }
+    | Dedicated_sibling_needs_smt of { smt_per_core : int }
 
   let pp_error ppf = function
     | Invalid_vcpus n -> Fmt.pf ppf "n_vcpus = %d (need at least 1)" n
-    | Insufficient_cores { n_vcpus; cores } ->
-        Fmt.pf ppf "%d vCPUs need %d distinct cores but the machine has %d"
-          n_vcpus n_vcpus cores
+    | Insufficient_cores { n_vcpus; cores; required_threads; available_threads }
+      ->
+        Fmt.pf ppf
+          "%d vCPUs need %d distinct cores (machine has %d) and, with \
+           SVt-threads under the chosen policy, %d hardware threads \
+           (machine has %d)"
+          n_vcpus n_vcpus cores required_threads available_threads
     | Svt_context_unprogrammable { mode; smt_per_core } ->
         Fmt.pf ppf
           "%s needs at least 2 hardware contexts per core to program the \
@@ -80,13 +91,31 @@ module Config = struct
           "SW SVt with smt-sibling placement needs an SMT sibling, but \
            smt_per_core = %d"
           smt_per_core
+    | Dedicated_sibling_needs_smt { smt_per_core } ->
+        Fmt.pf ppf
+          "the dedicated-sibling SVt policy reserves an SMT sibling per \
+           vCPU, but smt_per_core = %d leaves none to reserve"
+          smt_per_core
 
   let make ?(machine = Machine.paper_config) ?(n_vcpus = 1)
       ?(shadow = Svt_vmcs.Shadow.hardware_shadowing_enabled)
-      ?(multiplex_contexts = false) ?(faults = Svt_fault.Plan.empty)
-      ?(fault_seed = 0xFA17L) ?max_sim_events ?max_sim_time ~mode ~level () =
-    { mode; level; n_vcpus; machine; shadow; multiplex_contexts; faults;
-      fault_seed; max_sim_events; max_sim_time }
+      ?(multiplex_contexts = false) ?(svt_policy = Mode.default_svt_policy)
+      ?(faults = Svt_fault.Plan.empty) ?(fault_seed = 0xFA17L) ?max_sim_events
+      ?max_sim_time ~mode ~level () =
+    { mode; level; n_vcpus; machine; shadow; multiplex_contexts; svt_policy;
+      faults; fault_seed; max_sim_events; max_sim_time }
+
+  (* Hardware threads the SVt-threads of this stack occupy, on top of the
+     one thread per vCPU: the paper's dedicated sibling reserves one per
+     vCPU, a shared pool reserves its K service threads, and on-demand
+     donation reserves none (the sibling runs other work and is woken per
+     trap). Only SW SVt runs SVt-threads at all. *)
+  let svt_thread_demand t =
+    match (t.mode, t.svt_policy) with
+    | Mode.Sw_svt _, Mode.Dedicated_sibling -> t.n_vcpus
+    | Mode.Sw_svt _, Mode.Shared_pool { threads } -> threads
+    | Mode.Sw_svt _, Mode.On_demand_donation -> 0
+    | (Mode.Baseline | Mode.Hw_svt | Mode.Hw_full_nesting), _ -> 0
 
   (* Reject stacks that cannot be wired soundly; normalize the ones that
      can. The SVt-context rules are the load-bearing part: without them a
@@ -97,14 +126,27 @@ module Config = struct
     let err e = errors := e :: !errors in
     if t.n_vcpus < 1 then err (Invalid_vcpus t.n_vcpus);
     let cores = t.machine.Machine.sockets * t.machine.Machine.cores_per_socket in
-    if t.n_vcpus >= 1 && t.n_vcpus > cores then
-      err (Insufficient_cores { n_vcpus = t.n_vcpus; cores });
     let smt = t.machine.Machine.smt_per_core in
+    let available_threads = cores * smt in
+    let required_threads = t.n_vcpus + svt_thread_demand t in
+    (* Topology-aware capacity check: every vCPU needs its own core (the
+       pinning invariant), and vCPUs plus SVt-threads together must fit
+       the machine's hardware threads under the chosen policy. *)
+    if t.n_vcpus >= 1
+       && (t.n_vcpus > cores || required_threads > available_threads)
+    then
+      err
+        (Insufficient_cores
+           { n_vcpus = t.n_vcpus; cores; required_threads; available_threads });
     (match (t.mode, t.level) with
     | Mode.Hw_svt, (L1_leaf | L2_nested) when smt < 2 ->
         err (Svt_context_unprogrammable { mode = t.mode; smt_per_core = smt })
     | Mode.Sw_svt { placement = Mode.Smt_sibling; _ }, _ when smt < 2 ->
         err (Sw_svt_needs_smt_sibling { smt_per_core = smt })
+    | _ -> ());
+    (match (t.mode, t.svt_policy) with
+    | Mode.Sw_svt _, Mode.Dedicated_sibling when smt < 2 ->
+        err (Dedicated_sibling_needs_smt { smt_per_core = smt })
     | _ -> ());
     match List.rev !errors with
     | [] ->
@@ -210,7 +252,7 @@ let wire_l2 injector nested vcpu =
       (if vector = net_vector || not (Nested.at_entry_boundary nested) then
          let probe = Machine.probe (Vcpu.machine v) in
          Svt_obs.Probe.wrap probe Svt_obs.Span.Irq_inject ~vcpu:(Vcpu.index v)
-           ~level:2
+           ~level:2 ~core:(Vcpu.core_id v) ~ctx:(Vcpu.hw_ctx v)
            ~tags:(fun () -> [ ("vector", string_of_int vector) ])
            (fun () ->
              Nested.handle nested
@@ -228,8 +270,8 @@ let of_config (c : Config.t) =
     | Error es -> raise (Invalid_config es)
   in
   let { Config.mode; level; n_vcpus; machine = config; shadow;
-        multiplex_contexts = _; faults; fault_seed; max_sim_events;
-        max_sim_time } = c in
+        multiplex_contexts = _; svt_policy = _; faults; fault_seed;
+        max_sim_events; max_sim_time } = c in
   let machine = Machine.create ~config () in
   (* Fuel budget: installed on the fresh simulator so every entry point
      that drives it (System.run, a workload's own run loop) is bounded. *)
@@ -333,6 +375,23 @@ let run ?until t =
   match until with
   | Some limit -> Simulator.run ~until:limit (sim t)
   | None -> Simulator.run (sim t)
+
+(* ---- per-quantum stepping (the lib/sched host drives this) ------------- *)
+
+let next_event_at t = Simulator.next_event_time (sim t)
+
+(* Advance this stack's local clock by one scheduling slice: process every
+   event up to [until] and report whether any work actually ran. A stack
+   whose next event lies beyond [until] is asleep for the whole slice —
+   its clock is left alone (the simulator clock only moves when events
+   run or the queue drains), so a host scheduler can skip it without
+   perturbing the simulation. *)
+let run_slice t ~until =
+  match next_event_at t with
+  | Some next when Time.(next <= until) ->
+      Simulator.run ~until (sim t);
+      `Ran
+  | Some _ | None -> `Idle
 
 (* ---- devices ----------------------------------------------------------- *)
 

@@ -42,6 +42,9 @@ module Config : sig
     machine : Svt_hyp.Machine.config;
     shadow : Svt_vmcs.Shadow.t;
     multiplex_contexts : bool;
+    svt_policy : Mode.svt_policy;
+        (** how a host provisions SVt-threads for this stack's SW SVt
+            vCPUs; bears on the thread-capacity validation *)
     faults : Svt_fault.Plan.t;
     fault_seed : int64;
     max_sim_events : int option;
@@ -53,11 +56,22 @@ module Config : sig
 
   type error =
     | Invalid_vcpus of int
-    | Insufficient_cores of { n_vcpus : int; cores : int }
+    | Insufficient_cores of {
+        n_vcpus : int;
+        cores : int;
+        required_threads : int;
+        available_threads : int;
+      }
+        (** topology-aware capacity check: each vCPU needs its own core,
+            and vCPUs + SVt-threads (per the policy) must fit the
+            machine's hardware threads *)
     | Svt_context_unprogrammable of { mode : Mode.t; smt_per_core : int }
         (** an SVt mode on a core without the hardware contexts its
             µ-registers address *)
     | Sw_svt_needs_smt_sibling of { smt_per_core : int }
+    | Dedicated_sibling_needs_smt of { smt_per_core : int }
+        (** a [Dedicated_sibling] SVt policy on a machine with
+            [smt_per_core = 1]: there is no sibling to reserve *)
 
   val pp_error : Format.formatter -> error -> unit
 
@@ -66,6 +80,7 @@ module Config : sig
     ?n_vcpus:int ->
     ?shadow:Svt_vmcs.Shadow.t ->
     ?multiplex_contexts:bool ->
+    ?svt_policy:Mode.svt_policy ->
     ?faults:Svt_fault.Plan.t ->
     ?fault_seed:int64 ->
     ?max_sim_events:int ->
@@ -147,6 +162,21 @@ val injector : t -> Svt_fault.Injector.t
 val run : ?until:Svt_engine.Time.t -> t -> unit
 (** Run the simulation until the event queue drains (all guest programs
     finished) or until the given instant. *)
+
+(** {2 Per-quantum stepping}
+
+    A host scheduler ([Svt_sched.Host]) multiplexes many stacks over one
+    shared host clock by advancing each in bounded slices instead of
+    run-to-completion. *)
+
+val next_event_at : t -> Svt_engine.Time.t option
+(** The local instant of this stack's earliest pending event ([None]
+    when every guest program has finished). *)
+
+val run_slice : t -> until:Svt_engine.Time.t -> [ `Ran | `Idle ]
+(** Advance the stack's local clock by one scheduling slice: process
+    every event up to [until]. [`Idle] means no event fell inside the
+    slice (the stack slept through it) and nothing was run. *)
 
 (** {2 Devices} *)
 

@@ -164,6 +164,12 @@ let events_processed t = t.events_processed
 let processes_spawned t = t.spawned
 let pending_events t = Event_queue.length t.queue
 
+(* The instant of the earliest pending event. This is what lets an
+   external scheduler share one clock across many simulators: a guest
+   whose next event lies beyond the scheduling horizon is asleep and can
+   have its slice skipped without running (or perturbing) it. *)
+let next_event_time t = Event_queue.peek_time t.queue
+
 module Proc = struct
   let now () = Effect.perform E_now
   let sim () = Effect.perform E_sim

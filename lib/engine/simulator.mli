@@ -63,6 +63,13 @@ val events_processed : t -> int
 val processes_spawned : t -> int
 val pending_events : t -> int
 
+val next_event_time : t -> Time.t option
+(** The instant of the earliest pending event ([None] when the queue is
+    empty). A host scheduler multiplexing several simulators over one
+    shared clock uses this to tell a runnable guest (next event within
+    the current quantum) from a sleeping one, whose slice can be skipped
+    without running it. *)
+
 (** Operations usable only inside a process spawned via {!spawn}. *)
 module Proc : sig
   val now : unit -> Time.t

@@ -15,6 +15,17 @@ module Signal = Simulator.Signal
 module Lapic = Svt_interrupt.Lapic
 module Smt_core = Svt_arch.Smt_core
 
+(* Host-scheduler view of the vCPU. A stand-alone stack is always
+   [Running] (it owns its whole machine); under lib/sched the host flips
+   Running/Runnable at grant/preempt boundaries, while the vCPU itself
+   reports Blocked during the architectural HLT wait. *)
+type run_state = Runnable | Running | Blocked
+
+let run_state_name = function
+  | Runnable -> "runnable"
+  | Running -> "running"
+  | Blocked -> "blocked"
+
 type t = {
   machine : Machine.t;
   vm : Vm.t;
@@ -26,6 +37,8 @@ type t = {
   msr_bitmap : Svt_arch.Msr.Bitmap.t;
   wake : Signal.t;
   mutable halted : bool;
+  mutable run_state : run_state;
+  mutable steal_ns : int; (* runnable but off-cpu, charged by the host *)
   mutable privileged : t -> Exit.info -> unit;
   mutable deliver_guest_irq : t -> int -> unit;
   mutable deliver_host_event : t -> vector:int -> work:(unit -> unit) -> unit;
@@ -63,6 +76,8 @@ let create ~machine ~vm ~index ~core_id ~hw_ctx =
       msr_bitmap = Svt_arch.Msr.Bitmap.kvm_default ();
       wake = Signal.create sim;
       halted = false;
+      run_state = Running;
+      steal_ns = 0;
       privileged = default_privileged;
       deliver_guest_irq = default_deliver;
       deliver_host_event = default_deliver_host;
@@ -91,6 +106,10 @@ let breakdown t = t.breakdown
 let is_halted t = t.halted
 let guest_time t = Time.of_ns t.guest_ns
 let halted_time t = Time.of_ns t.halted_ns
+let run_state t = t.run_state
+let set_run_state t s = t.run_state <- s
+let note_steal t span = t.steal_ns <- t.steal_ns + Time.to_ns span
+let steal_time t = Time.of_ns t.steal_ns
 let name t = Printf.sprintf "%s/vcpu%d" (Vm.name t.vm) t.index
 
 let set_privileged t f = t.privileged <- f
@@ -165,13 +184,17 @@ let compute t span =
 let wait_for_interrupt t =
   let started = Proc.now () in
   t.halted <- true;
+  let before = t.run_state in
+  t.run_state <- Blocked;
   while not (pending t) do
     Signal.wait t.wake
   done;
   t.halted <- false;
+  t.run_state <- before;
   t.halted_ns <- t.halted_ns + Time.to_ns (Time.diff (Proc.now ()) started);
   Svt_obs.Probe.span (Machine.probe t.machine) Svt_obs.Span.Halt
-    ~vcpu:t.index ~level:(Vm.level t.vm) ~start:started ();
+    ~vcpu:t.index ~level:(Vm.level t.vm) ~core:t.core_id ~ctx:t.hw_ctx
+    ~start:started ();
   drain t
 
 (* Spawn the guest program as this vCPU's process. *)

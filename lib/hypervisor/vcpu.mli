@@ -11,6 +11,14 @@
 
 type t
 
+(** Host-scheduler view of the vCPU: a stand-alone stack is always
+    [Running] (it owns its whole machine); a host scheduler flips
+    Running/Runnable at grant/preempt boundaries, and the vCPU itself
+    reports [Blocked] for the duration of the architectural HLT wait. *)
+type run_state = Runnable | Running | Blocked
+
+val run_state_name : run_state -> string
+
 val create :
   machine:Machine.t ->
   vm:Vm.t ->
@@ -44,6 +52,14 @@ val breakdown : t -> Breakdown.t
 val is_halted : t -> bool
 val guest_time : t -> Svt_engine.Time.t
 val halted_time : t -> Svt_engine.Time.t
+
+val run_state : t -> run_state
+val set_run_state : t -> run_state -> unit
+
+val note_steal : t -> Svt_engine.Time.t -> unit
+(** Charge a span of runnable-but-off-cpu time (host scheduler only). *)
+
+val steal_time : t -> Svt_engine.Time.t
 val name : t -> string
 val wake_signal : t -> Svt_engine.Simulator.Signal.t
 

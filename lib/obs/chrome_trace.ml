@@ -50,11 +50,19 @@ let buf_string b s =
    fields. *)
 let buf_us b ns = Buffer.add_string b (Printf.sprintf "%.3f" (float_of_int ns /. 1e3))
 
+(* Track (tid) assignment: spans tagged with a hardware lane get one
+   Perfetto track per hardware thread (so sibling stalls line up on the
+   physical topology), in a tid range disjoint from the per-vCPU tracks
+   that untagged spans keep. 32 bounds contexts-per-core, not vCPUs. *)
+let lane_tid (s : Span.t) = 1000 + (s.Span.core * 32) + max 0 s.Span.ctx
+let span_tid (s : Span.t) =
+  if Span.has_lane s then lane_tid s else s.Span.vcpu + 1
+
 let buf_event b (s : Span.t) =
   Buffer.add_string b "{\"name\":";
   buf_string b (Span.kind_name s.Span.kind);
   Buffer.add_string b ",\"cat\":\"svt\",\"ph\":\"X\",\"pid\":0,\"tid\":";
-  Buffer.add_string b (string_of_int (s.Span.vcpu + 1));
+  Buffer.add_string b (string_of_int (span_tid s));
   Buffer.add_string b ",\"ts\":";
   buf_us b (Time.to_ns s.Span.start);
   Buffer.add_string b ",\"dur\":";
@@ -70,8 +78,9 @@ let buf_event b (s : Span.t) =
     s.Span.tags;
   Buffer.add_string b "}}"
 
-(* Metadata events so Perfetto labels the rows. *)
-let buf_metadata b vcpus =
+(* Metadata events so Perfetto labels the rows: one thread_name per
+   vCPU track (untagged spans) and one per hardware-thread lane. *)
+let buf_metadata b ~vcpus ~lanes =
   Buffer.add_string b
     "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"svt-sim\"}}";
   List.iter
@@ -81,7 +90,15 @@ let buf_metadata b vcpus =
            ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":%s}}"
            (v + 1)
            (if v < 0 then "\"host\"" else Printf.sprintf "\"vcpu%d\"" v)))
-    vcpus
+    vcpus;
+  List.iter
+    (fun (core, ctx) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"core%d.t%d\"}}"
+           (1000 + (core * 32) + ctx)
+           core ctx))
+    lanes
 
 let to_buffer t b =
   let spans =
@@ -90,10 +107,22 @@ let to_buffer t b =
       (List.rev t.spans)
   in
   let vcpus =
-    List.sort_uniq compare (List.map (fun (s : Span.t) -> s.Span.vcpu) spans)
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (s : Span.t) ->
+           if Span.has_lane s then None else Some s.Span.vcpu)
+         spans)
+  in
+  let lanes =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (s : Span.t) ->
+           if Span.has_lane s then Some (s.Span.core, max 0 s.Span.ctx)
+           else None)
+         spans)
   in
   Buffer.add_string b "{\"traceEvents\":[";
-  buf_metadata b vcpus;
+  buf_metadata b ~vcpus ~lanes;
   List.iter
     (fun s ->
       Buffer.add_char b ',';

@@ -31,19 +31,21 @@ let subscriber_count t = List.length t.subs
 let emit t span = if is_on t then List.iter (fun sink -> sink span) t.subs
 
 (* Emit a span ending now. No-op (and no allocation beyond the already
-   evaluated arguments) when the probe is off. *)
-let span t kind ~vcpu ~level ?(tags = []) ~start () =
+   evaluated arguments) when the probe is off. [core]/[ctx] pin the span
+   to a hardware lane; the -1 default keeps it on the per-vCPU track. *)
+let span t kind ~vcpu ~level ?(core = -1) ?(ctx = -1) ?(tags = []) ~start () =
   if is_on t then
-    emit t { Span.kind; vcpu; level; start; stop = t.clock (); tags }
+    emit t { Span.kind; vcpu; level; core; ctx; start; stop = t.clock (); tags }
 
 (* Run [f] inside a span of [kind]; tags are computed only on emission so
    the off path pays nothing but the branch. *)
-let wrap t kind ~vcpu ~level ?(tags = fun () -> []) f =
+let wrap t kind ~vcpu ~level ?(core = -1) ?(ctx = -1) ?(tags = fun () -> []) f =
   if not (is_on t) then f ()
   else begin
     let start = t.clock () in
     let result = f () in
     emit t
-      { Span.kind; vcpu; level; start; stop = t.clock (); tags = tags () };
+      { Span.kind; vcpu; level; core; ctx; start; stop = t.clock ();
+        tags = tags () };
     result
   end

@@ -42,17 +42,23 @@ val span :
   Span.kind ->
   vcpu:int ->
   level:int ->
+  ?core:int ->
+  ?ctx:int ->
   ?tags:(string * string) list ->
   start:Time.t ->
   unit ->
   unit
-(** Emit a span from [start] to the probe's current clock. *)
+(** Emit a span from [start] to the probe's current clock. [core]/[ctx]
+    pin it to a hardware lane (one Perfetto track per hardware thread);
+    the -1 defaults keep it on the per-vCPU track. *)
 
 val wrap :
   t ->
   Span.kind ->
   vcpu:int ->
   level:int ->
+  ?core:int ->
+  ?ctx:int ->
   ?tags:(unit -> (string * string) list) ->
   (unit -> 'a) ->
   'a

@@ -18,10 +18,11 @@ type kind =
   | Irq_inject (* interrupt injection sequence into a guest *)
   | Halt (* vCPU idle in the architectural HLT state *)
   | Fault (* an injected fault or its degradation outcome *)
+  | Sched_slice (* one scheduling quantum granted on a hardware thread *)
 
 let all_kinds =
   [ Vm_exit; World_switch; Svt_trap; Svt_stall; Svt_resume; Vmcs_transform;
-    Ring_send; Ring_recv; Irq_inject; Halt; Fault ]
+    Ring_send; Ring_recv; Irq_inject; Halt; Fault; Sched_slice ]
 
 let n_kinds = List.length all_kinds
 
@@ -37,6 +38,7 @@ let kind_index = function
   | Irq_inject -> 8
   | Halt -> 9
   | Fault -> 10
+  | Sched_slice -> 11
 
 let kind_name = function
   | Vm_exit -> "vm-exit"
@@ -50,6 +52,7 @@ let kind_name = function
   | Irq_inject -> "irq-inject"
   | Halt -> "halt"
   | Fault -> "fault"
+  | Sched_slice -> "sched-slice"
 
 let kind_of_name s = List.find_opt (fun k -> kind_name k = s) all_kinds
 
@@ -57,10 +60,16 @@ type t = {
   kind : kind;
   vcpu : int; (* vCPU index; -1 when not tied to one *)
   level : int; (* virtualization level of the guest involved *)
+  core : int; (* physical core (hardware lane); -1 when untagged *)
+  ctx : int; (* hardware context (SMT thread) on that core; -1 *)
   start : Time.t;
   stop : Time.t;
   tags : (string * string) list; (* reason, mode, leg, direction, ... *)
 }
+
+(* Spans carrying a core/ctx pair land on a per-hardware-thread lane in
+   the Chrome-trace export; untagged ones keep the per-vCPU lanes. *)
+let has_lane s = s.core >= 0
 
 let duration s = Time.diff s.stop s.start
 let duration_ns s = Time.to_ns (duration s)
@@ -70,8 +79,9 @@ let tag s name = List.assoc_opt name s.tags
 let encloses a b = Time.(a.start <= b.start) && Time.(b.stop <= a.stop)
 
 let pp ppf s =
-  Fmt.pf ppf "[%a..%a] %s vcpu%d/l%d%a" Time.pp s.start Time.pp s.stop
+  Fmt.pf ppf "[%a..%a] %s vcpu%d/l%d%t%a" Time.pp s.start Time.pp s.stop
     (kind_name s.kind) s.vcpu s.level
+    (fun ppf -> if has_lane s then Fmt.pf ppf " core%d.t%d" s.core (max 0 s.ctx))
     (fun ppf tags ->
       List.iter (fun (k, v) -> Fmt.pf ppf " %s=%s" k v) tags)
     s.tags

@@ -17,6 +17,7 @@ type kind =
   | Irq_inject  (** interrupt injection sequence into a guest *)
   | Halt  (** vCPU idle in the architectural HLT state *)
   | Fault  (** an injected fault or its degradation outcome *)
+  | Sched_slice  (** one scheduling quantum granted on a hardware thread *)
 
 val all_kinds : kind list
 val n_kinds : int
@@ -34,10 +35,16 @@ type t = {
   kind : kind;
   vcpu : int;  (** vCPU index; -1 when not tied to one *)
   level : int;  (** virtualization level of the guest involved *)
+  core : int;  (** physical core (hardware lane id); -1 when untagged *)
+  ctx : int;  (** hardware context (SMT thread) on that core; -1 *)
   start : Time.t;
   stop : Time.t;
   tags : (string * string) list;
 }
+
+val has_lane : t -> bool
+(** Whether the span carries a hardware lane ([core >= 0]); such spans
+    land on a per-hardware-thread track in the Chrome-trace export. *)
 
 val duration : t -> Time.t
 val duration_ns : t -> int

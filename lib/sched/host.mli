@@ -1,0 +1,104 @@
+(** The multi-tenant consolidation host: gang-schedules many complete
+    nested-virtualization stacks ({!Svt_core.System}, one simulator and
+    local clock each) over one {!Topology} of SMT cores, advancing a
+    host virtual clock in fixed quanta.
+
+    Each tenant carries a monotone local-time entitlement ([target]):
+    sleeping tenants accrue it free, granted tenants simulate up to it
+    via {!Svt_core.System.run_slice} (scaled down by SMT co-residency),
+    and tenants that lose the gang grab accumulate steal time. SVt-
+    thread provisioning costs the single-stack model does not see —
+    donation wake latency per trap episode, shared-pool queueing beyond
+    K threads × quantum — are charged as debt against future grants, so
+    per-exit latencies remain exactly the single-stack (paper) figures
+    while aggregate throughput bears the provisioning trade-off.
+
+    Everything is deterministic: rotating-order greedy placement,
+    integer-nanosecond charges, no wall clock. Same topology + specs +
+    horizon ⇒ byte-identical reports. *)
+
+type tenant_spec = {
+  name : string;
+  mode : Svt_core.Mode.t;
+  policy : Policy.t;
+  n_vcpus : int;
+  shape : Svt_workloads.Open_loop.shape;
+  seed : int;
+}
+
+val tenant_spec :
+  ?name:string ->
+  ?policy:Policy.t ->
+  ?n_vcpus:int ->
+  ?shape:Svt_workloads.Open_loop.shape ->
+  ?seed:int ->
+  Svt_core.Mode.t ->
+  tenant_spec
+(** Defaults: auto name ("t<index>" at admission), [Policy.default],
+    1 vCPU, {!Svt_workloads.Open_loop.cpu_bound}, seed 0. *)
+
+type t
+
+val create : ?quantum:Svt_engine.Time.t -> topology:Topology.t -> unit -> t
+(** Default quantum: 50 µs. *)
+
+val add_tenant : t -> tenant_spec -> (unit, Svt_core.System.Config.error list) result
+(** Build and admit one tenant stack. Host-level feasibility (the gang
+    plus any service pool must fit the topology; [Dedicated_sibling]
+    needs SMT ≥ 2) and the stack's own {!Svt_core.System.Config.validate}
+    are both reported in the config-error vocabulary. *)
+
+val run : t -> horizon:Svt_engine.Time.t -> unit
+(** Advance the host clock to [horizon] (or until every tenant program
+    finishes — the standard shapes never do). Callable repeatedly to
+    extend the run. *)
+
+type tenant_report = {
+  tenant : string;
+  t_mode : Svt_core.Mode.t;
+  t_policy : Policy.t;
+  t_vcpus : int;
+  ops : int;
+  kops_per_sec : float;
+  exits : int;
+  per_exit_us : float;  (** mean virtualization overhead per exit *)
+  granted_ms : float;  (** entitlement received *)
+  steal_ms : float;  (** runnable but not placed *)
+  slept_ms : float;  (** quanta slept through *)
+  wake_penalty_us : float;  (** donation wake debt charged *)
+  queue_penalty_us : float;  (** shared-pool queueing debt charged *)
+  p99_latency_us : float;  (** open-arrival request latency (0 if none) *)
+}
+
+type report = {
+  elapsed_ms : float;
+  r_rounds : int;
+  r_cores : int;
+  r_smt : int;
+  occupancy : float;  (** held thread-quanta / (threads × rounds) *)
+  pool_utilization : float;  (** shared-pool demand served / capacity *)
+  aggregate_kops : float;
+  tenant_reports : tenant_report list;
+}
+
+val report : t -> report
+(** Consolidation metrics as of the current host clock. *)
+
+val fields : report -> (string * float) list
+(** Flat [sched.*] ledger fields (host-wide plus per-tenant). *)
+
+val pp_report : Format.formatter -> report -> unit
+(** The consolidation table. *)
+
+(** {2 Accessors} *)
+
+val topology : t -> Topology.t
+val quantum : t -> Svt_engine.Time.t
+val now : t -> Svt_engine.Time.t
+val rounds : t -> int
+val n_tenants : t -> int
+
+val obs : t -> Svt_obs.Recorder.t
+(** The host's own recorder: [Sched_slice] spans tagged with the
+    hardware thread ([core]/[ctx]) of every granted slice land here —
+    enable the Chrome sink to get one Perfetto track per thread. *)

@@ -1,0 +1,61 @@
+(* The host's hardware-thread topology: sockets x cores x SMT threads,
+   as a flat array of Smt_core.t running in Smt_mode (several contexts
+   fetch concurrently; the per-context states track which threads hold
+   runnable work in the current quantum — see Smt_core's host-occupancy
+   API). Thread ids are core-major: tid = core * smt_per_core + ctx. *)
+
+module Smt_core = Svt_arch.Smt_core
+module Mode = Svt_core.Mode
+
+type t = {
+  sockets : int;
+  cores_per_socket : int;
+  smt_per_core : int;
+  cores : Smt_core.t array;
+}
+
+let create ?(sockets = 2) ?(cores_per_socket = 8) ?(smt_per_core = 2) () =
+  if sockets < 1 || cores_per_socket < 1 || smt_per_core < 1 then
+    invalid_arg "Topology.create: all dimensions must be >= 1";
+  let n = sockets * cores_per_socket in
+  let cores =
+    Array.init n (fun id ->
+        let c = Smt_core.create ~n_contexts:smt_per_core ~id () in
+        Smt_core.set_mode c Smt_core.Smt_mode;
+        c)
+  in
+  { sockets; cores_per_socket; smt_per_core; cores }
+
+let of_machine_config (mc : Svt_hyp.Machine.config) =
+  create ~sockets:mc.Svt_hyp.Machine.sockets
+    ~cores_per_socket:mc.Svt_hyp.Machine.cores_per_socket
+    ~smt_per_core:mc.Svt_hyp.Machine.smt_per_core ()
+
+let sockets t = t.sockets
+let cores_per_socket t = t.cores_per_socket
+let smt_per_core t = t.smt_per_core
+let n_cores t = Array.length t.cores
+let n_threads t = Array.length t.cores * t.smt_per_core
+let core t i = t.cores.(i)
+
+let thread t ~core ~ctx =
+  if core < 0 || core >= n_cores t || ctx < 0 || ctx >= t.smt_per_core then
+    invalid_arg "Topology.thread: out of range";
+  (core * t.smt_per_core) + ctx
+
+let core_of_thread t tid = tid / t.smt_per_core
+let ctx_of_thread t tid = tid mod t.smt_per_core
+let numa_node t core = core / t.cores_per_socket
+
+(* Relative placement of two cores in Mode's distance vocabulary — the
+   same scale Wait prices channel wake-ups on. *)
+let placement t ~core_a ~core_b : Mode.placement =
+  if core_a = core_b then Mode.Smt_sibling
+  else if numa_node t core_a = numa_node t core_b then Mode.Same_numa_core
+  else Mode.Cross_numa
+
+let pp ppf t =
+  Fmt.pf ppf "%d socket%s x %d cores x %d SMT (%d hardware threads)"
+    t.sockets
+    (if t.sockets = 1 then "" else "s")
+    t.cores_per_socket t.smt_per_core (n_threads t)

@@ -1,0 +1,32 @@
+(** Host hardware-thread topology for the consolidation scheduler:
+    sockets × cores × SMT threads over {!Svt_arch.Smt_core} cores in
+    [Smt_mode]. Thread ids are core-major:
+    [tid = core * smt_per_core + ctx]. *)
+
+type t
+
+val create :
+  ?sockets:int -> ?cores_per_socket:int -> ?smt_per_core:int -> unit -> t
+(** Defaults are the paper testbed: 2 × 8 × 2 (32 hardware threads).
+    Raises [Invalid_argument] on a dimension < 1. *)
+
+val of_machine_config : Svt_hyp.Machine.config -> t
+(** The same shape as a simulated machine's config. *)
+
+val sockets : t -> int
+val cores_per_socket : t -> int
+val smt_per_core : t -> int
+val n_cores : t -> int
+val n_threads : t -> int
+val core : t -> int -> Svt_arch.Smt_core.t
+val thread : t -> core:int -> ctx:int -> int
+val core_of_thread : t -> int -> int
+val ctx_of_thread : t -> int -> int
+val numa_node : t -> int -> int
+
+val placement : t -> core_a:int -> core_b:int -> Svt_core.Mode.placement
+(** Relative distance of two cores in {!Svt_core.Mode.placement} terms
+    (same core → [Smt_sibling], same socket → [Same_numa_core], else
+    [Cross_numa]) — the scale {!Svt_core.Wait} prices wake-ups on. *)
+
+val pp : Format.formatter -> t -> unit

@@ -202,6 +202,38 @@ let test_core_invalid_nested_traps () =
   checkb "lvl2 with invalid nested traps" true
     (Smt_core.ctxtld core ~lvl:2 Reg.Rip = Error `Trap_to_hypervisor)
 
+(* Every way resolve_ctxt_level can refuse, and that a refused ctxtst
+   leaves the physical register file untouched. *)
+let test_core_ctxt_trap_paths () =
+  let core = make_core () in
+  Smt_core.load_svt_fields core ~visor:0 ~vm:1 ~nested:2;
+  (* out-of-range levels trap on the host... *)
+  checkb "host lvl0 traps" true
+    (Smt_core.resolve_ctxt_level core ~lvl:0 = Error `Trap_to_hypervisor);
+  checkb "host lvl3 traps" true
+    (Smt_core.resolve_ctxt_level core ~lvl:3 = Error `Trap_to_hypervisor);
+  (* ...and in a guest hypervisor, where only lvl 1 is architected *)
+  Smt_core.vm_resume core;
+  checkb "guest lvl0 traps" true
+    (Smt_core.resolve_ctxt_level core ~lvl:0 = Error `Trap_to_hypervisor);
+  checkb "guest lvl3 traps" true
+    (Smt_core.resolve_ctxt_level core ~lvl:3 = Error `Trap_to_hypervisor);
+  Smt_core.vm_trap core;
+  (* a host with no VM context loaded traps even on lvl 1 *)
+  Smt_core.load_svt_fields core ~visor:0 ~vm:Smt_core.invalid_ctx
+    ~nested:Smt_core.invalid_ctx;
+  checkb "host lvl1 without SVt_vm traps" true
+    (Smt_core.resolve_ctxt_level core ~lvl:1 = Error `Trap_to_hypervisor);
+  checkb "ctxtld propagates the trap" true
+    (Smt_core.ctxtld core ~lvl:1 (Reg.Gpr Reg.RAX) = Error `Trap_to_hypervisor);
+  (* a trapping ctxtst must not have stored anything anywhere *)
+  Regfile.write (Smt_core.regfile core) ~ctx:1 (Reg.Gpr Reg.RBX) 0x1111L;
+  checkb "ctxtst propagates the trap" true
+    (Smt_core.ctxtst core ~lvl:2 (Reg.Gpr Reg.RBX) 0x2222L
+    = Error `Trap_to_hypervisor);
+  check64 "trapped ctxtst wrote nothing" 0x1111L
+    (Regfile.read (Smt_core.regfile core) ~ctx:1 (Reg.Gpr Reg.RBX))
+
 let test_core_interference_model () =
   let core = make_core () in
   Alcotest.(check (float 1e-9)) "no pollers" 1.0 (Smt_core.interference_factor core);
@@ -305,6 +337,7 @@ let () =
           Alcotest.test_case "ctxtld/ctxtst round trip" `Quick test_core_ctxtld_ctxtst;
           Alcotest.test_case "invalid nested traps" `Quick
             test_core_invalid_nested_traps;
+          Alcotest.test_case "ctxt trap paths" `Quick test_core_ctxt_trap_paths;
           Alcotest.test_case "polling interference" `Quick test_core_interference_model;
           Alcotest.test_case "resume without SVt_vm rejected" `Quick
             test_core_resume_without_vm_rejected;

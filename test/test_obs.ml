@@ -118,6 +118,8 @@ let synthetic_span i =
     Span.kind = Span.Vm_exit;
     vcpu = 0;
     level = 2;
+    core = -1;
+    ctx = -1;
     start = Time.of_ns (i * 100);
     stop = Time.of_ns ((i * 100) + 50);
     tags = [ ("i", string_of_int i) ];
@@ -149,6 +151,8 @@ let test_chrome_json_escaping () =
       Span.kind = Span.Vm_exit;
       vcpu = 0;
       level = 2;
+      core = -1;
+      ctx = -1;
       start = Time.of_ns 1500;
       stop = Time.of_ns 2500;
       tags = [ ("weird", nasty) ];

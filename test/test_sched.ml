@@ -1,0 +1,309 @@
+(* Tests for the multi-tenant consolidation scheduler (lib/sched):
+   topology/thread mapping, policy claims, admission control, virtual-
+   time determinism, and the paper's dedicated-sibling capacity
+   trade-off (saturated Dedicated_sibling aggregate lands below plain
+   SMT sharing; On_demand_donation recovers it at a wake-latency cost;
+   per-exit latency keeps the fig6/fig7 ordering). *)
+
+module Time = Svt_engine.Time
+module Mode = Svt_core.Mode
+module System = Svt_core.System
+module Topology = Svt_sched.Topology
+module Policy = Svt_sched.Policy
+module Host = Svt_sched.Host
+module Spec = Svt_campaign.Spec
+module Ledger = Svt_campaign.Ledger
+module Open_loop = Svt_workloads.Open_loop
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* --- Topology ------------------------------------------------------------ *)
+
+let test_topology_thread_mapping () =
+  let topo = Topology.create ~sockets:2 ~cores_per_socket:4 ~smt_per_core:2 () in
+  checki "cores" 8 (Topology.n_cores topo);
+  checki "threads" 16 (Topology.n_threads topo);
+  (* core-major tids round-trip *)
+  for core = 0 to 7 do
+    for ctx = 0 to 1 do
+      let tid = Topology.thread topo ~core ~ctx in
+      checki "core of tid" core (Topology.core_of_thread topo tid);
+      checki "ctx of tid" ctx (Topology.ctx_of_thread topo tid)
+    done
+  done;
+  checki "tid layout" 9 (Topology.thread topo ~core:4 ~ctx:1);
+  (* NUMA: cores 0-3 on socket 0, 4-7 on socket 1 *)
+  checki "core 3 node" 0 (Topology.numa_node topo 3);
+  checki "core 4 node" 1 (Topology.numa_node topo 4);
+  checkb "same core -> sibling" true
+    (Topology.placement topo ~core_a:2 ~core_b:2 = Mode.Smt_sibling);
+  checkb "same socket -> same numa" true
+    (Topology.placement topo ~core_a:0 ~core_b:3 = Mode.Same_numa_core);
+  checkb "across sockets -> cross numa" true
+    (Topology.placement topo ~core_a:1 ~core_b:5 = Mode.Cross_numa)
+
+let test_topology_validation () =
+  checkb "zero smt rejected" true
+    (try
+       ignore (Topology.create ~smt_per_core:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Policy -------------------------------------------------------------- *)
+
+let test_policy_parse_round_trip () =
+  List.iter
+    (fun p ->
+      match Policy.of_string (Policy.name p) with
+      | Ok p' -> checkb (Policy.name p) true (p = p')
+      | Error e -> Alcotest.fail e)
+    [ Policy.Dedicated_sibling;
+      Policy.On_demand_donation;
+      Policy.Shared_pool { threads = 3 } ];
+  checkb "garbage rejected" true (Result.is_error (Policy.of_string "frobnicate"))
+
+let test_policy_claims () =
+  let c = Policy.claim ~mode:Mode.Baseline Policy.Dedicated_sibling in
+  checkb "baseline: thread per vCPU, policy ignored" true
+    (c.Policy.threads_per_vcpu = 1 && (not c.Policy.whole_core)
+    && c.Policy.pool_threads = 0 && not c.Policy.donation);
+  let c = Policy.claim ~mode:Mode.sw_svt_default Policy.Dedicated_sibling in
+  checkb "sw-svt dedicated: whole core" true c.Policy.whole_core;
+  checki "sw-svt dedicated gang on 2-way SMT" 8
+    (Policy.gang_threads ~smt_per_core:2 ~n_vcpus:4 c);
+  let c = Policy.claim ~mode:Mode.sw_svt_default (Policy.Shared_pool { threads = 2 }) in
+  checkb "sw-svt pool: threads shared host-wide" true
+    ((not c.Policy.whole_core) && c.Policy.pool_threads = 2);
+  checki "pool gang excludes the pool" 4
+    (Policy.gang_threads ~smt_per_core:2 ~n_vcpus:4 c);
+  let c = Policy.claim ~mode:Mode.sw_svt_default Policy.On_demand_donation in
+  checkb "sw-svt donation: sibling donated" true
+    ((not c.Policy.whole_core) && c.Policy.donation);
+  let c = Policy.claim ~mode:Mode.Hw_svt Policy.On_demand_donation in
+  checkb "hw-svt always owns the core" true
+    (c.Policy.whole_core && not c.Policy.donation)
+
+(* --- Admission ----------------------------------------------------------- *)
+
+let has_err pred = List.exists pred
+
+let test_admission_errors () =
+  (* Dedicated sibling on a host without SMT *)
+  let topo = Topology.create ~sockets:1 ~cores_per_socket:4 ~smt_per_core:1 () in
+  let host = Host.create ~topology:topo () in
+  (match
+     Host.add_tenant host
+       (Host.tenant_spec ~policy:Policy.Dedicated_sibling Mode.sw_svt_default)
+   with
+  | Ok () -> Alcotest.fail "dedicated sibling admitted on smt=1 host"
+  | Error errs ->
+      checkb "needs-smt error" true
+        (has_err
+           (function
+             | System.Config.Dedicated_sibling_needs_smt _ -> true | _ -> false)
+           errs));
+  (* more vCPUs than cores *)
+  let topo = Topology.create ~sockets:1 ~cores_per_socket:2 ~smt_per_core:2 () in
+  let host = Host.create ~topology:topo () in
+  (match Host.add_tenant host (Host.tenant_spec ~n_vcpus:3 Mode.Baseline) with
+  | Ok () -> Alcotest.fail "3 vCPUs admitted on 2 cores"
+  | Error errs ->
+      checkb "insufficient cores" true
+        (has_err
+           (function System.Config.Insufficient_cores _ -> true | _ -> false)
+           errs));
+  (* nonsense vCPU count *)
+  (match Host.add_tenant host (Host.tenant_spec ~n_vcpus:0 Mode.Baseline) with
+  | Ok () -> Alcotest.fail "0 vCPUs admitted"
+  | Error errs ->
+      checkb "invalid vcpus" true
+        (has_err
+           (function System.Config.Invalid_vcpus _ -> true | _ -> false)
+           errs));
+  (* a valid spec still fits afterwards *)
+  checkb "valid tenant admitted" true
+    (Host.add_tenant host (Host.tenant_spec ~n_vcpus:2 Mode.Baseline) = Ok ())
+
+(* --- Consolidation runs -------------------------------------------------- *)
+
+let saturated_host ?(tenants = 8) mode policy =
+  let topo = Topology.create ~sockets:1 ~cores_per_socket:4 ~smt_per_core:2 () in
+  let host = Host.create ~topology:topo () in
+  for i = 0 to tenants - 1 do
+    match Host.add_tenant host (Host.tenant_spec ~policy ~seed:i mode) with
+    | Ok () -> ()
+    | Error _ -> Alcotest.fail (Printf.sprintf "tenant %d rejected" i)
+  done;
+  Host.run host ~horizon:(Time.of_ms 10);
+  Host.report host
+
+let sum f (r : Host.report) =
+  List.fold_left (fun a tr -> a +. f tr) 0.0 r.Host.tenant_reports
+
+let test_dedicated_sibling_capacity_tax () =
+  let base = saturated_host Mode.Baseline Policy.default in
+  let dedicated = saturated_host Mode.sw_svt_default Policy.Dedicated_sibling in
+  (* 8 runnable vCPUs on 4 cores: reserving every sibling halves the
+     schedulable slots, so aggregate drops below plain SMT sharing
+     despite the cheaper exits *)
+  checkb "dedicated aggregate below baseline" true
+    (dedicated.Host.aggregate_kops < 0.8 *. base.Host.aggregate_kops);
+  checkb "losing tenants accrue steal" true
+    (sum (fun tr -> tr.Host.steal_ms) dedicated > 0.0);
+  checkb "baseline steals nothing at 8 threads" true
+    (sum (fun tr -> tr.Host.steal_ms) base = 0.0)
+
+let test_donation_recovers_throughput () =
+  let dedicated = saturated_host Mode.sw_svt_default Policy.Dedicated_sibling in
+  let donation = saturated_host Mode.sw_svt_default Policy.On_demand_donation in
+  checkb "donation beats dedicated aggregate" true
+    (donation.Host.aggregate_kops > dedicated.Host.aggregate_kops);
+  checkb "donation pays wake latency" true
+    (sum (fun tr -> tr.Host.wake_penalty_us) donation > 0.0);
+  checkb "dedicated pays no wake latency" true
+    (sum (fun tr -> tr.Host.wake_penalty_us) dedicated = 0.0)
+
+let test_shared_pool_sits_between () =
+  let dedicated = saturated_host Mode.sw_svt_default Policy.Dedicated_sibling in
+  let donation = saturated_host Mode.sw_svt_default Policy.On_demand_donation in
+  let pool =
+    saturated_host Mode.sw_svt_default (Policy.Shared_pool { threads = 2 })
+  in
+  checkb "pool above dedicated" true
+    (pool.Host.aggregate_kops > dedicated.Host.aggregate_kops);
+  checkb "pool below donation" true
+    (pool.Host.aggregate_kops < donation.Host.aggregate_kops)
+
+let test_per_exit_ordering_matches_fig6 () =
+  let mean_per_exit r =
+    sum (fun tr -> tr.Host.per_exit_us) r
+    /. float_of_int (List.length r.Host.tenant_reports)
+  in
+  let base = mean_per_exit (saturated_host ~tenants:4 Mode.Baseline Policy.default) in
+  let sw =
+    mean_per_exit
+      (saturated_host ~tenants:4 Mode.sw_svt_default Policy.On_demand_donation)
+  in
+  let hw = mean_per_exit (saturated_host ~tenants:4 Mode.Hw_svt Policy.default) in
+  (* consolidation must not distort the single-stack exit-cost story *)
+  checkb "baseline slowest per exit" true (base > sw);
+  checkb "hw-svt fastest per exit" true (sw > hw)
+
+let test_deterministic_replay () =
+  let a = saturated_host Mode.sw_svt_default Policy.On_demand_donation in
+  let b = saturated_host Mode.sw_svt_default Policy.On_demand_donation in
+  let fa = Host.fields a and fb = Host.fields b in
+  checki "same field count" (List.length fa) (List.length fb);
+  List.iter2
+    (fun (ka, va) (kb, vb) ->
+      checks "field name" ka kb;
+      checkb (Printf.sprintf "field %s identical" ka) true (va = vb))
+    fa fb
+
+(* --- Campaign identity & ledger schema ----------------------------------- *)
+
+let test_canonical_key_stability () =
+  (* a pre-consolidation point must keep its pre-consolidation identity:
+     none of the new axes may appear at their defaults *)
+  let key = Spec.canonical_key (Spec.point ~workload:"cpuid" Mode.Baseline) in
+  let contains sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length key && (String.sub key i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  checkb "no cores axis at default" false (contains "cores=");
+  checkb "no tenants axis at default" false (contains "tenants=");
+  checkb "no policy axis at default" false (contains "policy=");
+  (* and non-default values must be identity-bearing *)
+  let p = Spec.point ~cores:4 ~tenants:6 ~policy:"on-demand-donation" Mode.Baseline in
+  checkb "consolidation points get fresh run_ids" true
+    (Spec.run_hash p <> Spec.run_hash (Spec.point Mode.Baseline))
+
+let test_ledger_schema_v2_round_trip () =
+  let point =
+    Spec.point ~workload:"consolidate" ~cores:4 ~smt:2 ~tenants:6
+      ~policy:"shared-pool:2" Mode.sw_svt_default
+  in
+  let entry =
+    {
+      Ledger.run_id = Spec.run_id point;
+      point;
+      status = "ok";
+      error = None;
+      attempts = 1;
+      wall_s = 0.0;
+      metrics = [ ("sched.aggregate_kops", 21.5) ];
+    }
+  in
+  let path = Filename.temp_file "sched-ledger" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Ledger.write path [ entry ];
+      match Ledger.load path with
+      | Error e -> Alcotest.fail e
+      | Ok [ e ] ->
+          checki "cores" 4 e.Ledger.point.Spec.cores;
+          checki "smt" 2 e.Ledger.point.Spec.smt;
+          checki "tenants" 6 e.Ledger.point.Spec.tenants;
+          checks "policy" "shared-pool:2" e.Ledger.point.Spec.policy;
+          checks "run_id stable" entry.Ledger.run_id e.Ledger.run_id
+      | Ok _ -> Alcotest.fail "expected one entry")
+
+let test_ledger_legacy_rows_parse () =
+  (* a pre-consolidation row (no cores/smt_per_core/tenants/policy keys)
+     must load with the defaults that preserve its identity *)
+  let line =
+    {|{"run_id":"00000000deadbeef","mode":"baseline","level":"l2",|}
+    ^ {|"workload":"cpuid","vcpus":1,"seed":0,"status":"ok","attempts":1,|}
+    ^ {|"wall_s":0.01,"metrics":{"per_op_us":10.3}}|}
+  in
+  match Ledger.entry_of_line line with
+  | Error e -> Alcotest.fail e
+  | Ok e ->
+      checki "default cores" 1 e.Ledger.point.Spec.cores;
+      checki "default smt" 2 e.Ledger.point.Spec.smt;
+      checki "default tenants" 1 e.Ledger.point.Spec.tenants;
+      checks "default policy" "" e.Ledger.point.Spec.policy
+
+let () =
+  Alcotest.run "svt_sched"
+    [
+      ( "topology",
+        [
+          Alcotest.test_case "thread mapping" `Quick test_topology_thread_mapping;
+          Alcotest.test_case "dimension validation" `Quick test_topology_validation;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "parse round trip" `Quick test_policy_parse_round_trip;
+          Alcotest.test_case "claims" `Quick test_policy_claims;
+        ] );
+      ( "admission",
+        [ Alcotest.test_case "typed errors" `Quick test_admission_errors ] );
+      ( "consolidation",
+        [
+          Alcotest.test_case "dedicated-sibling capacity tax" `Quick
+            test_dedicated_sibling_capacity_tax;
+          Alcotest.test_case "donation recovers throughput" `Quick
+            test_donation_recovers_throughput;
+          Alcotest.test_case "shared pool sits between" `Quick
+            test_shared_pool_sits_between;
+          Alcotest.test_case "per-exit ordering (fig6)" `Quick
+            test_per_exit_ordering_matches_fig6;
+          Alcotest.test_case "deterministic replay" `Quick test_deterministic_replay;
+        ] );
+      ( "campaign-integration",
+        [
+          Alcotest.test_case "canonical key stability" `Quick
+            test_canonical_key_stability;
+          Alcotest.test_case "ledger schema v2 round trip" `Quick
+            test_ledger_schema_v2_round_trip;
+          Alcotest.test_case "legacy ledger rows parse" `Quick
+            test_ledger_legacy_rows_parse;
+        ] );
+    ]
