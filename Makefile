@@ -1,10 +1,10 @@
 .PHONY: build test check fmt-check sweep-smoke trace-smoke fault-smoke \
-	resume-smoke sched-smoke clean
+	resume-smoke sched-smoke fuzz-smoke bench-engine clean
 
 # The default verification bundle: tier-1 tests plus the end-to-end
-# trace-export, fault-injection, crash/resume and consolidation-scheduler
-# smoke runs.
-check: test trace-smoke fault-smoke resume-smoke sched-smoke
+# trace-export, fault-injection, crash/resume, consolidation-scheduler
+# and fuzzing smoke runs.
+check: test trace-smoke fault-smoke resume-smoke sched-smoke fuzz-smoke
 
 build:
 	dune build @all
@@ -96,6 +96,30 @@ sched-smoke: build
 		--jobs 2 --ledger _build/sched-j2.jsonl
 	cmp _build/sched-j1.jsonl _build/sched-j2.jsonl
 	@echo "sched-smoke: consolidation ledger byte-identical across jobs=1/2"
+
+# Determinism + soundness gate for the coverage-guided fuzzer (lib/fuzz):
+# the same fixed-seed batch run with 1 and 2 worker domains must produce
+# byte-identical corpus ledgers, keep a nonzero number of new-coverage
+# inputs, and report zero invariant violations (this seed/batch is
+# verified clean; a violation appearing here means a regression in the
+# stack, the harness, or determinism).
+FUZZ_ARGS = --seed 7 --batch 24 --quiet
+fuzz-smoke: build
+	rm -f _build/fuzz-j1.jsonl _build/fuzz-j2.jsonl
+	dune exec bin/svt_sim.exe -- fuzz $(FUZZ_ARGS) \
+		--jobs 1 --ledger _build/fuzz-j1.jsonl | tee _build/fuzz-smoke.out
+	dune exec bin/svt_sim.exe -- fuzz $(FUZZ_ARGS) \
+		--jobs 2 --ledger _build/fuzz-j2.jsonl
+	cmp _build/fuzz-j1.jsonl _build/fuzz-j2.jsonl
+	grep -q "violations=0" _build/fuzz-smoke.out
+	grep -q "kept=" _build/fuzz-smoke.out && ! grep -q "kept=0 " _build/fuzz-smoke.out
+	@echo "fuzz-smoke: corpus ledger byte-identical across jobs=1/2, no violations"
+
+# Engine/fuzz-harness throughput baseline: BENCH_engine.json records
+# events/sec and execs/sec on a fixed-seed batch so the perf trajectory
+# is visible across PRs (ROADMAP item 1).
+bench-engine: build
+	dune exec bench/main.exe -- engine
 
 clean:
 	dune clean

@@ -633,6 +633,40 @@ let sched () =
       (Mode.Hw_svt, Policy.default);
     ]
 
+(* ----------------------------------------------------------------- engine *)
+
+(* Engine/fuzz-harness throughput baseline (ROADMAP item 1): a fixed-seed
+   fuzz batch, in memory, timed on the host clock. Emits
+   BENCH_engine.json with events/sec and execs/sec so the perf
+   trajectory stays visible across PRs. The batch itself is fully
+   deterministic; only the wall-clock denominators vary per host. *)
+let engine () =
+  header "Engine: simulator + fuzz-harness throughput (BENCH_engine.json)";
+  let module Fuzz = Svt_fuzz.Fuzz in
+  let seed = 7L and batch = if quick then 32 else 128 in
+  (* warm-up: fault the code paths in before timing *)
+  ignore (Fuzz.campaign ~seed ~batch:8 () : Fuzz.stats);
+  let t0 = Unix.gettimeofday () in
+  let stats = Fuzz.campaign ~jobs ~seed ~batch () in
+  let wall = Unix.gettimeofday () -. t0 in
+  let events_per_sec = float_of_int stats.Fuzz.events /. wall in
+  let execs_per_sec = float_of_int stats.Fuzz.execs /. wall in
+  Printf.printf
+    "  batch=%d execs (x%d modes) seed=%Ld: %d kept, %d coverage bits\n"
+    stats.Fuzz.execs (List.length Fuzz.modes) seed stats.Fuzz.kept
+    stats.Fuzz.cov_bits;
+  Printf.printf "  %.0f events/sec, %.1f execs/sec (wall %.3f s, jobs=%d)\n%!"
+    events_per_sec execs_per_sec wall jobs;
+  let oc = open_out "BENCH_engine.json" in
+  Printf.fprintf oc
+    "{\"bench\":\"engine\",\"seed\":%Ld,\"batch\":%d,\"jobs\":%d,\
+     \"events\":%d,\"execs\":%d,\"kept\":%d,\"cov_bits\":%d,\
+     \"wall_s\":%.6f,\"events_per_sec\":%.1f,\"execs_per_sec\":%.2f}\n"
+    seed batch jobs stats.Fuzz.events stats.Fuzz.execs stats.Fuzz.kept
+    stats.Fuzz.cov_bits wall events_per_sec execs_per_sec;
+  close_out oc;
+  Printf.printf "  wrote BENCH_engine.json\n%!"
+
 (* --------------------------------------------------------------- bechamel *)
 
 (* Wall-clock cost of the simulator itself: one Bechamel test per
@@ -707,5 +741,6 @@ let () =
   if wanted "obs" then obs_overhead ();
   if wanted "faults" then faults ();
   if wanted "sched" then sched ();
+  if wanted "engine" then engine ();
   if wanted "bechamel" then bechamel ();
   print_endline "\ndone."

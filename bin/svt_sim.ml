@@ -581,6 +581,7 @@ let faults_cmd =
                 attempts = 1;
                 wall_s = 0.0;
                 metrics;
+                data = [];
               }
             in
             Ledger.write path [ entry ];
@@ -789,6 +790,94 @@ let blocked_demo_cmd =
        ~doc:"Demonstrate the SVT_BLOCKED deadlock-avoidance protocol (section 5.3).")
     Term.(const run $ const ())
 
+(* ---- coverage-guided fuzzing (lib/fuzz) ---- *)
+
+let fuzz_cmd =
+  let module Fuzz = Svt_fuzz.Fuzz in
+  let seed_arg =
+    Arg.(value & opt int 0
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Master campaign seed. Same seed and batch give a \
+                   byte-identical ledger, whatever --jobs says.")
+  in
+  let batch_arg =
+    Arg.(value & opt int 64
+         & info [ "batch" ] ~docv:"N" ~doc:"Inputs to execute.")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 1
+         & info [ "jobs" ] ~docv:"N" ~doc:"Worker domains executing a round.")
+  in
+  let ledger_arg =
+    Arg.(value & opt (some string) None
+         & info [ "ledger" ] ~docv:"PATH"
+             ~doc:"Journaled JSONL corpus ledger (kept inputs, shrunk \
+                   violations, per-round progress barriers).")
+  in
+  let resume_arg =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"Salvage the ledger down to its last complete round, \
+                   rebuild the corpus from the kept rows, and continue.")
+  in
+  let max_rounds_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-rounds" ] ~docv:"N"
+             ~doc:"Stop after N rounds (exit 3). Simulates a crash for \
+                   resume testing.")
+  in
+  let budget_arg =
+    Arg.(value & opt int Fuzz.default_budget
+         & info [ "budget" ] ~docv:"N"
+             ~doc:"Per-mode simulator event budget; exhaustion is reported \
+                   as a violation.")
+  in
+  let allow_hlt_arg =
+    Arg.(value & flag
+         & info [ "allow-hlt" ]
+             ~doc:"Let the generator emit the bare HLT op (a guaranteed \
+                   hang the deadlock detector must catch).")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No stderr progress lines.")
+  in
+  let run seed batch jobs ledger resume max_rounds budget allow_hlt quiet =
+    let gen_cfg = { Svt_fuzz.Gen.default with Svt_fuzz.Gen.allow_hlt } in
+    let log = if quiet then fun _ -> () else prerr_endline in
+    let stats =
+      Fuzz.campaign ~gen_cfg ~budget ~jobs ?ledger ~resume ?max_rounds ~log
+        ~seed:(Int64.of_int seed) ~batch ()
+    in
+    (* the summary is part of the deterministic surface: no wall clock *)
+    Printf.printf
+      "fuzz: execs=%d kept=%d cov_bits=%d violations=%d events=%d rounds=%d\n"
+      stats.Fuzz.execs stats.Fuzz.kept stats.Fuzz.cov_bits
+      stats.Fuzz.violations stats.Fuzz.events stats.Fuzz.rounds;
+    if stats.Fuzz.interrupted then exit 3
+    else if stats.Fuzz.violations > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Coverage-guided fuzzing of the nested virtualization stack."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P "Generates seeded random guest programs (with vmcs12 pokes \
+               and fault plans), runs each through a full stack under \
+               baseline, SW SVt and HW SVt, and keeps inputs that light \
+               new bits in the handler-path coverage map. Violations \
+               (crashes, budget exhaustion, deadlocks, mode or replay \
+               divergence) are shrunk to a minimal reproducer and \
+               recorded in the ledger. Exit status: 0 clean, 1 violations \
+               found, 3 interrupted by --max-rounds.";
+           `S Manpage.s_examples;
+           `P "svt_sim fuzz --seed 7 --batch 64 --ledger fuzz.jsonl; rerun \
+               with --jobs 2 and the ledger is byte-identical.";
+         ])
+    Term.(const run $ seed_arg $ batch_arg $ jobs_arg $ ledger_arg
+          $ resume_arg $ max_rounds_arg $ budget_arg $ allow_hlt_arg
+          $ quiet_arg)
+
 let default =
   Term.(ret (const (`Help (`Pager, None))))
 
@@ -802,4 +891,4 @@ let () =
        (Cmd.group ~default info
           [ cpuid_cmd; rr_cmd; stream_cmd; ioping_cmd; fio_cmd; etc_cmd;
             tpcc_cmd; video_cmd; trace_cmd; sweep_cmd; sweep_diff_cmd;
-            faults_cmd; sched_cmd; blocked_demo_cmd ]))
+            faults_cmd; fuzz_cmd; sched_cmd; blocked_demo_cmd ]))

@@ -12,6 +12,7 @@ type entry = {
   attempts : int;
   wall_s : float;
   metrics : (string * float) list;
+  data : (string * string) list;
 }
 
 let entry_of_result (r : Runner.result) =
@@ -26,6 +27,7 @@ let entry_of_result (r : Runner.result) =
     attempts = r.Runner.attempts;
     wall_s = r.Runner.wall_s;
     metrics = r.Runner.metrics;
+    data = [];
   }
 
 (* ---- JSON values ---- *)
@@ -108,7 +110,13 @@ let json_of_entry e =
         ("attempts", Num (float_of_int e.attempts));
         ("wall_s", Num e.wall_s);
         ("metrics", Obj (List.map (fun (k, v) -> (k, Num v)) e.metrics));
-      ])
+      ]
+    @ (* string payload rows (the fuzz corpus serializes inputs and
+         coverage maps here); omitted when empty so plain campaign
+         ledgers keep their historical byte format *)
+    (match e.data with
+    | [] -> []
+    | kvs -> [ ("data", Obj (List.map (fun (k, v) -> (k, Str v)) kvs)) ]))
 
 let line_of_entry e =
   let b = Buffer.create 256 in
@@ -392,6 +400,19 @@ let entry_of_json j =
           fields (Ok [])
     | _ -> Error "missing object field \"metrics\""
   in
+  let* data =
+    match field j "data" with
+    | None -> Ok []
+    | Some (Obj fields) ->
+        List.fold_right
+          (fun (k, v) acc ->
+            let* rest = acc in
+            match v with
+            | Str s -> Ok ((k, s) :: rest)
+            | _ -> Error (Printf.sprintf "data field %S is not a string" k))
+          fields (Ok [])
+    | Some _ -> Error "field \"data\" is not an object"
+  in
   Ok
     {
       run_id;
@@ -413,6 +434,7 @@ let entry_of_json j =
       attempts = int_of_float attempts;
       wall_s;
       metrics;
+      data;
     }
 
 (* ---- writer ---- *)

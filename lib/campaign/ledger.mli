@@ -25,6 +25,11 @@ type entry = {
   attempts : int;
   wall_s : float;
   metrics : (string * float) list;
+  data : (string * string) list;
+      (** string payload rows, serialized as a trailing ["data"] object
+          only when non-empty (so plain campaign ledgers keep their
+          historical byte format). The fuzz corpus stores serialized
+          inputs and coverage maps here. *)
 }
 
 val entry_of_result : Runner.result -> entry

@@ -43,6 +43,24 @@ let split g =
   let seed = Int64.to_int (next_int64 g) in
   create (seed land max_int)
 
+(* Keyed splitting: child [index] of a parent *seed*. Unlike {!split},
+   which consumes parent state (so children depend on draw order), the
+   keyed form is a pure function of (parent, index): child i is the same
+   stream whether or not children 0..i-1 were ever built, which is what
+   per-kind fault streams and per-input fuzz streams need to stay
+   replay-stable. Multiplying the index by an odd constant keeps sibling
+   pre-mix states distinct; two splitmix64 rounds decorrelate them. *)
+let split_seed parent ~index =
+  let state =
+    ref
+      (Int64.logxor parent
+         (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (index + 1))))
+  in
+  let (_ : int64) = splitmix64 state in
+  splitmix64 state
+
+let of_split parent ~index = of_seed (split_seed parent ~index)
+
 (* Uniform float in [0, 1). Uses the top 53 bits. *)
 let float g =
   let bits = Int64.shift_right_logical (next_int64 g) 11 in

@@ -18,19 +18,18 @@ type t = {
   mutable observer : (Outcome.t -> unit) option;
 }
 
-(* Per-kind stream salt: any odd constant works, the streams only need
-   to be distinct and stable across runs. *)
-let stream_salt i = Int64.of_int (0x5F4A17 * (i + 1))
-
 let create ?(seed = 0L) plan =
   let active = not (Plan.is_empty plan) in
   let rates = Array.make Kind.n 0.0 in
   List.iter
     (fun (k, r) -> rates.(Kind.index k) <- r)
     (Plan.entries plan);
+  (* Keyed splitting by kind index: stream k is a pure function of
+     (seed, k), so sibling streams stay independent — the old additive
+     salt made seeds differing by the salt delta alias across kinds. *)
   let streams =
     if active then
-      Array.init Kind.n (fun i -> Prng.of_seed (Int64.add seed (stream_salt i)))
+      Array.init Kind.n (fun i -> Prng.of_split seed ~index:i)
     else [||]
   in
   { plan; active; rates; streams; counts = Array.make Outcome.n 0;

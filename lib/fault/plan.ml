@@ -13,6 +13,57 @@ let rate t k = match List.assoc_opt k t with Some r -> r | None -> 0.0
 
 let known_names = String.concat ", " (List.map Kind.name Kind.all)
 
+(* Canonical form: kind order, zero rates dropped — the invariant every
+   constructor below must restore so equal plans print equally. *)
+let canon entries =
+  entries
+  |> List.filter (fun (_, r) -> r > 0.0)
+  |> List.sort (fun (a, _) (b, _) -> compare (Kind.index a) (Kind.index b))
+
+(* --- seeded generation and mutation (the fuzzer's plan hooks) --------- *)
+
+(* Rates are drawn on a centi-grid in (0, 0.2]: coarse enough that
+   to_string's %g spelling round-trips exactly through of_string, small
+   enough that degradation machinery (watchdogs, retries) still
+   terminates runs. *)
+let random_rate rng = float_of_int (Svt_engine.Prng.int_in_range rng ~lo:1 ~hi:20) /. 100.0
+
+let gen rng =
+  let n = Svt_engine.Prng.int_in_range rng ~lo:0 ~hi:3 in
+  let kinds = Array.of_list Kind.all in
+  Svt_engine.Prng.shuffle rng kinds;
+  canon (List.init n (fun i -> (kinds.(i), random_rate rng)))
+
+let mutate rng t =
+  let add_entry entries =
+    match
+      List.filter (fun k -> not (List.mem_assoc k entries)) Kind.all
+    with
+    | [] -> entries
+    | absent -> (Svt_engine.Prng.pick rng (Array.of_list absent), random_rate rng) :: entries
+  in
+  let drop_entry = function
+    | [] -> []
+    | entries ->
+        let victim = Svt_engine.Prng.int rng (List.length entries) in
+        List.filteri (fun i _ -> i <> victim) entries
+  in
+  let perturb_entry = function
+    | [] -> []
+    | entries ->
+        let i = Svt_engine.Prng.int rng (List.length entries) in
+        List.mapi
+          (fun j (k, r) -> if j = i then (k, random_rate rng) else (k, r))
+          entries
+  in
+  let entries =
+    match Svt_engine.Prng.int rng 3 with
+    | 0 -> add_entry t
+    | 1 -> drop_entry t
+    | _ -> perturb_entry t
+  in
+  canon entries
+
 let of_string s =
   if String.trim s = "" then Ok empty
   else begin
@@ -44,12 +95,7 @@ let of_string s =
               | Some r -> Ok (k, r)))
     in
     let rec go acc = function
-      | [] ->
-          Ok
-            (List.rev acc
-            |> List.filter (fun (_, r) -> r > 0.0)
-            |> List.sort (fun (a, _) (b, _) ->
-                   compare (Kind.index a) (Kind.index b)))
+      | [] -> Ok (canon (List.rev acc))
       | item :: rest -> (
           match parse_item item with
           | Error e -> Error e

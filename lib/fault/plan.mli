@@ -18,6 +18,17 @@ val of_string : string -> (t, string) result
     duplicate kinds are reported as [Error]. *)
 
 val of_string_exn : string -> t
+
+val gen : Svt_engine.Prng.t -> t
+(** Seeded random plan (0–3 kinds, centi-grid rates in (0, 0.2]) in
+    canonical form: the fuzzer's plan generator. Rates on the centi-grid
+    survive {!to_string}/{!of_string} exactly. *)
+
+val mutate : Svt_engine.Prng.t -> t -> t
+(** One seeded mutation step — add a kind, drop a kind, or re-draw one
+    rate — returning a canonical (and therefore round-trippable) plan.
+    The fuzzer's corpus mutator calls this on kept inputs' plans. *)
+
 val to_string : t -> string
 (** Canonical form: entries sorted by kind, zero rates dropped;
     round-trips through {!of_string}. *)

@@ -1,0 +1,118 @@
+(* Seeded input generation and mutation. Everything draws from the
+   caller's Prng stream and nothing else, so a (seed, index) pair names
+   an input forever — the corpus only ever stores what this module can
+   regenerate.
+
+   The one semantic constraint lives here: a plan containing [drop-irq]
+   is never paired with a waiting program ([Sleep_us]/[Hlt]), because a
+   legitimately dropped wakeup IRQ hangs the guest in a way the harness
+   cannot tell from a real deadlock. *)
+
+module Prng = Svt_engine.Prng
+module Plan = Svt_fault.Plan
+module Kind = Svt_fault.Kind
+
+type cfg = {
+  max_ops : int;  (** program length is drawn from [1..max_ops] *)
+  poke_prob : float;  (** probability an input carries vmcs12 pokes *)
+  fault_prob : float;  (** probability an input carries a fault plan *)
+  allow_hlt : bool;
+      (** permit the bare [Hlt] op — a guaranteed hang the deadlock
+          detector must catch; off by default so ordinary campaigns
+          report zero violations *)
+}
+
+let default = { max_ops = 12; poke_prob = 0.25; fault_prob = 0.5; allow_hlt = false }
+
+(* Drawing pools kept deliberately small: the coverage map keys on
+   handler paths, not values, so a few representative arguments explore
+   the same space as the full range while keeping reproducers short. *)
+
+let cpuid_leaves = [| 0; 1; 2; 4; 7; 0x4000_0000; 0x8000_0000 |]
+let page = Svt_mem.Addr.page_size
+
+let gpa rng = (16 + Prng.int rng 48) * page
+
+let poke_values rng =
+  match Prng.int rng 4 with
+  | 0 -> 0L
+  | 1 -> 1L
+  | 2 -> -1L
+  | _ -> Int64.of_int (Prng.int rng 0x10000)
+
+let gen_op cfg rng =
+  let n = if cfg.allow_hlt then 13 else 12 in
+  match Prng.int rng n with
+  | 0 -> Input.Compute_us (1 + Prng.int rng 20)
+  | 1 -> Input.Increments (1 + Prng.int rng 2000)
+  | 2 -> Input.Cpuid (Prng.pick rng cpuid_leaves)
+  | 3 ->
+      Input.Wrmsr (Prng.int rng Input.n_msrs, Int64.of_int (Prng.int rng 0x10000))
+  | 4 -> Input.Rdmsr (Prng.int rng Input.n_msrs)
+  | 5 -> Input.Io_write (Prng.int rng 1024, Prng.int rng 256)
+  | 6 -> Input.Io_read (Prng.int rng 1024)
+  | 7 -> Input.Mmio_write (gpa rng, Prng.int rng 256)
+  | 8 -> Input.Mmio_read (gpa rng)
+  | 9 -> Input.Page_fault (gpa rng)
+  | 10 -> Input.Vmcall (Prng.int rng 8, Int64.of_int (Prng.int rng 0x1000))
+  | 11 -> Input.Sleep_us (1 + Prng.int rng 50)
+  | _ -> Input.Hlt
+
+let gen_pokes cfg rng =
+  if not (Prng.bernoulli rng cfg.poke_prob) then []
+  else
+    let n = 1 + Prng.int rng 2 in
+    List.init n (fun _ -> (Prng.int rng Input.n_fields, poke_values rng))
+
+(* Rebuild a plan without [kind]; plans come off the centi-grid
+   generator, so the string round trip is exact. *)
+let strip_kind plan kind =
+  Plan.entries plan
+  |> List.filter (fun (k, _) -> k <> kind)
+  |> List.map (fun (k, r) -> Printf.sprintf "%s:%g" (Kind.name k) r)
+  |> String.concat "," |> Plan.of_string_exn
+
+let constrain input =
+  if Input.has_wait input && Plan.rate input.Input.plan Kind.Drop_irq > 0.0
+  then { input with Input.plan = strip_kind input.Input.plan Kind.Drop_irq }
+  else input
+
+let gen ?(cfg = default) rng =
+  let n_ops = 1 + Prng.int rng cfg.max_ops in
+  let ops = List.init n_ops (fun _ -> gen_op cfg rng) in
+  let pokes = gen_pokes cfg rng in
+  let plan = if Prng.bernoulli rng cfg.fault_prob then Plan.gen rng else Plan.empty in
+  constrain { Input.ops; pokes; plan }
+
+(* One mutation step over a kept input: splice/drop/replace an op, redraw
+   the pokes, or mutate the plan. Always at least one op survives (an
+   empty program exercises nothing). *)
+let mutate ?(cfg = default) rng (input : Input.t) =
+  let ops = Array.of_list input.Input.ops in
+  let n = Array.length ops in
+  let mutated =
+    match Prng.int rng 5 with
+    | 0 ->
+        (* splice a fresh op at a random position *)
+        let at = Prng.int rng (n + 1) in
+        let op = gen_op cfg rng in
+        let l = Array.to_list ops in
+        let rec ins i = function
+          | rest when i = 0 -> op :: rest
+          | [] -> [ op ]
+          | x :: rest -> x :: ins (i - 1) rest
+        in
+        { input with Input.ops = ins at l }
+    | 1 when n > 1 ->
+        let at = Prng.int rng n in
+        { input with
+          Input.ops =
+            Array.to_list ops |> List.filteri (fun i _ -> i <> at) }
+    | 2 ->
+        let at = Prng.int rng n in
+        ops.(at) <- gen_op cfg rng;
+        { input with Input.ops = Array.to_list ops }
+    | 3 -> { input with Input.pokes = gen_pokes cfg rng }
+    | _ -> { input with Input.plan = Plan.mutate rng input.Input.plan }
+  in
+  constrain mutated

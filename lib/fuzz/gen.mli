@@ -1,0 +1,29 @@
+(** Seeded input generation and mutation.
+
+    Everything draws from the caller's {!Svt_engine.Prng} stream and
+    nothing else, so a (seed, index) pair names an input forever. The
+    generator enforces the harness's one semantic constraint: a plan
+    containing [drop-irq] is never paired with a waiting program
+    ({!Input.has_wait}), because a legitimately dropped wakeup IRQ is
+    indistinguishable from a real hang. *)
+
+type cfg = {
+  max_ops : int;  (** program length is drawn from [1..max_ops] *)
+  poke_prob : float;  (** probability an input carries vmcs12 pokes *)
+  fault_prob : float;  (** probability an input carries a fault plan *)
+  allow_hlt : bool;
+      (** permit the bare [Hlt] op — a guaranteed hang the deadlock
+          detector must catch; off by default so ordinary campaigns
+          report zero violations *)
+}
+
+val default : cfg
+(** [{ max_ops = 12; poke_prob = 0.25; fault_prob = 0.5;
+      allow_hlt = false }]. About half of generated inputs are
+    fault-free, which is what keeps the mode-divergence check armed. *)
+
+val gen : ?cfg:cfg -> Svt_engine.Prng.t -> Input.t
+
+val mutate : ?cfg:cfg -> Svt_engine.Prng.t -> Input.t -> Input.t
+(** One mutation step over a kept input: splice/drop/replace an op,
+    redraw the pokes, or mutate the plan. At least one op survives. *)

@@ -1,0 +1,99 @@
+(* Greedy delta-debugging over a violating input. The oracle re-executes
+   a candidate and answers "does this still trigger the same violation
+   class?"; shrinking is pure list surgery around it, so the module has
+   no dependency on the harness and stays trivially testable.
+
+   Order of attack: op chunks (halves, then smaller, down to singles),
+   then pokes one at a time, then plan entries one at a time. Each pass
+   restarts whenever something was removed, so the result is 1-minimal:
+   removing any single remaining op, poke or plan entry un-triggers the
+   violation. *)
+
+module Plan = Svt_fault.Plan
+module Kind = Svt_fault.Kind
+
+let drop_range l lo len =
+  List.filteri (fun i _ -> i < lo || i >= lo + len) l
+
+let plan_without plan kind =
+  Plan.entries plan
+  |> List.filter (fun (k, _) -> k <> kind)
+  |> List.map (fun (k, r) -> Printf.sprintf "%s:%g" (Kind.name k) r)
+  |> String.concat "," |> Plan.of_string_exn
+
+(* Try removing op chunks of [len]; restart the scan on success (earlier
+   removals can enable later ones). *)
+let rec shrink_ops ~oracle (input : Input.t) len =
+  if len = 0 then input
+  else
+    let n = List.length input.Input.ops in
+    let rec scan lo =
+      if lo >= n then None
+      else
+        let candidate =
+          { input with Input.ops = drop_range input.Input.ops lo len }
+        in
+        if candidate.Input.ops <> input.Input.ops && oracle candidate then
+          Some candidate
+        else scan (lo + len)
+    in
+    match scan 0 with
+    | Some smaller -> shrink_ops ~oracle smaller len
+    | None -> shrink_ops ~oracle input (len / 2)
+
+let rec shrink_pokes ~oracle (input : Input.t) =
+  let n = List.length input.Input.pokes in
+  let rec scan i =
+    if i >= n then None
+    else
+      let candidate =
+        { input with Input.pokes = drop_range input.Input.pokes i 1 }
+      in
+      if oracle candidate then Some candidate else scan (i + 1)
+  in
+  match scan 0 with
+  | Some smaller -> shrink_pokes ~oracle smaller
+  | None -> input
+
+let rec shrink_plan ~oracle (input : Input.t) =
+  let entries = Plan.entries input.Input.plan in
+  let rec scan = function
+    | [] -> None
+    | (k, _) :: rest ->
+        let candidate =
+          { input with Input.plan = plan_without input.Input.plan k }
+        in
+        if oracle candidate then Some candidate else scan rest
+  in
+  match scan entries with
+  | Some smaller -> shrink_plan ~oracle smaller
+  | None -> input
+
+let minimize ~oracle input =
+  let n = List.length input.Input.ops in
+  let input = shrink_ops ~oracle input (max 1 (n / 2)) in
+  let input = shrink_pokes ~oracle input in
+  shrink_plan ~oracle input
+
+(* The printable reproducer: one generator-trace line per op and poke,
+   plus the plan — what a violation's ledger row carries so a human (or
+   a regression test) can replay the minimal input without the fuzzer. *)
+let trace (input : Input.t) =
+  let ops =
+    List.mapi
+      (fun i op -> Printf.sprintf "  op[%d] %s" i (Input.op_to_string op))
+      input.Input.ops
+  in
+  let pokes =
+    List.map
+      (fun (i, v) ->
+        Printf.sprintf "  poke %s = 0x%Lx"
+          (Svt_vmcs.Field.name Input.fields.(i))
+          v)
+      input.Input.pokes
+  in
+  let plan =
+    if Plan.is_empty input.Input.plan then []
+    else [ Printf.sprintf "  plan %s" (Plan.to_string input.Input.plan) ]
+  in
+  ops @ pokes @ plan

@@ -1,0 +1,18 @@
+(** Greedy delta-debugging over a violating input.
+
+    The oracle re-executes a candidate and answers "does this still
+    trigger the same violation class?"; shrinking is pure list surgery
+    around it (op chunks, then pokes, then plan entries), restarting
+    each pass after a successful removal. The result is 1-minimal:
+    removing any single remaining op, poke or plan entry un-triggers
+    the violation. *)
+
+val minimize : oracle:(Input.t -> bool) -> Input.t -> Input.t
+(** [oracle] must be true for the input itself (the violation is
+    assumed established by the caller); it is re-invoked on every
+    candidate, so a deterministic harness makes shrinking
+    deterministic. *)
+
+val trace : Input.t -> string list
+(** The printable reproducer: one generator-trace line per op and poke,
+    plus the plan — what a violation's ledger row carries. *)

@@ -436,6 +436,7 @@ let test_number_round_trip () =
       attempts = 1;
       wall_s = 0.125;
       metrics = List.mapi (fun i v -> (Printf.sprintf "m%02d" i, v)) values;
+      data = [];
     }
   in
   let line1 = Ledger.line_of_entry_crc e in

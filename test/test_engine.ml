@@ -392,6 +392,38 @@ let test_prng_split_independent () =
   let h = Prng.split g in
   checkb "parent and child differ" true (Prng.next_int64 g <> Prng.next_int64 h)
 
+let test_prng_keyed_split_stable () =
+  (* split_seed is a pure function of (parent, index): unlike [split] it
+     consumes no parent state, so replay can re-derive any child stream
+     at any time *)
+  let s1 = Prng.split_seed 42L ~index:7 in
+  let s2 = Prng.split_seed 42L ~index:7 in
+  Alcotest.(check int64) "pure in (parent, index)" s1 s2;
+  let g = Prng.of_split 42L ~index:7 in
+  let h = Prng.of_split 42L ~index:7 in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "replay-stable stream" (Prng.next_int64 g)
+      (Prng.next_int64 h)
+  done
+
+let test_prng_keyed_split_siblings_uncorrelated () =
+  (* sibling child streams must not share draws: collect the first 64
+     values of 8 siblings and require them pairwise (near-)disjoint —
+     the old additive-salt seeding aliased across kinds exactly here *)
+  let draws i =
+    let g = Prng.of_split 0xFEEDL ~index:i in
+    List.init 64 (fun _ -> Prng.next_int64 g)
+  in
+  let all = List.concat (List.init 8 draws) in
+  let distinct = List.sort_uniq compare all in
+  checki "512 draws, no collisions across siblings" (List.length all)
+    (List.length distinct);
+  (* and sibling streams differ from the parent-seeded stream *)
+  let parent = Prng.of_seed 0xFEEDL in
+  let p0 = Prng.next_int64 parent in
+  checkb "child 0 differs from parent stream" true
+    (p0 <> List.hd (draws 0))
+
 let test_prng_float_range () =
   let g = Prng.create 4 in
   for _ = 1 to 1000 do
@@ -546,6 +578,10 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
           Alcotest.test_case "seeds differ" `Quick test_prng_seeds_differ;
           Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+          Alcotest.test_case "keyed split stable" `Quick
+            test_prng_keyed_split_stable;
+          Alcotest.test_case "keyed split siblings uncorrelated" `Quick
+            test_prng_keyed_split_siblings_uncorrelated;
           Alcotest.test_case "float in [0,1)" `Quick test_prng_float_range;
           Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
           Alcotest.test_case "exponential mean" `Quick test_prng_exponential_mean;

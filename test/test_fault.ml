@@ -53,6 +53,40 @@ let test_plan_errors () =
   bad "drop-ring:nan";
   bad "drop-ring:0.1,drop-ring:0.2" (* duplicate kind *)
 
+let test_plan_gen_roundtrip () =
+  (* property: every plan the fuzzer's generator or mutator can produce
+     is canonical, in-range, and survives the string grammar exactly *)
+  let check_plan label p =
+    let s = Plan.to_string p in
+    let p2 = Plan.of_string_exn s in
+    checks (label ^ " round-trips") s (Plan.to_string p2);
+    checkb (label ^ " entries equal") true (Plan.entries p = Plan.entries p2);
+    List.iter
+      (fun (_, r) ->
+        checkb (label ^ " rate in (0, 0.2]") true (r > 0.0 && r <= 0.2))
+      (Plan.entries p);
+    (* canonical: sorted by kind index, no duplicates *)
+    let idx = List.map (fun (k, _) -> Kind.index k) (Plan.entries p) in
+    checkb (label ^ " sorted, unique") true (List.sort_uniq compare idx = idx)
+  in
+  for i = 0 to 199 do
+    let rng = Svt_engine.Prng.of_split 0xD1CEL ~index:i in
+    let p = Plan.gen rng in
+    check_plan (Printf.sprintf "gen %d" i) p;
+    let m = ref p in
+    for j = 0 to 9 do
+      m := Plan.mutate rng !m;
+      check_plan (Printf.sprintf "gen %d mutant %d" i j) !m
+    done
+  done
+
+let test_plan_gen_deterministic () =
+  for i = 0 to 19 do
+    let a = Plan.gen (Svt_engine.Prng.of_split 5L ~index:i) in
+    let b = Plan.gen (Svt_engine.Prng.of_split 5L ~index:i) in
+    checks "same split stream, same plan" (Plan.to_string a) (Plan.to_string b)
+  done
+
 let test_kind_names_roundtrip () =
   List.iter
     (fun k ->
@@ -349,6 +383,10 @@ let () =
           Alcotest.test_case "empty and zero rates" `Quick test_plan_empty_and_zero;
           Alcotest.test_case "rejects malformed plans" `Quick test_plan_errors;
           Alcotest.test_case "kind names round-trip" `Quick test_kind_names_roundtrip;
+          Alcotest.test_case "generated plans round-trip" `Quick
+            test_plan_gen_roundtrip;
+          Alcotest.test_case "generator determinism" `Quick
+            test_plan_gen_deterministic;
         ] );
       ( "injector",
         [

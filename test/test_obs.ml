@@ -201,6 +201,7 @@ let test_ledger_round_trip () =
       attempts = 1;
       wall_s = 0.01;
       metrics = ("per_op_us", 10.3) :: obs_fields;
+      data = [];
     }
   in
   let path = Filename.temp_file "obs_ledger" ".jsonl" in
@@ -224,6 +225,64 @@ let test_ledger_round_trip () =
           checki "p99" o.Timeline.p99_ns r.Timeline.p99_ns;
           checki "total" o.Timeline.total_ns r.Timeline.total_ns)
         original recovered)
+
+(* --- coverage sink -------------------------------------------------------- *)
+
+module Coverage = Svt_obs.Coverage
+
+let span ?(tags = []) kind =
+  {
+    Span.kind;
+    vcpu = 0;
+    level = 2;
+    core = -1;
+    ctx = -1;
+    start = Time.zero;
+    stop = Time.zero;
+    tags;
+  }
+
+let test_coverage_slot_keying () =
+  (* the slot keys on kind + discriminating tags; numeric payload tags
+     and timing must not affect it *)
+  let a = span Span.Vm_exit ~tags:[ ("reason", "cpuid"); ("vector", "81") ] in
+  let b = span Span.Vm_exit ~tags:[ ("reason", "cpuid"); ("vector", "255") ] in
+  let c = span Span.Vm_exit ~tags:[ ("reason", "hlt") ] in
+  checki "payload tags ignored" (Coverage.slot_of_span a)
+    (Coverage.slot_of_span b);
+  checkb "reason discriminates" true
+    (Coverage.slot_of_span a <> Coverage.slot_of_span c);
+  checkb "kind discriminates" true
+    (Coverage.slot_of_span (span Span.Vm_exit)
+    <> Coverage.slot_of_span (span Span.World_switch))
+
+let test_coverage_merge_and_hex () =
+  let a = Coverage.create () and b = Coverage.create () in
+  Coverage.mark a 1;
+  Coverage.mark a 100;
+  Coverage.mark b 100;
+  Coverage.mark b 8191;
+  checkb "b adds coverage over a" true (Coverage.adds_coverage ~global:a b);
+  checki "one new bit merged" 1 (Coverage.merge_into ~into:a b);
+  checki "popcount" 3 (Coverage.bits a);
+  checkb "merge is idempotent" false (Coverage.adds_coverage ~global:a b);
+  checkb "membership" true (Coverage.mem a 8191 && not (Coverage.mem a 2));
+  let back = Coverage.of_hex (Coverage.to_hex a) in
+  checkb "hex round trip" true (Coverage.equal a back)
+
+let test_coverage_attaches_to_probe () =
+  (* riding a real probe: every emitted span marks a slot *)
+  let p = Probe.create ~clock:(fun () -> Time.zero) () in
+  let cov = Coverage.create () in
+  Coverage.attach cov p;
+  Probe.span p Span.Vm_exit ~vcpu:0 ~level:2
+    ~tags:[ ("reason", "cpuid") ] ~start:Time.zero ();
+  Probe.span p Span.Vm_exit ~vcpu:0 ~level:2
+    ~tags:[ ("reason", "cpuid") ] ~start:Time.zero ();
+  Probe.span p Span.Vm_exit ~vcpu:0 ~level:2 ~tags:[ ("reason", "hlt") ]
+    ~start:Time.zero ();
+  checki "three spans observed" 3 (Coverage.marks cov);
+  checki "two distinct paths" 2 (Coverage.bits cov)
 
 (* --- overhead guard ------------------------------------------------------ *)
 
@@ -295,6 +354,12 @@ let () =
         [ Alcotest.test_case "json escaping" `Quick test_chrome_json_escaping ] );
       ( "export",
         [ Alcotest.test_case "ledger round trip" `Quick test_ledger_round_trip ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "slot keying" `Quick test_coverage_slot_keying;
+          Alcotest.test_case "merge and hex" `Quick test_coverage_merge_and_hex;
+          Alcotest.test_case "probe sink" `Quick test_coverage_attaches_to_probe;
+        ] );
       ( "overhead",
         [
           Alcotest.test_case "sinks do not perturb" `Quick

@@ -237,6 +237,7 @@ let test_ledger_schema_v2_round_trip () =
       attempts = 1;
       wall_s = 0.0;
       metrics = [ ("sched.aggregate_kops", 21.5) ];
+      data = [];
     }
   in
   let path = Filename.temp_file "sched-ledger" ".jsonl" in
