@@ -1,10 +1,12 @@
 .PHONY: build test check fmt-check sweep-smoke trace-smoke fault-smoke \
-	resume-smoke sched-smoke fuzz-smoke bench-engine clean
+	resume-smoke sched-smoke fuzz-smoke profile-smoke bench-engine \
+	bench-obs perf-check clean
 
 # The default verification bundle: tier-1 tests plus the end-to-end
-# trace-export, fault-injection, crash/resume, consolidation-scheduler
-# and fuzzing smoke runs.
-check: test trace-smoke fault-smoke resume-smoke sched-smoke fuzz-smoke
+# trace-export, fault-injection, crash/resume, consolidation-scheduler,
+# fuzzing and self-profiling smoke runs, and the perf envelope gate.
+check: test trace-smoke fault-smoke resume-smoke sched-smoke fuzz-smoke \
+	profile-smoke perf-check
 
 build:
 	dune build @all
@@ -115,11 +117,32 @@ fuzz-smoke: build
 	grep -q "kept=" _build/fuzz-smoke.out && ! grep -q "kept=0 " _build/fuzz-smoke.out
 	@echo "fuzz-smoke: corpus ledger byte-identical across jobs=1/2, no violations"
 
+# End-to-end exercise of the self-profiler: run the fig6 cpuid workload
+# with the profiler sink + dispatch observer armed, emit folded stacks,
+# and --validate them (non-empty, parseable, and exclusive-time totals
+# summing to the measured wall time within 5%; exit 1 otherwise).
+profile-smoke: build
+	dune exec bin/svt_sim.exe -- profile --mode sw-svt --level l2 \
+		--out _build/profile-smoke.folded --validate
+	@echo "profile-smoke: folded stacks at _build/profile-smoke.folded"
+
 # Engine/fuzz-harness throughput baseline: BENCH_engine.json records
 # events/sec and execs/sec on a fixed-seed batch so the perf trajectory
 # is visible across PRs (ROADMAP item 1).
 bench-engine: build
 	dune exec bench/main.exe -- engine
+
+# Self-profiling trajectory: BENCH_obs.json records events/sec on the
+# fig6 and consolidation workloads plus the armed-profiler overhead
+# ratio and allocated bytes per event.
+bench-obs: build
+	dune exec bench/main.exe -- profile
+
+# Gate BENCH_obs.json against the checked-in envelope: fail on a >30%
+# regression (throughput floors, overhead/allocation ceilings).
+# Regenerates BENCH_obs.json first so the gate always judges this tree.
+perf-check: build
+	dune exec bench/main.exe -- profile perf-check quick
 
 clean:
 	dune clean

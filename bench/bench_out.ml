@@ -1,0 +1,53 @@
+(* Shared writer for the BENCH_<section>.json perf-trajectory files.
+
+   Every perf section emits exactly one flat JSON object through here,
+   so the files share one shape ("bench" name first, then the section's
+   key/value pairs, one line, trailing newline) and stay parseable by
+   the repo's own Ledger.parse_json — which is what `bench perf-check`
+   and external trend tooling read them back with. *)
+
+type value = Int of int | Float of float | Str of string
+
+let add_escaped b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let add_value b = function
+  | Int n -> Buffer.add_string b (string_of_int n)
+  | Float f ->
+      if not (Float.is_finite f) then Buffer.add_string b "0"
+      else Buffer.add_string b (Printf.sprintf "%.6f" f)
+  | Str s ->
+      Buffer.add_char b '"';
+      add_escaped b s;
+      Buffer.add_char b '"'
+
+let path_of_section section = "BENCH_" ^ section ^ ".json"
+
+(* Write BENCH_<section>.json and return its path. *)
+let write ~section fields =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "{\"bench\":";
+  add_value b (Str section);
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b ",\"";
+      add_escaped b k;
+      Buffer.add_string b "\":";
+      add_value b v)
+    fields;
+  Buffer.add_string b "}\n";
+  let path = path_of_section section in
+  let oc = open_out path in
+  Buffer.output_buffer oc b;
+  close_out oc;
+  path

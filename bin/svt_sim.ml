@@ -312,6 +312,171 @@ let trace_cmd =
     Term.(const run $ mode_arg $ level_arg $ workload_arg $ vcpus_arg
           $ seed_arg $ out_arg $ validate_arg)
 
+(* ---- self-profiling ---- *)
+
+let profile_cmd =
+  let module Spec = Svt_campaign.Spec in
+  let module Runner = Svt_campaign.Runner in
+  let module Profiler = Svt_obs.Profiler in
+  let module Probe = Svt_obs.Probe in
+  let module Simulator = Svt_engine.Simulator in
+  let workload_arg =
+    Arg.(value & opt string "cpuid"
+         & info [ "w"; "workload" ] ~docv:"NAME"
+             ~doc:"Workload to profile (a campaign registry name: cpuid, rr, \
+                   stream, ioping, fio, etc, tpcc, video).")
+  in
+  let vcpus_arg =
+    Arg.(value & opt int 1 & info [ "vcpus" ] ~docv:"N" ~doc:"Guest vCPUs.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"Replication index.")
+  in
+  let format_arg =
+    Arg.(value & opt (enum [ ("folded", `Folded); ("table", `Table);
+                             ("json", `Json) ])
+           `Folded
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"Output format: folded (flamegraph.pl / inferno / \
+                   speedscope collapsed stacks), table (flat hot-path \
+                   table), or json (summary + full aggregate tree).")
+  in
+  let metric_arg =
+    Arg.(value & opt (enum [ ("time", Profiler.Mtime); ("alloc", Profiler.Malloc) ])
+           Profiler.Mtime
+         & info [ "metric" ] ~docv:"METRIC"
+             ~doc:"Folded-stacks value: time (exclusive nanoseconds) or \
+                   alloc (exclusive allocated bytes).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"PATH"
+             ~doc:"Write the formatted output to PATH instead of stdout \
+                   (summary then goes to stdout).")
+  in
+  let validate_arg =
+    Arg.(value & flag
+         & info [ "validate" ]
+             ~doc:"Check the profile invariants: folded output non-empty \
+                   and parseable, and the exclusive-time totals sum to the \
+                   measured wall time within 5%; exit 1 on failure.")
+  in
+  (* The folded format is consumed by external tools, so --validate
+     re-parses what we emit: every line must be "frame[;frame]* <int>". *)
+  let validate_folded prof =
+    let folded = Profiler.folded prof in
+    if String.trim folded = "" then begin
+      prerr_endline "profile: folded output is empty";
+      exit 1
+    end;
+    List.iteri
+      (fun i line ->
+        if String.trim line <> "" then
+          match String.rindex_opt line ' ' with
+          | None ->
+              Printf.eprintf "profile: folded line %d has no value: %S\n"
+                (i + 1) line;
+              exit 1
+          | Some sp -> (
+              let path = String.sub line 0 sp in
+              let value =
+                String.sub line (sp + 1) (String.length line - sp - 1)
+              in
+              match int_of_string_opt value with
+              | None | Some _ when path = "" ->
+                  Printf.eprintf "profile: folded line %d is malformed: %S\n"
+                    (i + 1) line;
+                  exit 1
+              | None ->
+                  Printf.eprintf "profile: folded line %d value %S is not \
+                                  an integer\n"
+                    (i + 1) value;
+                  exit 1
+              | Some _ -> ()))
+      (String.split_on_char '\n' folded);
+    let wall = Profiler.wall_s prof in
+    let excl = Profiler.exclusive_total_s prof in
+    let drift = if wall > 0.0 then abs_float (excl -. wall) /. wall else 0.0 in
+    if drift > 0.05 then begin
+      Printf.eprintf
+        "profile: exclusive totals %.6f s drift %.1f%% from wall %.6f s\n"
+        excl (100.0 *. drift) wall;
+      exit 1
+    end;
+    Printf.printf
+      "validated: %d folded paths, exclusive sum within %.2f%% of wall\n"
+      (List.length
+         (List.filter
+            (fun l -> String.trim l <> "")
+            (String.split_on_char '\n' folded)))
+      (100.0 *. drift)
+  in
+  let run mode level workload vcpus seed format metric out validate =
+    let p = Spec.point ~level ~workload ~vcpus ~seed mode in
+    let sys = Runner.make_system p in
+    let prof = Profiler.create () in
+    Probe.subscribe (System.probe sys) (Profiler.sink prof);
+    Simulator.set_observer (System.sim sys) (Some (Profiler.observer prof));
+    Profiler.start prof;
+    let metrics = Runner.workload_metrics p sys in
+    Profiler.stop prof;
+    let q = Simulator.queue_stats (System.sim sys) in
+    let extra =
+      [
+        ("queue_adds", float_of_int q.Svt_engine.Event_queue.adds);
+        ("queue_pops", float_of_int q.Svt_engine.Event_queue.pops);
+        ("queue_cancels", float_of_int q.Svt_engine.Event_queue.cancels);
+        ("queue_peak_live", float_of_int q.Svt_engine.Event_queue.peak_live);
+      ]
+      @ metrics
+    in
+    let output =
+      match format with
+      | `Folded -> Profiler.folded ~metric prof
+      | `Table -> Fmt.str "%a" (Profiler.pp_table ?limit:None) prof
+      | `Json -> Profiler.to_json ~extra prof
+    in
+    let summary ppf () =
+      Fmt.pf ppf
+        "%s at %s under %s: %.3f ms wall, %d spans, %d events, %.0f KB \
+         allocated (queue: %d adds, %d pops, peak %d live)"
+        workload (System.level_name level) (Mode.name mode)
+        (1e3 *. Profiler.wall_s prof)
+        (Profiler.spans prof) (Profiler.events prof)
+        (Profiler.allocated_bytes prof /. 1024.0)
+        q.Svt_engine.Event_queue.adds q.Svt_engine.Event_queue.pops
+        q.Svt_engine.Event_queue.peak_live
+    in
+    (match out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc output;
+        close_out oc;
+        Printf.printf "%s\nprofile -> %s\n" (Fmt.str "%a" summary ()) path
+    | None ->
+        print_string output;
+        if output <> "" && output.[String.length output - 1] <> '\n' then
+          print_newline ();
+        Printf.eprintf "%s\n" (Fmt.str "%a" summary ()));
+    if validate then validate_folded prof
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run a workload with the self-profiler attached and report \
+             where host time and allocation go, as folded stacks, a flat \
+             table, or JSON."
+       ~man:
+         [
+           `S Manpage.s_examples;
+           `P "svt_sim profile --mode sw-svt --level l2 -o profile.folded; \
+               then: flamegraph.pl profile.folded > profile.svg (or load \
+               the file in https://www.speedscope.app).";
+           `P "svt_sim profile --format table | head -30 shows the hot \
+               aggregate paths directly.";
+         ])
+    Term.(const run $ mode_arg $ level_arg $ workload_arg $ vcpus_arg
+          $ seed_arg $ format_arg $ metric_arg $ out_arg $ validate_arg)
+
 (* ---- campaign sweeps ---- *)
 
 let sweep_cmd =
@@ -397,11 +562,20 @@ let sweep_cmd =
              ~doc:"Pin the per-row wall_s field to 0 so two ledgers of the \
                    same campaign are byte-identical (used by resume-smoke).")
   in
+  let telemetry_every =
+    Arg.(value & opt int 0
+         & info [ "telemetry-every" ] ~docv:"N"
+             ~doc:"Stream a telemetry heartbeat row into the ledger every N \
+                   completed rows (0 = off): rows completed, per-status \
+                   counts, aggregate sim events, and wall-clock rates \
+                   unless --deterministic.")
+  in
   let quiet =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No stderr progress line.")
   in
   let run axes jobs retries timeout_s ledger resume max_rows checkpoint
-      quarantine_after max_sim_events max_sim_ms deterministic quiet =
+      quarantine_after max_sim_events max_sim_ms deterministic
+      telemetry_every quiet =
     match Spec.of_axes axes with
     | Error e ->
         Printf.eprintf "sweep: %s\n" e;
@@ -413,7 +587,7 @@ let sweep_cmd =
         let o =
           Campaign.execute ~jobs ~retries ?timeout_s ~quarantine_after
             ?max_rows ~checkpoint_every:checkpoint ~resume ~deterministic
-            ~progress:(not quiet) ~ledger
+            ~progress:(not quiet) ~ledger ~telemetry_every
             ~run:(fun p -> Runner.exec ~max_sim_events ?max_sim_time p)
             spec
         in
@@ -463,7 +637,7 @@ let sweep_cmd =
          ])
     Term.(const run $ axes $ jobs $ retries $ timeout_s $ ledger $ resume
           $ max_rows $ checkpoint $ quarantine_after $ max_sim_events
-          $ max_sim_ms $ deterministic $ quiet)
+          $ max_sim_ms $ deterministic $ telemetry_every $ quiet)
 
 let sweep_diff_cmd =
   let old_arg =
@@ -838,15 +1012,24 @@ let fuzz_cmd =
              ~doc:"Let the generator emit the bare HLT op (a guaranteed \
                    hang the deadlock detector must catch).")
   in
+  let telemetry_every_arg =
+    Arg.(value & opt int 0
+         & info [ "telemetry-every" ] ~docv:"N"
+             ~doc:"Add a telemetry heartbeat row to the ledger every N \
+                   rounds (0 = off). Heartbeats carry only deterministic \
+                   fields, so ledgers stay byte-identical across --jobs \
+                   and --resume.")
+  in
   let quiet_arg =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No stderr progress lines.")
   in
-  let run seed batch jobs ledger resume max_rounds budget allow_hlt quiet =
+  let run seed batch jobs ledger resume max_rounds budget allow_hlt
+      telemetry_every quiet =
     let gen_cfg = { Svt_fuzz.Gen.default with Svt_fuzz.Gen.allow_hlt } in
     let log = if quiet then fun _ -> () else prerr_endline in
     let stats =
-      Fuzz.campaign ~gen_cfg ~budget ~jobs ?ledger ~resume ?max_rounds ~log
-        ~seed:(Int64.of_int seed) ~batch ()
+      Fuzz.campaign ~gen_cfg ~budget ~jobs ?ledger ~resume ?max_rounds
+        ~telemetry_every ~log ~seed:(Int64.of_int seed) ~batch ()
     in
     (* the summary is part of the deterministic surface: no wall clock *)
     Printf.printf
@@ -876,7 +1059,7 @@ let fuzz_cmd =
          ])
     Term.(const run $ seed_arg $ batch_arg $ jobs_arg $ ledger_arg
           $ resume_arg $ max_rounds_arg $ budget_arg $ allow_hlt_arg
-          $ quiet_arg)
+          $ telemetry_every_arg $ quiet_arg)
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))
@@ -890,5 +1073,6 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ cpuid_cmd; rr_cmd; stream_cmd; ioping_cmd; fio_cmd; etc_cmd;
-            tpcc_cmd; video_cmd; trace_cmd; sweep_cmd; sweep_diff_cmd;
-            faults_cmd; fuzz_cmd; sched_cmd; blocked_demo_cmd ]))
+            tpcc_cmd; video_cmd; trace_cmd; profile_cmd; sweep_cmd;
+            sweep_diff_cmd; faults_cmd; fuzz_cmd; sched_cmd;
+            blocked_demo_cmd ]))

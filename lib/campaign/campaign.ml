@@ -93,7 +93,9 @@ let is_fatal = function Simulator.Budget_exhausted _ -> true | _ -> false
 let execute ?jobs ?retries ?timeout_s ?quarantine_after ?max_rows
     ?(checkpoint_every = 1) ?(resume = false) ?(deterministic = false)
     ?(progress = false) ?(progress_label = "sweep") ?ledger
+    ?(telemetry_every = 0) ?(telemetry_source = "sweep")
     ?(run = fun p -> Runner.exec p) spec =
+  let module Telemetry = Svt_obs.Telemetry in
   let points = Array.of_list (Spec.dedup spec) in
   let t0 = Unix.gettimeofday () in
   let entry_of_result r =
@@ -125,12 +127,16 @@ let execute ?jobs ?retries ?timeout_s ?quarantine_after ?max_rows
              | _ -> ())
            points
      | _ -> ());
-  let todo =
-    Array.of_list
-      (List.filter
-         (fun p -> not (Hashtbl.mem reused_ok (Spec.run_id p)))
-         (Array.to_list points))
+  (* [todo_pos.(i)] is the spec-order position of [todo.(i)] in
+     [points]; the telemetry frontier below needs it. *)
+  let todo_pos =
+    let l = ref [] in
+    Array.iteri
+      (fun i p -> if not (Hashtbl.mem reused_ok (Spec.run_id p)) then l := i :: !l)
+      points;
+    Array.of_list (List.rev !l)
   in
+  let todo = Array.map (fun i -> points.(i)) todo_pos in
   (* ---- journal: reused rows first (atomically), then append ---- *)
   let journal =
     Option.map
@@ -157,9 +163,80 @@ let execute ?jobs ?retries ?timeout_s ?quarantine_after ?max_rows
       Some (Progress.create ~label:progress_label ~total:(Array.length todo) ())
     else None
   in
+  (* ---- telemetry heartbeats (opt-in): one row per [telemetry_every]
+     points completed *in spec order*. Completion order varies with the
+     worker count, so results are folded into the campaign-local
+     registry along the spec-order frontier — heartbeat k is a pure
+     function of the first k*[telemetry_every] points' results, which
+     makes the health trace byte-identical across --jobs counts and
+     across interrupted/resumed runs (reused rows pre-fill the
+     frontier). Heartbeats are kept aside so the clean-completion
+     rewrite retains them. The deterministic path emits only fields
+     driven by the row stream; wall-clock rates are added otherwise. *)
+  let telem = Telemetry.create () in
+  let hb_seq = ref 0 in
+  let heartbeats = ref [] in
+  let heartbeat () =
+    let seq = !hb_seq in
+    incr hb_seq;
+    let metrics =
+      Telemetry.snapshot telem
+      @
+      if deterministic then []
+      else
+        let elapsed = Unix.gettimeofday () -. t0 in
+        let rows = float_of_int (Telemetry.counter telem "rows") in
+        let events = Telemetry.gauge telem "sim_events" in
+        let rate x = if elapsed > 0. then x /. elapsed else 0.0 in
+        [
+          ("elapsed_s", elapsed);
+          ("rows_per_sec", rate rows);
+          ("events_per_sec", rate events);
+        ]
+    in
+    let e = Heartbeat.entry ~source:telemetry_source ~seq metrics in
+    heartbeats := e :: !heartbeats;
+    Option.iter (fun j -> Journal.append j e) journal
+  in
+  let hb_buf = Array.make (max 1 (Array.length points)) None in
+  let hb_frontier = ref 0 in
+  let hb_fold (r : Runner.result) =
+    Telemetry.incr telem "rows";
+    Telemetry.incr telem (Runner.status_name r.Runner.status);
+    (match List.assoc_opt "sim_events" r.Runner.metrics with
+    | Some v ->
+        Telemetry.set telem "sim_events" (Telemetry.gauge telem "sim_events" +. v)
+    | None -> ());
+    if Telemetry.counter telem "rows" mod telemetry_every = 0 then heartbeat ()
+  in
+  let hb_drain () =
+    while
+      !hb_frontier < Array.length points
+      && hb_buf.(!hb_frontier) <> None
+    do
+      (match hb_buf.(!hb_frontier) with Some r -> hb_fold r | None -> ());
+      incr hb_frontier
+    done
+  in
+  if telemetry_every > 0 then begin
+    (* Reused rows seed the frontier, so a fully- or partially-resumed
+       campaign regenerates the same heartbeats the uninterrupted run
+       emitted over that prefix. *)
+    Array.iteri
+      (fun i p ->
+        match Hashtbl.find_opt reused_ok (Spec.run_id p) with
+        | Some e -> hb_buf.(i) <- Some (result_of_reused e)
+        | None -> ())
+      points;
+    hb_drain ()
+  end;
   let on_result ~index (o : (string * float) list Pool.outcome) =
     let r = result_of_outcome todo.(index) o in
     Option.iter (fun j -> Journal.append j (entry_of_result r)) journal;
+    if telemetry_every > 0 then begin
+      hb_buf.(todo_pos.(index)) <- Some r;
+      hb_drain ()
+    end;
     Option.iter
       (fun p -> Progress.step p ~ok:(r.Runner.status = Runner.Run_ok))
       prog
@@ -193,7 +270,10 @@ let execute ?jobs ?retries ?timeout_s ?quarantine_after ?max_rows
      every row, spec order, atomically swapped in. *)
   (match ledger with
   | Some path when not interrupted ->
-      Journal.rewrite path (List.map entry_of_result results)
+      (* Heartbeats survive the canonicalising rewrite: result rows in
+         spec order first, then the health trace in emission order. *)
+      Journal.rewrite path
+        (List.map entry_of_result results @ List.rev !heartbeats)
   | _ -> ());
   let count f = List.length (List.filter f results) in
   let status_is s (r : Runner.result) = Runner.status_name r.Runner.status = s in

@@ -44,6 +44,8 @@ val execute :
   ?progress:bool ->
   ?progress_label:string ->
   ?ledger:string ->
+  ?telemetry_every:int ->
+  ?telemetry_source:string ->
   ?run:(Spec.point -> (string * float) list) ->
   Spec.t ->
   outcome
@@ -62,7 +64,15 @@ val execute :
     so two ledgers of the same campaign are byte-identical.
     {!Svt_engine.Simulator.Budget_exhausted} from the run function is
     fatal (never retried) and becomes a [timeout] row carrying the fuel
-    counters as metrics. *)
+    counters as metrics.
+
+    [telemetry_every = n] (default 0 = off) journals a {!Heartbeat} row
+    after every [n] completed rows: a snapshot of a campaign-local
+    {!Svt_obs.Telemetry} registry (rows completed, per-status counts,
+    aggregate sim events), plus wall-clock rates unless
+    [deterministic]. Heartbeats are retained by the clean-completion
+    rewrite, appended after the result rows, and marked with
+    [telemetry_source] (default ["sweep"]) in the row's [data] field. *)
 
 val summary_table : outcome -> Svt_stats.Table.t
 (** One row per run: run_id, point, status, headline metric, wall. *)

@@ -1,0 +1,32 @@
+(* Telemetry heartbeat rows: periodic health snapshots that long
+   campaigns stream into their own JSONL ledger, using the same
+   extension mechanism as the fuzz corpus — a reserved workload name
+   plus a [data] marker. Ordinary ledger machinery handles them for
+   free: they CRC, journal, and salvage through [Ledger.recover] like
+   any row; sweep resume ignores them (their run_ids never match a spec
+   point) and [Corpus.classify] skips them (unknown workload -> Ok
+   None). wall_s is pinned to 0.0 — everything wall-clock-derived lives
+   in the metrics snapshot, where the deterministic paths simply omit
+   it. *)
+
+let workload = "telemetry"
+
+let point ~seq = Spec.point ~workload ~seed:seq Svt_core.Mode.Baseline
+
+let entry ~source ~seq metrics =
+  let p = point ~seq in
+  {
+    Ledger.run_id = Spec.run_id p;
+    point = p;
+    status = "ok";
+    error = None;
+    attempts = 1;
+    wall_s = 0.0;
+    metrics;
+    data = [ ("telemetry", source) ];
+  }
+
+let is_heartbeat (e : Ledger.entry) = e.Ledger.point.Spec.workload = workload
+
+let source (e : Ledger.entry) =
+  if is_heartbeat e then List.assoc_opt "telemetry" e.Ledger.data else None

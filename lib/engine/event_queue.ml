@@ -17,10 +17,27 @@ type t = {
   mutable size : int;
   mutable next_seq : int;
   mutable live : int; (* entries not cancelled *)
+  (* Op counters for the engine-level profiler probe points. Plain ints
+     driven only by the (deterministic) event stream, so they are free
+     to read at any point and identical across hosts and worker
+     interleavings. *)
+  mutable adds : int;
+  mutable pops : int;
+  mutable cancels : int;
+  mutable peak_live : int;
 }
 
+(* Lifetime op counts and high-water mark of a queue. *)
+type stats = { adds : int; pops : int; cancels : int; peak_live : int }
+
 let dummy_entry = { time = 0; seq = -1; run = ignore; cancelled = true }
-let create () = { heap = Array.make 64 dummy_entry; size = 0; next_seq = 0; live = 0 }
+
+let create () =
+  { heap = Array.make 64 dummy_entry; size = 0; next_seq = 0; live = 0;
+    adds = 0; pops = 0; cancels = 0; peak_live = 0 }
+
+let stats (q : t) =
+  { adds = q.adds; pops = q.pops; cancels = q.cancels; peak_live = q.peak_live }
 
 let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
@@ -59,13 +76,16 @@ let add q ~time run =
   q.heap.(q.size) <- e;
   q.size <- q.size + 1;
   q.live <- q.live + 1;
+  q.adds <- q.adds + 1;
+  if q.live > q.peak_live then q.peak_live <- q.live;
   sift_up q (q.size - 1);
   e
 
 let cancel q e =
   if not e.cancelled then begin
     e.cancelled <- true;
-    q.live <- q.live - 1
+    q.live <- q.live - 1;
+    q.cancels <- q.cancels + 1
   end
 
 let is_cancelled e = e.cancelled
@@ -92,6 +112,7 @@ let rec pop q =
   | Some e ->
       e.cancelled <- true;
       q.live <- q.live - 1;
+      q.pops <- q.pops + 1;
       Some (e.time, e.run)
 
 let rec peek_time q =

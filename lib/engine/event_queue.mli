@@ -6,7 +6,16 @@
 type t
 type handle
 
+(** Lifetime op counts of a queue: enqueues, live (non-cancelled) pops,
+    cancellations, and the high-water mark of live entries. Driven only
+    by the deterministic event stream — identical across hosts and
+    worker interleavings — so the profiler may read them freely without
+    perturbing anything. *)
+type stats = { adds : int; pops : int; cancels : int; peak_live : int }
+
 val create : unit -> t
+
+val stats : t -> stats
 
 val add : t -> time:Time.t -> (unit -> unit) -> handle
 (** Enqueue [run] to fire at [time]. *)

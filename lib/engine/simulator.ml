@@ -8,6 +8,16 @@
    resume function. Only one process runs at a time and control transfers
    happen exclusively at these points, so simulations are deterministic. *)
 
+(* Host-side dispatch hooks for the self-profiler: called around every
+   event callback when installed. Observers must not touch virtual time
+   or the queue — they exist to let a profiler segment host wall-clock
+   and allocation between "inside an event" and "engine bookkeeping".
+   The None state costs one match per event. *)
+type observer = {
+  on_event_start : unit -> unit;
+  on_event_end : unit -> unit;
+}
+
 type t = {
   mutable now : Time.t;
   queue : Event_queue.t;
@@ -16,6 +26,7 @@ type t = {
   mutable spawned : int;
   mutable budget_events : int option;
   mutable budget_time : Time.t option;
+  mutable observer : observer option;
 }
 
 type sim = t
@@ -51,9 +62,11 @@ type _ Effect.t +=
 let create () =
   { now = Time.zero; queue = Event_queue.create (); error = None;
     events_processed = 0; spawned = 0; budget_events = None;
-    budget_time = None }
+    budget_time = None; observer = None }
 
 let now t = t.now
+let set_observer t ob = t.observer <- ob
+let queue_stats t = Event_queue.stats t.queue
 
 let set_budget ?max_events ?max_time t =
   (match max_events with
@@ -133,7 +146,17 @@ let step t =
   | Some (time, run) ->
       t.now <- time;
       t.events_processed <- t.events_processed + 1;
-      run ();
+      (match t.observer with
+      | None -> run ()
+      | Some ob -> (
+          ob.on_event_start ();
+          (* the end hook fires even when the callback raises, so the
+             profiler's in-event segmentation cannot wedge open *)
+          match run () with
+          | () -> ob.on_event_end ()
+          | exception e ->
+              ob.on_event_end ();
+              raise e));
       (match t.error with Some e -> raise e | None -> ());
       true
 

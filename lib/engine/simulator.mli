@@ -24,8 +24,28 @@ exception Budget_exhausted of { events : int; now : Time.t; fuel : fuel }
     is cut at the same virtual instant on every machine. The payload is
     the run's fuel counters at the point of exhaustion. *)
 
+(** Host-side dispatch hooks, called around every event callback while
+    installed. Observers run on the host only: they must not schedule,
+    cancel, or advance virtual time, so installing one can never change
+    simulation results. Used by the self-profiler to segment host
+    wall-clock and allocation between in-event work and engine
+    bookkeeping. *)
+type observer = {
+  on_event_start : unit -> unit;
+  on_event_end : unit -> unit;  (** fires even when the callback raises *)
+}
+
 val create : unit -> t
 val now : t -> Time.t
+
+val set_observer : t -> observer option -> unit
+(** Install (or clear) the dispatch observer. The [None] state costs one
+    match per event. *)
+
+val queue_stats : t -> Event_queue.stats
+(** Lifetime op counters of the event queue (adds / pops / cancels /
+    peak live size). Deterministic: a pure function of the event
+    stream. *)
 
 val set_budget : ?max_events:int -> ?max_time:Time.t -> t -> unit
 (** Install a run budget: processing more than [max_events] events, or

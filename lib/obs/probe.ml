@@ -38,14 +38,24 @@ let span t kind ~vcpu ~level ?(core = -1) ?(ctx = -1) ?(tags = []) ~start () =
     emit t { Span.kind; vcpu; level; core; ctx; start; stop = t.clock (); tags }
 
 (* Run [f] inside a span of [kind]; tags are computed only on emission so
-   the off path pays nothing but the branch. *)
+   the off path pays nothing but the branch. Exception-safe: a raising
+   thunk still emits its span — tagged ["error"] — before the exception
+   continues, so faulted and fuzzed paths appear in traces and profiles
+   instead of silently vanishing. *)
 let wrap t kind ~vcpu ~level ?(core = -1) ?(ctx = -1) ?(tags = fun () -> []) f =
   if not (is_on t) then f ()
   else begin
     let start = t.clock () in
-    let result = f () in
-    emit t
-      { Span.kind; vcpu; level; core; ctx; start; stop = t.clock ();
-        tags = tags () };
-    result
+    match f () with
+    | result ->
+        emit t
+          { Span.kind; vcpu; level; core; ctx; start; stop = t.clock ();
+            tags = tags () };
+        result
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        emit t
+          { Span.kind; vcpu; level; core; ctx; start; stop = t.clock ();
+            tags = ("error", Printexc.to_string e) :: tags () };
+        Printexc.raise_with_backtrace e bt
   end

@@ -62,4 +62,8 @@ val wrap :
   ?tags:(unit -> (string * string) list) ->
   (unit -> 'a) ->
   'a
-(** Run the thunk inside a span; [tags] is only evaluated on emission. *)
+(** Run the thunk inside a span; [tags] is only evaluated on emission.
+    If the thunk raises, the span is still emitted — with an ["error"]
+    tag holding [Printexc.to_string] of the exception, prepended to the
+    computed tags — and the exception is re-raised with its original
+    backtrace. *)

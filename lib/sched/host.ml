@@ -119,6 +119,12 @@ let rounds t = t.rounds
 let obs t = t.recorder
 let n_tenants t = t.n_tenants
 
+let events t =
+  List.fold_left
+    (fun acc tn ->
+      acc + Svt_engine.Simulator.events_processed (System.sim tn.sys))
+    0 t.tenants
+
 (* ---- admission ---- *)
 
 (* Host-level feasibility, in System.Config's error vocabulary: the gang

@@ -98,6 +98,11 @@ val now : t -> Svt_engine.Time.t
 val rounds : t -> int
 val n_tenants : t -> int
 
+val events : t -> int
+(** Simulator events processed so far, summed over every tenant stack —
+    the whole-host work denominator the bench harness rates against
+    wall clock. *)
+
 val obs : t -> Svt_obs.Recorder.t
 (** The host's own recorder: [Sched_slice] spans tagged with the
     hardware thread ([core]/[ctx]) of every granted slice land here —

@@ -635,6 +635,104 @@ let test_fuel_budget_cuts_hung_workload () =
   checkb "budget recorded" true
     (List.assoc "budget.max_events" r.Runner.metrics = 20_000.0)
 
+(* --- Telemetry heartbeats in the ledger ----------------------------------- *)
+
+module Heartbeat = Svt_campaign.Heartbeat
+
+(* Heartbeat rows are ordinary ledger entries (workload "telemetry") and
+   must survive the same crash-recovery path as result rows: write a mix
+   of run rows and heartbeats, tear the journal mid-line, and require
+   [Ledger.recover] to hand back every heartbeat whose line text survived
+   the cut — with source tag and metric payload intact. *)
+let test_heartbeat_recover_torn_journal () =
+  let path = temp_ledger () in
+  Sys.remove path;
+  let runs = List.map Ledger.entry_of_result (sample_results ()) in
+  let hb seq =
+    Heartbeat.entry ~source:"sweep" ~seq
+      [ ("rows", float_of_int (seq * 10)); ("ok", float_of_int (seq * 9)) ]
+  in
+  (* run; hb 0; run; hb 1 — heartbeats interleave with result rows. *)
+  let entries =
+    match runs with
+    | [ a; b ] -> [ a; hb 0; b; hb 1 ]
+    | _ -> Alcotest.fail "expected 2 sample results"
+  in
+  Journal.rewrite path entries;
+  (* Clean recovery first: both heartbeats parse back and identify. *)
+  let r = Ledger.recover path in
+  checki "all rows salvaged" 4 r.Ledger.salvaged;
+  let hbs = List.filter Heartbeat.is_heartbeat r.Ledger.entries in
+  checki "both heartbeats identified" 2 (List.length hbs);
+  List.iteri
+    (fun i (e : Ledger.entry) ->
+      checkb "source tag survives" true (Heartbeat.source e = Some "sweep");
+      checki "seq carried in seed" i e.Ledger.point.Spec.seed;
+      checkb "metrics survive" true
+        (Ledger.metric e "rows" = float_of_int (i * 10)
+        && Ledger.metric e "ok" = float_of_int (i * 9)))
+    hbs;
+  checkb "run rows not misclassified" true
+    (not (List.exists Heartbeat.is_heartbeat runs));
+  (* Tear the final heartbeat's line mid-row, as a crash would. *)
+  let bytes = read_file path in
+  let oc = open_out_bin path in
+  output_string oc (String.sub bytes 0 (String.length bytes - 9));
+  close_out oc;
+  let r = Ledger.recover path in
+  checki "torn row dropped, prefix kept" 3 r.Ledger.salvaged;
+  checkb "damage reported" true (r.Ledger.dropped_bytes > 0);
+  (match List.filter Heartbeat.is_heartbeat r.Ledger.entries with
+  | [ survivor ] ->
+      checkb "surviving heartbeat intact" true
+        (Heartbeat.source survivor = Some "sweep"
+        && Ledger.metric survivor "rows" = 0.0)
+  | hbs ->
+      Alcotest.fail
+        (Printf.sprintf "expected 1 surviving heartbeat, got %d"
+           (List.length hbs)));
+  Sys.remove path
+
+(* End-to-end: a deterministic sweep with --telemetry-every emits
+   heartbeat rows into the ledger, and the canonical clean-completion
+   rewrite keeps them after the result rows. *)
+let test_campaign_emits_heartbeats () =
+  let spec =
+    Spec.cartesian ~modes:[ Mode.Baseline; Mode.Hw_svt ] ~seeds:[ 0; 1 ] ()
+  in
+  let path = temp_ledger () in
+  Sys.remove path;
+  let o =
+    Campaign.execute ~jobs:1 ~deterministic:true ~ledger:path
+      ~telemetry_every:2 ~run:det_run spec
+  in
+  checki "all ok" 4 o.Campaign.ok;
+  (match Ledger.load path with
+  | Error e -> Alcotest.fail e
+  | Ok rows ->
+      let hbs, results = List.partition Heartbeat.is_heartbeat rows in
+      checki "result rows" 4 (List.length results);
+      checki "one heartbeat per 2 rows" 2 (List.length hbs);
+      List.iter
+        (fun (e : Ledger.entry) ->
+          checkb "tagged as sweep telemetry" true
+            (Heartbeat.source e = Some "sweep");
+          checkb "counts rows" true (Ledger.metric e "rows" > 0.0);
+          checkb "deterministic: no wall-clock fields" true
+            (Float.is_nan (Ledger.metric e "elapsed_s")))
+        hbs);
+  (* Heartbeats fold results along the spec-order frontier, so the
+     health trace must not depend on the worker count. *)
+  let path2 = temp_ledger () in
+  Sys.remove path2;
+  let _ =
+    Campaign.execute ~jobs:2 ~deterministic:true ~ledger:path2
+      ~telemetry_every:2 ~run:det_run spec
+  in
+  checks "heartbeats identical across jobs" (read_file path) (read_file path2);
+  Sys.remove path2;
+  Sys.remove path
+
 (* --- end-to-end: sweep writes a ledger the reader accepts ---------------- *)
 
 let test_campaign_writes_ledger () =
@@ -695,6 +793,13 @@ let () =
             test_resume_survives_torn_tail;
           Alcotest.test_case "fuel budget cuts hung workload" `Quick
             test_fuel_budget_cuts_hung_workload;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "heartbeats recover from torn journal" `Quick
+            test_heartbeat_recover_torn_journal;
+          Alcotest.test_case "sweep emits heartbeat rows" `Quick
+            test_campaign_emits_heartbeats;
         ] );
       ( "ledger",
         [

@@ -334,6 +334,203 @@ let test_null_sink_overhead () =
     true
     (null_sink <= (disarmed *. 1.05) +. 0.005)
 
+(* --- wrap exception safety ----------------------------------------------- *)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_wrap_exception_safe () =
+  let p = Probe.create ~clock:(fun () -> Time.zero) () in
+  let seen = ref [] in
+  Probe.subscribe p (fun s -> seen := s :: !seen);
+  let raised =
+    try
+      ignore
+        (Probe.wrap p Span.Vm_exit ~vcpu:0 ~level:2
+           ~tags:(fun () -> [ ("reason", "cpuid") ])
+           (fun () -> failwith "boom")
+          : int);
+      false
+    with Failure m -> m = "boom"
+  in
+  checkb "exception re-raised" true raised;
+  checki "span still emitted" 1 (List.length !seen);
+  let s = List.hd !seen in
+  checkb "kind preserved" true (s.Span.kind = Span.Vm_exit);
+  (match Span.tag s "error" with
+  | Some e ->
+      checkb "error tag carries the exception" true
+        (contains e "boom")
+  | None -> Alcotest.fail "no error tag on the span");
+  checkb "computed tags still present" true
+    (Span.tag s "reason" = Some "cpuid")
+
+(* --- self-profiler (deterministic fake clocks) --------------------------- *)
+
+module Profiler = Svt_obs.Profiler
+module Simulator = Svt_engine.Simulator
+
+let timed_span ?(tags = []) ~start ~stop kind =
+  {
+    Span.kind;
+    vcpu = 0;
+    level = 2;
+    core = -1;
+    ctx = -1;
+    start = Time.of_ns start;
+    stop = Time.of_ns stop;
+    tags;
+  }
+
+let find_row prof path =
+  match List.find_opt (fun r -> r.Profiler.path = path) (Profiler.rows prof) with
+  | Some r -> r
+  | None ->
+      Alcotest.fail
+        (Printf.sprintf "no row %s (have: %s)" path
+           (String.concat " | "
+              (List.map (fun r -> r.Profiler.path) (Profiler.rows prof))))
+
+let checkf = Alcotest.(check (float 1e-9))
+
+let test_profiler_attribution () =
+  let now = ref 0.0 and words = ref 0.0 in
+  let prof =
+    Profiler.create ~clock:(fun () -> !now) ~words:(fun () -> !words) ()
+  in
+  Profiler.start prof;
+  (* child closes first (post-order): 10 us of host work, 100 words *)
+  now := 10e-6;
+  words := 100.0;
+  Profiler.sink prof
+    (timed_span Span.Vmcs_transform ~start:100 ~stop:200
+       ~tags:[ ("leg", "entry") ]);
+  (* the enclosing vm-exit closes 5 us later and adopts the child *)
+  now := 15e-6;
+  words := 140.0;
+  Profiler.sink prof
+    (timed_span Span.Vm_exit ~start:0 ~stop:500 ~tags:[ ("reason", "cpuid") ]);
+  (* trailing host work before stop lands under engine;other *)
+  now := 18e-6;
+  words := 150.0;
+  Profiler.stop prof;
+  checkf "wall" 18e-6 (Profiler.wall_s prof);
+  checkf "exclusive totals telescope to wall" (Profiler.wall_s prof)
+    (Profiler.exclusive_total_s prof);
+  checki "spans" 2 (Profiler.spans prof);
+  let child = find_row prof "vcpu0;vm-exit:cpuid;vmcs-transform:entry" in
+  checkf "child exclusive ns" 10_000.0 child.Profiler.excl_ns;
+  checkf "child exclusive bytes"
+    (100.0 *. float_of_int (Sys.word_size / 8))
+    child.Profiler.excl_bytes;
+  checki "child calls" 1 child.Profiler.calls;
+  let parent = find_row prof "vcpu0;vm-exit:cpuid" in
+  checkf "parent exclusive ns" 5_000.0 parent.Profiler.excl_ns;
+  checkf "parent inclusive ns" 15_000.0 parent.Profiler.incl_ns;
+  let other = find_row prof "engine;other" in
+  checkf "trailing segment" 3_000.0 other.Profiler.excl_ns;
+  (* folded output: child nested under parent, exclusive integer values *)
+  let folded = Profiler.folded prof in
+  checkb "folded parent line" true
+    (contains folded "vcpu0;vm-exit:cpuid 5000\n");
+  checkb "folded child line" true
+    (contains folded
+       "vcpu0;vm-exit:cpuid;vmcs-transform:entry 10000\n");
+  let alloc = Profiler.folded ~metric:Profiler.Malloc prof in
+  checkb "alloc folded child line" true
+    (contains alloc
+       (Printf.sprintf "vcpu0;vm-exit:cpuid;vmcs-transform:entry %d\n"
+          (100 * (Sys.word_size / 8))))
+
+let test_profiler_engine_buckets () =
+  let now = ref 0.0 in
+  let prof =
+    Profiler.create ~clock:(fun () -> !now) ~words:(fun () -> 0.0) ()
+  in
+  let ob = Profiler.observer prof in
+  Profiler.start prof;
+  now := 2e-6;
+  ob.Simulator.on_event_start ();
+  now := 5e-6;
+  ob.Simulator.on_event_end ();
+  now := 6e-6;
+  Profiler.stop prof;
+  checki "events counted" 1 (Profiler.events prof);
+  checkf "queue bucket" 2_000.0 (find_row prof "engine;queue").Profiler.excl_ns;
+  checkf "dispatch bucket" 3_000.0
+    (find_row prof "engine;dispatch").Profiler.excl_ns;
+  checkf "other bucket" 1_000.0 (find_row prof "engine;other").Profiler.excl_ns;
+  checkf "telescopes" (Profiler.wall_s prof) (Profiler.exclusive_total_s prof)
+
+let test_profiler_does_not_perturb () =
+  let bare, _ = run_with (fun _ -> ()) in
+  let prof = Profiler.create () in
+  let observed, _ =
+    run_with (fun sys ->
+        Probe.subscribe (System.probe sys) (Profiler.sink prof);
+        Simulator.set_observer (System.sim sys)
+          (Some (Profiler.observer prof));
+        Profiler.start prof)
+  in
+  Profiler.stop prof;
+  checki "same metric count" (List.length bare) (List.length observed);
+  List.iter2
+    (fun (k, v) (k', v') ->
+      Alcotest.(check string) "metric name" k k';
+      checkb (k ^ " bit-identical under profiler") true (Float.equal v v'))
+    bare observed;
+  checkb "profiler saw spans" true (Profiler.spans prof > 0);
+  checkb "profiler saw events" true (Profiler.events prof > 0);
+  (* the --validate invariant, on a real run *)
+  let wall = Profiler.wall_s prof in
+  let drift = abs_float (Profiler.exclusive_total_s prof -. wall) /. wall in
+  checkb
+    (Printf.sprintf "exclusive sum within 5%% of wall (drift %.4f)" drift)
+    true (drift <= 0.05)
+
+(* Active-sink allocation budget (Gc.quick_stat deltas): with a counting
+   sink subscribed the probe must build real spans, but the per-span
+   construction cost has a hard ceiling. The workload is deterministic,
+   and so is its allocation — only the sink delta is under test. The
+   budget is the checked-in guard: ~5.2 KB/span today (span record plus
+   the instrumentation sites' tag formatting, which only runs when a
+   sink is armed), failing if a change makes arming a sink more than
+   ~1.5x costlier per span. *)
+let alloc_budget_bytes_per_span = 8192.0
+
+let test_counting_sink_alloc_budget () =
+  let alloc_of prepare =
+    let sys = Runner.make_system point in
+    let counted = prepare sys in
+    let g0 = Gc.quick_stat () in
+    ignore (Runner.workload_metrics point sys : (string * float) list);
+    let g1 = Gc.quick_stat () in
+    let words =
+      g1.Gc.minor_words -. g0.Gc.minor_words
+      +. (g1.Gc.major_words -. g0.Gc.major_words)
+      -. (g1.Gc.promoted_words -. g0.Gc.promoted_words)
+    in
+    (words *. float_of_int (Sys.word_size / 8), counted)
+  in
+  ignore (alloc_of (fun _ -> ref 0)) (* warm-up *);
+  let bare_bytes, _ = alloc_of (fun _ -> ref 0) in
+  let sink_bytes, counted =
+    alloc_of (fun sys ->
+        let n = ref 0 in
+        Probe.subscribe (System.probe sys) (fun _ -> incr n);
+        n)
+  in
+  checkb "sink saw spans" true (!counted > 0);
+  let per_span = (sink_bytes -. bare_bytes) /. float_of_int !counted in
+  checkb
+    (Printf.sprintf
+       "active sink allocates %.0f B/span (budget %.0f; %d spans)" per_span
+       alloc_budget_bytes_per_span !counted)
+    true
+    (per_span <= alloc_budget_bytes_per_span)
+
 let () =
   Alcotest.run "obs"
     [
@@ -366,5 +563,20 @@ let () =
             test_sinks_do_not_perturb;
           Alcotest.test_case "null sink overhead" `Quick
             test_null_sink_overhead;
+          Alcotest.test_case "counting-sink alloc budget" `Quick
+            test_counting_sink_alloc_budget;
+        ] );
+      ( "wrap",
+        [
+          Alcotest.test_case "exception-safe" `Quick test_wrap_exception_safe;
+        ] );
+      ( "profiler",
+        [
+          Alcotest.test_case "segment attribution" `Quick
+            test_profiler_attribution;
+          Alcotest.test_case "engine buckets" `Quick
+            test_profiler_engine_buckets;
+          Alcotest.test_case "does not perturb" `Quick
+            test_profiler_does_not_perturb;
         ] );
     ]

@@ -11,6 +11,7 @@ module Sampler = Svt_stats.Sampler
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
 let checkf msg = Alcotest.(check (float 1e-6)) msg
+let checks = Alcotest.(check string)
 
 (* --- Summary ------------------------------------------------------------- *)
 
@@ -168,6 +169,61 @@ let test_metrics_reset () =
   Metrics.reset m;
   checki "cleared" 0 (Metrics.counter m "x")
 
+(* time_share against a zero-length whole must be 0.0, never a division
+   by zero — the hypervisor computes shares before any time may have
+   been charged. *)
+let test_metrics_time_share_zero_whole () =
+  let m = Metrics.create () in
+  Metrics.add_time m "ept" (Svt_engine.Time.of_us 30);
+  checkf "zero whole" 0.0
+    (Metrics.time_share m "ept" ~whole:Svt_engine.Time.zero);
+  checkf "unknown timer, nonzero whole" 0.0
+    (Metrics.time_share m "nope" ~whole:(Svt_engine.Time.of_us 10))
+
+(* A reset table must accept fresh charges: the old refs are gone, new
+   names re-register from zero on both the counter and timer sides. *)
+let test_metrics_reset_then_reuse () =
+  let m = Metrics.create () in
+  Metrics.incr ~by:3 m "exits";
+  Metrics.add_time m "ept" (Svt_engine.Time.of_us 5);
+  Metrics.reset m;
+  checki "timer cleared" (Svt_engine.Time.to_ns Svt_engine.Time.zero)
+    (Svt_engine.Time.to_ns (Metrics.time m "ept"));
+  Metrics.incr m "exits";
+  Metrics.add_time m "ept" (Svt_engine.Time.of_us 2);
+  checki "counter restarts from zero" 1 (Metrics.counter m "exits");
+  checki "timer restarts from zero" (Svt_engine.Time.to_ns (Svt_engine.Time.of_us 2))
+    (Svt_engine.Time.to_ns (Metrics.time m "ept"));
+  checki "total follows" (Svt_engine.Time.to_ns (Svt_engine.Time.of_us 2))
+    (Svt_engine.Time.to_ns (Metrics.total_time m))
+
+(* Reads of never-registered names are total and must not register the
+   name as a side effect (counter/time are pure observers). *)
+let test_metrics_unknown_reads () =
+  let m = Metrics.create () in
+  checki "unknown counter" 0 (Metrics.counter m "ghost");
+  checki "unknown timer" 0 (Svt_engine.Time.to_ns (Metrics.time m "ghost"));
+  checki "reads registered nothing" 0 (List.length (Metrics.counters m));
+  checki "no timers either" 0 (List.length (Metrics.times m))
+
+(* pp output is deterministic: insertion order must not leak through
+   (listings sort by name), and re-rendering the same table is stable. *)
+let test_metrics_pp_stable () =
+  let render m = Fmt.str "%a" Metrics.pp m in
+  let m1 = Metrics.create () in
+  Metrics.incr m1 "b-exit";
+  Metrics.incr m1 "a-exit";
+  Metrics.add_time m1 "z-timer" (Svt_engine.Time.of_us 1);
+  let m2 = Metrics.create () in
+  Metrics.add_time m2 "z-timer" (Svt_engine.Time.of_us 1);
+  Metrics.incr m2 "a-exit";
+  Metrics.incr m2 "b-exit";
+  checks "order-independent" (render m1) (render m2);
+  checks "re-render stable" (render m1) (render m1);
+  (match Metrics.counters m1 with
+  | [ ("a-exit", 1); ("b-exit", 1) ] -> ()
+  | l -> Alcotest.fail (Printf.sprintf "unsorted counters (%d)" (List.length l)))
+
 (* --- Table --------------------------------------------------------------- *)
 
 let test_table_renders_aligned () =
@@ -248,6 +304,13 @@ let () =
           Alcotest.test_case "counters" `Quick test_metrics_counters;
           Alcotest.test_case "time shares" `Quick test_metrics_time_share;
           Alcotest.test_case "reset" `Quick test_metrics_reset;
+          Alcotest.test_case "time share of zero whole" `Quick
+            test_metrics_time_share_zero_whole;
+          Alcotest.test_case "reset then reuse" `Quick
+            test_metrics_reset_then_reuse;
+          Alcotest.test_case "unknown-name reads" `Quick
+            test_metrics_unknown_reads;
+          Alcotest.test_case "pp stability" `Quick test_metrics_pp_stable;
         ] );
       ( "table",
         [
