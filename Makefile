@@ -1,12 +1,13 @@
 .PHONY: build test check fmt-check sweep-smoke trace-smoke fault-smoke \
-	resume-smoke sched-smoke fuzz-smoke profile-smoke bench-engine \
-	bench-obs perf-check clean
+	resume-smoke sched-smoke fuzz-smoke ooh-smoke profile-smoke \
+	bench-engine bench-obs perf-check clean
 
 # The default verification bundle: tier-1 tests plus the end-to-end
 # trace-export, fault-injection, crash/resume, consolidation-scheduler,
-# fuzzing and self-profiling smoke runs, and the perf envelope gate.
+# fuzzing, OoH-delegation and self-profiling smoke runs, and the perf
+# envelope gate.
 check: test trace-smoke fault-smoke resume-smoke sched-smoke fuzz-smoke \
-	profile-smoke perf-check
+	ooh-smoke profile-smoke perf-check
 
 build:
 	dune build @all
@@ -116,6 +117,18 @@ fuzz-smoke: build
 	grep -q "violations=0" _build/fuzz-smoke.out
 	grep -q "kept=" _build/fuzz-smoke.out && ! grep -q "kept=0 " _build/fuzz-smoke.out
 	@echo "fuzz-smoke: corpus ledger byte-identical across jobs=1/2, no violations"
+
+# Determinism gate for the Out-of-Hypervisor delegation mode: the full
+# Figure 6 strategy table (baseline levels, SW/HW SVt, ooh and the
+# full-nesting upper bound) must be byte-identical across two runs, and
+# the ooh row must actually be present.
+ooh-smoke: build
+	rm -f _build/ooh-fig6-a.txt _build/ooh-fig6-b.txt
+	dune exec bin/svt_sim.exe -- fig6 --out _build/ooh-fig6-a.txt
+	dune exec bin/svt_sim.exe -- fig6 --out _build/ooh-fig6-b.txt
+	cmp _build/ooh-fig6-a.txt _build/ooh-fig6-b.txt
+	grep -q "^OoH" _build/ooh-fig6-a.txt
+	@echo "ooh-smoke: fig6 table byte-identical, OoH column present"
 
 # End-to-end exercise of the self-profiler: run the fig6 cpuid workload
 # with the profiler sink + dispatch observer armed, emit folded stacks,

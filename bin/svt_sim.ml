@@ -44,7 +44,9 @@ let level_conv =
 let mode_arg =
   Arg.(value & opt mode_conv Mode.Baseline
        & info [ "m"; "mode" ] ~docv:"MODE"
-           ~doc:"Run mode: baseline, sw-svt, sw-svt-polling, sw-svt-mutex, hw-svt.")
+           ~doc:
+             "Run mode: baseline, sw-svt, sw-svt-polling, sw-svt-mutex, \
+              hw-svt, hw-full-nesting, ooh (Out-of-Hypervisor delegation).")
 
 let level_arg =
   Arg.(value & opt level_conv System.L2_nested
@@ -836,7 +838,8 @@ let sched_cmd =
                    (dedicated-sibling, shared-pool:K, on-demand-donation). \
                    Default: the whole-host consolidation comparison \
                    baseline, sw-svt/dedicated-sibling, \
-                   sw-svt/on-demand-donation, sw-svt/shared-pool:2, hw-svt.")
+                   sw-svt/on-demand-donation, sw-svt/shared-pool:2, hw-svt, \
+                   ooh.")
   in
   let verbose_arg =
     Arg.(value & flag
@@ -853,6 +856,7 @@ let sched_cmd =
           (Mode.sw_svt_default, Policy.On_demand_donation);
           (Mode.sw_svt_default, Policy.Shared_pool { threads = 2 });
           (Mode.Hw_svt, Policy.default);
+          (Mode.Ooh, Policy.default);
         ]
     in
     let horizon = Time.of_ms horizon_ms in
@@ -1047,7 +1051,7 @@ let fuzz_cmd =
            `S Manpage.s_description;
            `P "Generates seeded random guest programs (with vmcs12 pokes \
                and fault plans), runs each through a full stack under \
-               baseline, SW SVt and HW SVt, and keeps inputs that light \
+               baseline, SW SVt, HW SVt and OoH, and keeps inputs that light \
                new bits in the handler-path coverage map. Violations \
                (crashes, budget exhaustion, deadlocks, mode or replay \
                divergence) are shrunk to a minimal reproducer and \
@@ -1060,6 +1064,88 @@ let fuzz_cmd =
     Term.(const run $ seed_arg $ batch_arg $ jobs_arg $ ledger_arg
           $ resume_arg $ max_rounds_arg $ budget_arg $ allow_hlt_arg
           $ telemetry_every_arg $ quiet_arg)
+
+(* ---- the Figure 6 strategy table (byte-deterministic) ---- *)
+
+(* The three-strategy comparison in one table: baseline reflection at
+   every level, SVt acceleration (SW and HW), delegation (OoH) and the
+   full-nesting upper bound. Everything in it is simulated, so two runs
+   produce byte-identical output — `make ooh-smoke` relies on that. *)
+let fig6_cmd =
+  let module Microbench = Svt_workloads.Microbench in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Write the table to FILE instead of stdout.")
+  in
+  let run out =
+    let rows =
+      Microbench.fig6
+        ~modes:
+          [ Mode.sw_svt_default; Mode.Hw_svt; Mode.Ooh; Mode.Hw_full_nesting ]
+        ()
+    in
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf
+      (Printf.sprintf "%-16s %10s %15s\n" "config" "time(us)"
+         "overhead-vs-L0");
+    List.iter
+      (fun r ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-16s %10.3f %14.2fx\n" r.Microbench.label
+             r.Microbench.time_us r.Microbench.overhead_vs_l0))
+      rows;
+    match out with
+    | None -> print_string (Buffer.contents buf)
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Buffer.contents buf);
+        close_out oc
+  in
+  Cmd.v
+    (Cmd.info "fig6"
+       ~doc:"The Figure 6 cpuid table across all run modes (baseline \
+             levels, SW/HW SVt, ooh, hw-full-nesting); byte-deterministic, \
+             for smoke-diffing.")
+    Term.(const run $ out_arg)
+
+(* ---- run one campaign point ---- *)
+
+let run_cmd =
+  let module Spec = Svt_campaign.Spec in
+  let workload_arg =
+    Arg.(value & opt string "cpuid"
+         & info [ "w"; "workload" ] ~docv:"NAME"
+             ~doc:"Workload from the campaign registry (cpuid, rr, stream, \
+                   ioping, fio, etc, tpcc, video, consolidate, ...).")
+  in
+  let vcpus_arg =
+    Arg.(value & opt int 1 & info [ "vcpus" ] ~docv:"N" ~doc:"Guest vCPUs.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"Workload seed.")
+  in
+  let run mode level workload vcpus seed =
+    let p = Spec.point ~level ~workload ~vcpus ~seed mode in
+    let metrics = Svt_campaign.Runner.exec p in
+    Printf.printf "key    %s\n" (Spec.canonical_key p);
+    Printf.printf "run_id %s\n" (Spec.run_id p);
+    List.iter
+      (fun (k, v) -> Printf.printf "%-32s %.6g\n" k v)
+      (List.sort (fun (a, _) (b, _) -> compare a b) metrics)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run one campaign point (the sweep's unit of work) and print \
+             its canonical key, run id and metrics."
+       ~man:
+         [
+           `S Manpage.s_examples;
+           `P "svt_sim run --mode ooh; svt_sim run --mode ooh -w rr; \
+               svt_sim run --mode sw-svt -w consolidate";
+         ])
+    Term.(const run $ mode_arg $ level_arg $ workload_arg $ vcpus_arg
+          $ seed_arg)
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))
@@ -1074,5 +1160,5 @@ let () =
        (Cmd.group ~default info
           [ cpuid_cmd; rr_cmd; stream_cmd; ioping_cmd; fio_cmd; etc_cmd;
             tpcc_cmd; video_cmd; trace_cmd; profile_cmd; sweep_cmd;
-            sweep_diff_cmd; faults_cmd; fuzz_cmd; sched_cmd;
-            blocked_demo_cmd ]))
+            sweep_diff_cmd; faults_cmd; fuzz_cmd; sched_cmd; fig6_cmd;
+            run_cmd; blocked_demo_cmd ]))

@@ -7,7 +7,9 @@
        dune exec examples/design_space.exe
        dune exec examples/design_space.exe -- --jobs 4
 
-   The five design points form a tiny campaign: lib/campaign expands the
+   The six design points — including out-of-hypervisor delegation,
+   where the hardware delivers a delegated subset of L2 exits straight
+   to L1 and only residual exits reflect — form a tiny campaign: lib/campaign expands the
    spec, shards it over worker domains (when --jobs > 1) and hands back
    one uniform result per point, including the §3.1 case where the core
    has fewer hardware contexts than virtualization levels and must
@@ -41,6 +43,7 @@ let rows =
     ( "HW SVt, 2 contexts (L1/L2 multiplexed, section 3.1)",
       Spec.point ~workload:"cpuid-mux" Mode.Hw_svt );
     ("HW SVt, 3 contexts (the proposal, section 4)", Spec.point Mode.Hw_svt);
+    ("out-of-hypervisor delegation (exits straight to L1)", Spec.point Mode.Ooh);
     ("full architectural nesting support", Spec.point Mode.Hw_full_nesting);
   ]
 

@@ -61,6 +61,18 @@ type t = {
   line_transfer_smt : Time.t;
   line_transfer_core : Time.t;
   line_transfer_numa : Time.t;
+  (* --- OoH delegation (Out of Hypervisor, PAPERS.md) --- *)
+  ooh_delegated_dispatch : Time.t;
+  (* hardware routing + L1-side dispatch of a delegated L2 exit: the
+     delegation-table walk and the vectored delivery into L1's handler *)
+  ooh_vmcs_access : Time.t;
+  (* one L1 access to a delegated VMCS field — slower than a plain
+     hardware VMCS access (the delegated-state indirection) but far
+     cheaper than an auxiliary trap into L0 *)
+  ooh_delegation_setup : Time.t;
+  (* L0 re-arming the delegation controls after it intervened: paid once
+     per residual exit (and per repaired delegation fault) before L2
+     restarts *)
   (* --- interrupts / timers --- *)
   irq_inject : Time.t; (* hypervisor-side injection bookkeeping *)
   ipi_deliver : Time.t;
@@ -140,6 +152,9 @@ let paper_machine =
     line_transfer_smt = 25;
     line_transfer_core = 85;
     line_transfer_numa = 900;
+    ooh_delegated_dispatch = 120;
+    ooh_vmcs_access = 120;
+    ooh_delegation_setup = 800;
     irq_inject = 350;
     ipi_deliver = 700;
     eoi_cost = 150;

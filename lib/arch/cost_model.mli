@@ -53,6 +53,13 @@ type t = {
   line_transfer_smt : Svt_engine.Time.t;
   line_transfer_core : Svt_engine.Time.t;
   line_transfer_numa : Svt_engine.Time.t;
+  ooh_delegated_dispatch : Svt_engine.Time.t;
+      (** hardware routing + L1 dispatch of an OoH-delegated L2 exit *)
+  ooh_vmcs_access : Svt_engine.Time.t;
+      (** one L1 access to an OoH-delegated VMCS field (no trap) *)
+  ooh_delegation_setup : Svt_engine.Time.t;
+      (** L0 re-arming the OoH delegation controls after a residual exit
+          or a repaired delegation fault *)
   irq_inject : Svt_engine.Time.t;
   ipi_deliver : Svt_engine.Time.t;
   eoi_cost : Svt_engine.Time.t;

@@ -93,53 +93,12 @@ let ( @+ ) = List.append
 
 (* ---- canonical naming ---- *)
 
-(* Mode names must round-trip through the axis grammar, so they are
-   flatter than Mode.name's pretty form. *)
-let mode_to_string = function
-  | Mode.Baseline -> "baseline"
-  | Mode.Sw_svt { wait = Mode.Mwait; placement = Mode.Smt_sibling } -> "sw-svt"
-  | Mode.Sw_svt { wait; placement = Mode.Smt_sibling } ->
-      "sw-svt-" ^ Mode.wait_name wait
-  | Mode.Sw_svt { wait; placement } ->
-      Printf.sprintf "sw-svt-%s@%s" (Mode.wait_name wait)
-        (Mode.placement_name placement)
-  | Mode.Hw_svt -> "hw-svt"
-  | Mode.Hw_full_nesting -> "hw-full-nesting"
-
-(* The wait-mechanism names are owned by Wait.Kind; the axis grammar and
-   the CLI share the same table instead of each keeping their own. *)
-let wait_of_string = Svt_core.Wait.Kind.of_string
-
-let placement_of_string = function
-  | "smt-sibling" -> Some Mode.Smt_sibling
-  | "same-numa-core" -> Some Mode.Same_numa_core
-  | "cross-numa" -> Some Mode.Cross_numa
-  | _ -> None
-
-let mode_of_string s =
-  let err () = Error (Printf.sprintf "unknown mode %S" s) in
-  match s with
-  | "baseline" -> Ok Mode.Baseline
-  | "sw-svt" | "sw" -> Ok Mode.sw_svt_default
-  | "hw-svt" | "hw" -> Ok Mode.Hw_svt
-  | "hw-full-nesting" | "full" -> Ok Mode.Hw_full_nesting
-  | s when String.length s > 7 && String.sub s 0 7 = "sw-svt-" -> (
-      let rest = String.sub s 7 (String.length s - 7) in
-      let wait_s, placement_s =
-        match String.index_opt rest '@' with
-        | Some i ->
-            ( String.sub rest 0 i,
-              Some (String.sub rest (i + 1) (String.length rest - i - 1)) )
-        | None -> (rest, None)
-      in
-      match (wait_of_string wait_s, placement_s) with
-      | Some wait, None -> Ok (Mode.Sw_svt { wait; placement = Mode.Smt_sibling })
-      | Some wait, Some p -> (
-          match placement_of_string p with
-          | Some placement -> Ok (Mode.Sw_svt { wait; placement })
-          | None -> err ())
-      | None, _ -> err ())
-  | _ -> err ()
+(* The mode string table moved into [Svt_core.Mode] (it is the mode's own
+   identity, not the campaign layer's); these shims survive for source
+   compatibility. The spellings are unchanged, so historical run_ids are
+   preserved. *)
+let mode_to_string = Mode.to_string
+let mode_of_string = Mode.of_string
 
 let level_to_string = function
   | System.L0_native -> "l0"

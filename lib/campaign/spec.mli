@@ -87,7 +87,13 @@ val dedup : t -> t
 (** {2 Axis grammar (svt_sim sweep)} *)
 
 val mode_to_string : Svt_core.Mode.t -> string
+(** @deprecated Thin shim over {!Svt_core.Mode.to_string} — the canonical
+    round-tripping table lives with the type now. New code should call
+    [Mode.to_string] directly. *)
+
 val mode_of_string : string -> (Svt_core.Mode.t, string) result
+(** @deprecated Thin shim over {!Svt_core.Mode.of_string}. *)
+
 val level_to_string : Svt_core.System.level -> string
 val level_of_string : string -> (Svt_core.System.level, string) result
 

@@ -20,6 +20,15 @@ type t =
        full architectural support for nested virtualization, where an L2
        trap is delivered straight to L1 without involving L0 at all. Far
        more invasive hardware; included as the upper-bound comparison. *)
+  | Ooh
+    (* Out-of-Hypervisor delegation (PAPERS.md): L0 delegates a set of
+       single-level virtualization features — exit reasons and the VMCS
+       fields their handlers touch — straight to L1, so delegated L2
+       exits never reach L0 and need no SVt context transform. Residual
+       exits (interrupts, I/O bounces, anything L0 keeps for itself)
+       still take the full baseline reflection, plus the cost of
+       re-arming the delegation afterwards. No SVt-thread is involved,
+       so a consolidating host prices OoH tenants like baseline. *)
 
 let sw_svt_default = Sw_svt { wait = Mwait; placement = Smt_sibling }
 
@@ -70,8 +79,76 @@ let name = function
       Printf.sprintf "sw-svt(%s,%s)" (wait_name wait) (placement_name placement)
   | Hw_svt -> "hw-svt"
   | Hw_full_nesting -> "hw-full-nesting"
+  | Ooh -> "ooh"
 
 let is_svt = function
-  | Baseline | Hw_full_nesting -> false
+  | Baseline | Hw_full_nesting | Ooh -> false
   | Sw_svt _ | Hw_svt -> true
+
+(* ---- the canonical string table ---------------------------------------
+
+   One round-tripping table for every consumer (axis grammar, CLI, ledger,
+   fuzz, sched, bench). The spellings are identity-bearing: they appear in
+   [Spec.canonical_key], so changing an existing one would change every
+   historical run_id. They are flatter than [name]'s pretty form because
+   they must survive the comma/equals axis grammar. *)
+
+let to_string = function
+  | Baseline -> "baseline"
+  | Sw_svt { wait = Mwait; placement = Smt_sibling } -> "sw-svt"
+  | Sw_svt { wait; placement = Smt_sibling } -> "sw-svt-" ^ wait_name wait
+  | Sw_svt { wait; placement } ->
+      Printf.sprintf "sw-svt-%s@%s" (wait_name wait) (placement_name placement)
+  | Hw_svt -> "hw-svt"
+  | Hw_full_nesting -> "hw-full-nesting"
+  | Ooh -> "ooh"
+
+(* Wait names are parsed here rather than through [Wait.Kind.of_string]
+   because Wait's table is itself defined in terms of [wait_name] — the
+   dependency must point from Wait to Mode, not both ways. *)
+let wait_of_string s =
+  List.find_opt (fun k -> wait_name k = s) [ Polling; Mwait; Mutex ]
+
+let placement_of_string s =
+  List.find_opt
+    (fun p -> placement_name p = s)
+    [ Smt_sibling; Same_numa_core; Cross_numa ]
+
+let of_string s =
+  let err () = Error (Printf.sprintf "unknown mode %S" s) in
+  match s with
+  | "baseline" -> Ok Baseline
+  | "sw-svt" | "sw" -> Ok sw_svt_default
+  | "hw-svt" | "hw" -> Ok Hw_svt
+  | "hw-full-nesting" | "full" -> Ok Hw_full_nesting
+  | "ooh" | "out-of-hypervisor" -> Ok Ooh
+  | s when String.length s > 7 && String.sub s 0 7 = "sw-svt-" -> (
+      let rest = String.sub s 7 (String.length s - 7) in
+      let wait_s, placement_s =
+        match String.index_opt rest '@' with
+        | Some i ->
+            ( String.sub rest 0 i,
+              Some (String.sub rest (i + 1) (String.length rest - i - 1)) )
+        | None -> (rest, None)
+      in
+      match (wait_of_string wait_s, placement_s) with
+      | Some wait, None -> Ok (Sw_svt { wait; placement = Smt_sibling })
+      | Some wait, Some p -> (
+          match placement_of_string p with
+          | Some placement -> Ok (Sw_svt { wait; placement })
+          | None -> err ())
+      | None, _ -> err ())
+  | _ -> err ()
+
+(* Every inhabitant (each Sw_svt wait × placement spelled out), for
+   round-trip property tests and exhaustive sweeps. *)
+let all =
+  [ Baseline; Hw_svt; Hw_full_nesting; Ooh ]
+  @ List.concat_map
+      (fun wait ->
+        List.map
+          (fun placement -> Sw_svt { wait; placement })
+          [ Smt_sibling; Same_numa_core; Cross_numa ])
+      [ Polling; Mwait; Mutex ]
+
 let pp ppf t = Fmt.string ppf (name t)

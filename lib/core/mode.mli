@@ -28,6 +28,12 @@ type t =
       (** the alternative design point the paper positions SVt against
           (§3): full architectural nesting support that delivers L2 traps
           straight to L1. Included as the upper-bound comparison. *)
+  | Ooh
+      (** Out-of-Hypervisor delegation (PAPERS.md): a delegation set of
+          exit reasons and VMCS fields that L1 handles directly with no
+          L0 reflection and no SVt context transform; residual exits
+          still take the baseline path plus a delegation re-arm. Needs
+          no SVt-thread, so consolidation prices it like [Baseline]. *)
 
 val sw_svt_default : t
 (** [Sw_svt] with mwait on the SMT sibling — the paper's configuration. *)
@@ -58,10 +64,31 @@ val svt_policy_of_string : string -> (svt_policy, string) result
 
 val wait_name : wait_mechanism -> string
 val placement_name : placement -> string
+
+val wait_of_string : string -> wait_mechanism option
+val placement_of_string : string -> placement option
+
 val name : t -> string
+(** Pretty display form ("sw-svt(mwait)") — for tables and span tags,
+    {e not} for identity. Use {!to_string} anywhere the string is parsed
+    back or hashed. *)
+
+val to_string : t -> string
+(** The canonical flat spelling ("baseline", "sw-svt",
+    "sw-svt-<wait>\[@<placement>\]", "hw-svt", "hw-full-nesting", "ooh").
+    Round-trips through {!of_string}; feeds [Spec.canonical_key], so the
+    existing spellings are frozen. *)
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}, plus the aliases "sw", "hw", "full" and
+    "out-of-hypervisor". *)
+
+val all : t list
+(** Every inhabitant (each [Sw_svt] wait × placement spelled out), for
+    round-trip property tests. *)
 
 val is_svt : t -> bool
-(** Whether the mode uses the SVt mechanisms (excludes [Baseline] and
-    [Hw_full_nesting]). *)
+(** Whether the mode uses the SVt mechanisms (excludes [Baseline],
+    [Hw_full_nesting] and [Ooh]). *)
 
 val pp : Format.formatter -> t -> unit

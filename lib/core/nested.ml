@@ -18,6 +18,13 @@
      replaced by cross-context register accesses on the shared physical
      register file.
 
+   OoH (PAPERS.md) — the delegation alternative: exits in the delegation
+     set ([Svt_arch.Ooh]) are delivered by hardware straight into L1 with
+     no L0 reflection and no transform; residual exits take the baseline
+     path plus a delegation re-arm. A corrupted *delegated* vmcs12 field
+     surfaces to L1 as a delegation fault (L1 repairs it locally), not as
+     an L0-reflected entry failure.
+
    All costs flow through the per-vCPU Breakdown buckets, so Table 1 is
    literally a printout of this module's execution.
 
@@ -194,6 +201,42 @@ let reflect_entry_failure t =
       Breakdown.charge bd Breakdown.Switch_l0_l1
         (Time.add t.cost.trap_hw t.cost.l1_world_extra))
 
+(* OoH: the hardware's delegation checks caught a bad *delegated* field
+   at an L1-issued entry. The fault is delivered straight to L1 — no L0
+   world switch — so the repair loop costs a delegated dispatch plus
+   L1's fix-up, and L0 is only involved to re-arm the delegation
+   controls afterwards. *)
+let reflect_delegation_fault t =
+  let bd = Vcpu.breakdown t.vcpu in
+  Svt_stats.Metrics.incr t.metrics "ooh_delegation_faults";
+  Injector.record t.injector Fault_outcome.Delegation_fault_reflected;
+  leg t Obs_span.World_switch
+    [ ("leg", "l2-l1"); ("cause", "delegation-fault") ]
+    (fun () ->
+      Breakdown.charge bd Breakdown.Switch_l0_l1
+        t.cost.ooh_delegated_dispatch);
+  (* L1's delegation-fault handler inspects and repairs the field *)
+  Breakdown.charge bd Breakdown.L1_handler (Time.of_us 1);
+  Breakdown.charge bd Breakdown.L1_handler t.cost.ooh_delegation_setup
+
+(* Dispatch a batch of entry-check failures to the right repair path.
+   Under OoH, failures on delegated fields surface to L1 as delegation
+   faults; everything else (and every failure under the other modes)
+   takes the reflected VM-entry-failure path. Either way the offending
+   fields are reset before the caller retries. *)
+let reflect_check_failures t es =
+  let delegated, l0_owned =
+    match t.mode with
+    | Mode.Ooh ->
+        List.partition
+          (fun e -> Field.is_ooh_delegated (Svt_vmcs.Checks.offending_field e))
+          es
+    | _ -> ([], es)
+  in
+  if delegated <> [] then reflect_delegation_fault t;
+  if l0_owned <> [] then reflect_entry_failure t;
+  List.iter (Svt_vmcs.Checks.repair t.vmcs12) es
+
 (* ② vmcs12 → vmcs02, guarded: L0 validates L1's vmcs12 (and the
    transform's pointer translation) before trusting it. Invalid state is
    not fatal — per §2.1 the entry fails back into L1, which repairs its
@@ -218,9 +261,8 @@ let guarded_transform_entry t =
       failwith "Nested: vmcs12 still invalid after repeated entry failures";
     match Svt_vmcs.Checks.run ~n_hw_contexts:n_ctx t.vmcs12 with
     | Error es ->
-        reflect_entry_failure t;
-        (* L1's failure handler resets the offending fields, then retries *)
-        List.iter (Svt_vmcs.Checks.repair t.vmcs12) es;
+        (* the failure handler resets the offending fields, then retries *)
+        reflect_check_failures t es;
         attempt (budget - 1)
     | Ok () -> (
         match transform_entry t with
@@ -589,7 +631,7 @@ let create ?injector ~machine ~mode ~vcpu ~l1_vm ~script () =
       Vcpu.set_hw_ctx vcpu ctx_l2;
       Svt_fields.vmptrld core vmcs02;
       Smt_core.vm_resume core (* the guest context is the active one *)
-  | Mode.Baseline | Mode.Sw_svt _ | Mode.Hw_full_nesting ->
+  | Mode.Baseline | Mode.Sw_svt _ | Mode.Hw_full_nesting | Mode.Ooh ->
       Svt_fields.set_contexts vmcs01 ~visor:Svt_fields.invalid
         ~vm:Svt_fields.invalid ~nested:Svt_fields.invalid;
       Vcpu.set_hw_ctx vcpu 0);
@@ -677,6 +719,76 @@ let handle_full_nesting t (info : Svt_hyp.Exit.info) ~effect =
   leg t Obs_span.Svt_resume [ ("leg", "l1-l2") ] (fun () ->
       charge t Breakdown.Switch_l0_l1 t.cost.resume_hw)
 
+(* --- Out-of-Hypervisor delegation (PAPERS.md) --------------------------- *)
+
+(* The L1-issued VM entry on the delegated path: hardware validates the
+   delegated fields as it launches L2, with no L0 transform in between.
+   The corrupt-vmcs12 fault can fire here too — a corrupted *delegated*
+   field surfaces to L1 as a delegation fault (repaired locally, no L0),
+   while a corrupted L0-owned field still needs the reflected
+   VM-entry-failure path (see [reflect_check_failures]). *)
+let ooh_delegated_entry t =
+  if
+    Injector.is_active t.injector
+    && Injector.roll t.injector Fault_kind.Corrupt_vmcs12
+  then begin
+    let field, value =
+      match Injector.pick t.injector Fault_kind.Corrupt_vmcs12 3 with
+      | 0 -> (Field.Vmcs_link_pointer, 0x1001L) (* unaligned link pointer *)
+      | 1 -> (Field.Guest_cr0, 0L) (* PE/PG clear: a delegated field *)
+      | _ -> (Field.Svt_visor, 7L) (* context id out of range *)
+    in
+    Vmcs.write t.vmcs12 field value
+  end;
+  let n_ctx = Smt_core.n_contexts t.core in
+  let rec attempt budget =
+    if budget = 0 then
+      failwith "Nested: vmcs12 still invalid after repeated delegation faults";
+    match Svt_vmcs.Checks.run ~n_hw_contexts:n_ctx t.vmcs12 with
+    | Error es ->
+        reflect_check_failures t es;
+        attempt (budget - 1)
+    | Ok () -> ()
+  in
+  attempt 3
+
+(* Delegated exits go straight into L1: one hardware dispatch, the L1
+   handler running against the delegated VMCS fields (each auxiliary
+   access is a direct field access, not a trap), and an L1-issued resume.
+   No L0 reflection, no transform, no SVt context machinery. Residual
+   exits (interrupts, I/O, timers — see [Svt_arch.Ooh]) still take the
+   full baseline reflection, plus L0 re-arming the delegation controls
+   before handing the core back. *)
+let handle_ooh t (info : Svt_hyp.Exit.info) ~effect =
+  let bd = Vcpu.breakdown t.vcpu in
+  if Svt_arch.Ooh.delegated info.reason then begin
+    Svt_stats.Metrics.incr t.metrics "ooh_delegated_exits";
+    leg t Obs_span.World_switch
+      [ ("leg", "l2-l1"); ("via", "ooh") ]
+      (fun () -> charge t Breakdown.Switch_l0_l1 t.cost.trap_hw);
+    charge t Breakdown.L1_handler t.cost.ooh_delegated_dispatch;
+    charge t Breakdown.L1_handler t.cost.ctx_mgmt_single;
+    let steps = Svt_hyp.L1_script.script_for t.script info ~apply:effect in
+    List.iter
+      (fun step ->
+        match step with
+        | Svt_hyp.L1_script.Work w -> Breakdown.charge bd Breakdown.L1_handler w
+        | Svt_hyp.L1_script.Effect f -> f ()
+        | Svt_hyp.L1_script.Aux _ ->
+            (* a direct access to a delegated VMCS field *)
+            Breakdown.charge bd Breakdown.L1_handler t.cost.ooh_vmcs_access)
+      steps;
+    ooh_delegated_entry t;
+    leg t Obs_span.Svt_resume [ ("leg", "l1-l2") ] (fun () ->
+        charge t Breakdown.Switch_l0_l1 t.cost.resume_hw)
+  end
+  else begin
+    Svt_stats.Metrics.incr t.metrics "ooh_residual_exits";
+    handle_baseline t info ~effect;
+    (* L0 re-arms the delegation controls before resuming the guest *)
+    charge t Breakdown.L0_handler t.cost.ooh_delegation_setup
+  end
+
 (* --- entry points ------------------------------------------------------- *)
 
 let handle t (info : Svt_hyp.Exit.info) =
@@ -697,6 +809,7 @@ let handle t (info : Svt_hyp.Exit.info) =
      | Mode.Sw_svt _, None -> failwith "Nested: SW SVt without a channel"
      | Mode.Hw_svt, _ -> handle_hw_svt t info ~effect
      | Mode.Hw_full_nesting, _ -> handle_full_nesting t info ~effect
+     | Mode.Ooh, _ -> handle_ooh t info ~effect
    else begin
      (* L0 handles it directly (VMX instructions from L1 &c.) *)
      Single_level.aux_round_trip ~cost:t.cost ~mode:t.mode ~breakdown:bd
@@ -736,7 +849,8 @@ let interrupt_for_l1 t ~vector ~work =
       else handle_sw_svt t ch info ~effect
   | Mode.Sw_svt _, None -> failwith "Nested: SW SVt without a channel"
   | Mode.Hw_svt, _ -> handle_hw_svt t info ~effect
-  | Mode.Hw_full_nesting, _ -> handle_full_nesting t info ~effect);
+  | Mode.Hw_full_nesting, _ -> handle_full_nesting t info ~effect
+  | Mode.Ooh, _ -> handle_ooh t info ~effect);
   t.last_episode_end <- Proc.now ();
   let p = probe t in
   if Probe.is_on p then

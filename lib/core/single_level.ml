@@ -27,7 +27,7 @@ let aux_round_trip ~(cost : Cost_model.t) ~(mode : Mode.t) ~breakdown ~bucket
       Breakdown.charge breakdown bucket cost.l0_emulate_aux;
       Smt_core.activate core guest_ctx;
       Breakdown.charge breakdown bucket cost.thread_switch
-  | Mode.Baseline | Mode.Sw_svt _ | Mode.Hw_full_nesting ->
+  | Mode.Baseline | Mode.Sw_svt _ | Mode.Hw_full_nesting | Mode.Ooh ->
       Breakdown.charge breakdown bucket cost.trap_hw;
       Breakdown.charge breakdown bucket cost.l0_emulate_aux;
       Breakdown.charge breakdown bucket cost.resume_hw
@@ -60,7 +60,7 @@ let handle ~(cost : Cost_model.t) ~(mode : Mode.t) (vcpu : Svt_hyp.Vcpu.t)
       Svt_hyp.Semantics.apply vcpu info.action;
       Smt_core.vm_resume core;
       Breakdown.charge bd Breakdown.Switch_l2_l0 cost.thread_switch
-  | Mode.Baseline | Mode.Sw_svt _ | Mode.Hw_full_nesting ->
+  | Mode.Baseline | Mode.Sw_svt _ | Mode.Hw_full_nesting | Mode.Ooh ->
       Breakdown.charge bd Breakdown.Switch_l2_l0 cost.trap_hw;
       Breakdown.charge bd Breakdown.L0_handler cost.ctx_mgmt_single;
       Breakdown.charge bd Breakdown.L0_handler profile.l0_pure;
@@ -83,7 +83,7 @@ let episode_cost ~(cost : Cost_model.t) ~(mode : Mode.t) reason =
           (Time.add (Time.scale cost.thread_switch 2.0) profile.l0_pure)
           (Time.scale cost.ctxt_reg_access
              (float_of_int cost.ctxt_regs_per_switch))
-    | Mode.Baseline | Mode.Sw_svt _ | Mode.Hw_full_nesting ->
+    | Mode.Baseline | Mode.Sw_svt _ | Mode.Hw_full_nesting | Mode.Ooh ->
         Time.add
           (Time.add cost.trap_hw cost.resume_hw)
           (Time.add cost.ctx_mgmt_single profile.l0_pure)

@@ -71,6 +71,8 @@ module Config = struct
     | Svt_context_unprogrammable of { mode : Mode.t; smt_per_core : int }
     | Sw_svt_needs_smt_sibling of { smt_per_core : int }
     | Dedicated_sibling_needs_smt of { smt_per_core : int }
+    | Ooh_needs_guest_level of { level : level }
+    | Ooh_has_no_svt_thread of { policy : Mode.svt_policy }
 
   let pp_error ppf = function
     | Invalid_vcpus n -> Fmt.pf ppf "n_vcpus = %d (need at least 1)" n
@@ -96,6 +98,16 @@ module Config = struct
           "the dedicated-sibling SVt policy reserves an SMT sibling per \
            vCPU, but smt_per_core = %d leaves none to reserve"
           smt_per_core
+    | Ooh_needs_guest_level { level } ->
+        Fmt.pf ppf
+          "OoH delegates exits from a guest to its guest hypervisor, so it \
+           needs a guest level (L1 or L2), but level = %s"
+          (level_name level)
+    | Ooh_has_no_svt_thread { policy } ->
+        Fmt.pf ppf
+          "OoH runs no SVt service thread, so the %s SVt policy has \
+           nothing to place (drop the policy or pick an SVt mode)"
+          (Mode.svt_policy_name policy)
 
   let make ?(machine = Machine.paper_config) ?(n_vcpus = 1)
       ?(shadow = Svt_vmcs.Shadow.hardware_shadowing_enabled)
@@ -115,7 +127,7 @@ module Config = struct
     | Mode.Sw_svt _, Mode.Dedicated_sibling -> t.n_vcpus
     | Mode.Sw_svt _, Mode.Shared_pool { threads } -> threads
     | Mode.Sw_svt _, Mode.On_demand_donation -> 0
-    | (Mode.Baseline | Mode.Hw_svt | Mode.Hw_full_nesting), _ -> 0
+    | (Mode.Baseline | Mode.Hw_svt | Mode.Hw_full_nesting | Mode.Ooh), _ -> 0
 
   (* Reject stacks that cannot be wired soundly; normalize the ones that
      can. The SVt-context rules are the load-bearing part: without them a
@@ -147,6 +159,18 @@ module Config = struct
     (match (t.mode, t.svt_policy) with
     | Mode.Sw_svt _, Mode.Dedicated_sibling when smt < 2 ->
         err (Dedicated_sibling_needs_smt { smt_per_core = smt })
+    | _ -> ());
+    (* OoH rules, mirroring [Svt_context_unprogrammable]: delegation only
+       makes sense when there is a guest hypervisor to delegate to, and it
+       runs no SVt service thread, so an explicit SVt placement policy is
+       a configuration contradiction (the default dedicated-sibling value
+       every config carries is fine — it is simply unused). *)
+    (match (t.mode, t.level) with
+    | Mode.Ooh, L0_native -> err (Ooh_needs_guest_level { level = t.level })
+    | _ -> ());
+    (match (t.mode, t.svt_policy) with
+    | Mode.Ooh, (Mode.Shared_pool _ | Mode.On_demand_donation) ->
+        err (Ooh_has_no_svt_thread { policy = t.svt_policy })
     | _ -> ());
     match List.rev !errors with
     | [] ->
@@ -326,7 +350,7 @@ let of_config (c : Config.t) =
               Vcpu.set_hw_ctx vcpu 1;
               Svt_arch.Smt_core.vm_resume core)
             vcpus
-      | Mode.Baseline | Mode.Sw_svt _ | Mode.Hw_full_nesting -> ());
+      | Mode.Baseline | Mode.Sw_svt _ | Mode.Hw_full_nesting | Mode.Ooh -> ());
       Array.iter (wire_l1_leaf cost mode) vcpus;
       { machine; mode; level; l1_vm; guest_vm = l1_vm; vcpus; nested = [||];
         script; injector; fabric = None }

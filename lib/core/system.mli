@@ -72,6 +72,13 @@ module Config : sig
     | Dedicated_sibling_needs_smt of { smt_per_core : int }
         (** a [Dedicated_sibling] SVt policy on a machine with
             [smt_per_core = 1]: there is no sibling to reserve *)
+    | Ooh_needs_guest_level of { level : level }
+        (** OoH at [L0_native]: delegation needs a guest hypervisor to
+            delegate to, so the mode only makes sense at L1/L2 *)
+    | Ooh_has_no_svt_thread of { policy : Mode.svt_policy }
+        (** OoH with an explicit SVt placement policy ([Shared_pool] or
+            [On_demand_donation]): the mode runs no SVt service thread,
+            so there is nothing for the policy to place *)
 
   val pp_error : Format.formatter -> error -> unit
 

@@ -14,10 +14,14 @@ type t =
   | Stale_ignored (* out-of-sequence ring command discarded *)
   | Corrupt_discarded (* unparseable ring entry discarded *)
   | Irq_recovered (* lost vector re-delivered after the guest's timeout *)
+  | Delegation_fault_reflected
+    (* OoH: a corrupted delegated VMCS field surfaced to L1 as a
+       delegation fault (L1 repairs and re-enters), not an L0 abort *)
 
 let extras =
   [ Backpressure_retry; Resume_retry; Downgrade; Entry_fail_reflected;
-    Stale_ignored; Corrupt_discarded; Irq_recovered ]
+    Stale_ignored; Corrupt_discarded; Irq_recovered;
+    Delegation_fault_reflected ]
 
 let all = List.map (fun k -> Injected k) Kind.all @ extras
 let n = Kind.n + List.length extras
@@ -31,6 +35,7 @@ let index = function
   | Stale_ignored -> Kind.n + 4
   | Corrupt_discarded -> Kind.n + 5
   | Irq_recovered -> Kind.n + 6
+  | Delegation_fault_reflected -> Kind.n + 7
 
 let name = function
   | Injected k -> "injected." ^ Kind.name k
@@ -41,5 +46,6 @@ let name = function
   | Stale_ignored -> "stale-ignored"
   | Corrupt_discarded -> "corrupt-discarded"
   | Irq_recovered -> "irq-recovered"
+  | Delegation_fault_reflected -> "delegation-fault-reflected"
 
 let pp ppf t = Fmt.string ppf (name t)

@@ -16,6 +16,10 @@ type t =
   | Corrupt_discarded  (** an unparseable ring entry was discarded *)
   | Irq_recovered
       (** a lost vector was re-delivered after the guest's own timeout *)
+  | Delegation_fault_reflected
+      (** OoH: a corrupted delegated VMCS field surfaced to L1 as a
+          delegation fault (L1 repairs and re-enters) instead of an L0
+          entry abort *)
 
 val all : t list
 val n : int

@@ -65,7 +65,7 @@ let violation_to_string = function
 
 (* --- single-input execution ---------------------------------------------- *)
 
-let modes = [ Mode.Baseline; Mode.sw_svt_default; Mode.Hw_svt ]
+let modes = [ Mode.Baseline; Mode.sw_svt_default; Mode.Hw_svt; Mode.Ooh ]
 let default_budget = 300_000
 
 let fnv_prime = 0x100000001b3L

@@ -31,7 +31,7 @@ val violation_to_string : violation -> string
 
 val modes : Svt_core.Mode.t list
 (** The modes every input runs under:
-    [[Baseline; sw_svt_default; Hw_svt]]. *)
+    [[Baseline; sw_svt_default; Hw_svt; Ooh]]. *)
 
 val default_budget : int
 (** Per-mode simulator event budget (fuel). *)

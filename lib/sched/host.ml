@@ -173,7 +173,7 @@ let build_system t spec =
   let smt_host = Topology.smt_per_core t.topo in
   let internal_smt =
     match spec.mode with
-    | Mode.Baseline | Mode.Hw_full_nesting -> smt_host
+    | Mode.Baseline | Mode.Hw_full_nesting | Mode.Ooh -> smt_host
     | Mode.Sw_svt _ | Mode.Hw_svt -> max 2 smt_host
   in
   let machine =

@@ -28,9 +28,9 @@ type claim = {
 
 let claim ~(mode : Mode.t) (p : t) =
   match mode with
-  | Mode.Baseline | Mode.Hw_full_nesting ->
-      (* no SVt-thread at all: one hardware thread per vCPU, siblings
-         free for co-runners *)
+  | Mode.Baseline | Mode.Hw_full_nesting | Mode.Ooh ->
+      (* no SVt-thread at all (OoH delegates to L1 in-place): one
+         hardware thread per vCPU, siblings free for co-runners *)
       { threads_per_vcpu = 1; whole_core = false; pool_threads = 0;
         donation = false }
   | Mode.Hw_svt ->
@@ -67,4 +67,4 @@ let donation_wake_cost cm (mode : Mode.t) =
   | Mode.Sw_svt { wait; placement } ->
       Time.add (Wait.enter_cost cm wait)
         (Wait.response_latency cm ~wait ~placement)
-  | Mode.Baseline | Mode.Hw_svt | Mode.Hw_full_nesting -> Time.zero
+  | Mode.Baseline | Mode.Hw_svt | Mode.Hw_full_nesting | Mode.Ooh -> Time.zero

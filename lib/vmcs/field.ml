@@ -114,6 +114,15 @@ let is_control = function
 
 let is_svt = function Svt_visor | Svt_vm | Svt_nested -> true | _ -> false
 
+(* Fields the Out-of-Hypervisor mode delegates to L1: the guest-state and
+   exit-information words its delegated handlers read and write directly.
+   Physical pointers (which need L0's GPA→HPA translation), the execution
+   controls and the SVt µ-register fields stay under L0's validation — a
+   corrupted delegated field therefore surfaces to L1 as a delegation
+   fault, while a corrupted L0-owned field still takes the reflected
+   VM-entry-failure path. *)
+let is_ooh_delegated f = is_guest_state f || is_exit_info f
+
 let name f =
   match f with
   | Vpid -> "VPID"

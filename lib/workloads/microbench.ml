@@ -91,6 +91,7 @@ let fig6 ?(modes = [ Svt_core.Mode.sw_svt_default; Svt_core.Mode.Hw_svt ]) () =
           | Svt_core.Mode.Sw_svt _ -> "SW SVt"
           | Svt_core.Mode.Hw_svt -> "HW SVt"
           | Svt_core.Mode.Hw_full_nesting -> "HW full nesting"
+          | Svt_core.Mode.Ooh -> "OoH"
           | Svt_core.Mode.Baseline -> "baseline"))
       modes
   in

@@ -65,20 +65,28 @@ let test_run_id_stable_across_orderings () =
   checkb "seed changes the id" true
     (Spec.run_id p <> Spec.run_id (Spec.point ~workload:"rr" ~seed:4 Mode.Hw_svt))
 
+(* The property the redesigned Mode API promises: one canonical table,
+   round-tripping over EVERY mode (13 = baseline, hw-svt, hw-full-nesting,
+   ooh, and the 3x3 sw-svt wait/placement grid), with the Spec shims
+   byte-identical to it. *)
 let test_mode_round_trip () =
-  let modes =
-    [
-      Mode.Baseline; Mode.sw_svt_default; Mode.Hw_svt; Mode.Hw_full_nesting;
-      Mode.Sw_svt { wait = Mode.Polling; placement = Mode.Smt_sibling };
-      Mode.Sw_svt { wait = Mode.Mutex; placement = Mode.Cross_numa };
-    ]
-  in
+  checki "all modes enumerated" 13 (List.length Mode.all);
+  checkb "ooh is a first-class mode" true (List.mem Mode.Ooh Mode.all);
   List.iter
     (fun m ->
-      match Spec.mode_of_string (Spec.mode_to_string m) with
-      | Ok m' -> checkb (Spec.mode_to_string m) true (m = m')
-      | Error e -> Alcotest.fail e)
-    modes
+      (match Mode.of_string (Mode.to_string m) with
+      | Ok m' -> checkb (Mode.to_string m) true (m = m')
+      | Error e -> Alcotest.fail e);
+      (* the deprecated Spec shims are the same table *)
+      checks "shim agrees" (Mode.to_string m) (Spec.mode_to_string m);
+      checkb "shim parses" true (Spec.mode_of_string (Mode.to_string m) = Ok m))
+    Mode.all;
+  (* Short aliases keep parsing; unknown strings are typed errors. *)
+  checkb "sw alias" true (Mode.of_string "sw" = Ok Mode.sw_svt_default);
+  checkb "hw alias" true (Mode.of_string "hw" = Ok Mode.Hw_svt);
+  checkb "ooh long name" true
+    (Mode.of_string "out-of-hypervisor" = Ok Mode.Ooh);
+  checkb "garbage rejected" true (Result.is_error (Mode.of_string "warp-drive"))
 
 let test_axis_grammar () =
   let axes =
@@ -292,6 +300,55 @@ let test_ledger_round_trip () =
   | Ok loaded -> checki "append-only" (2 * List.length entries) (List.length loaded)
   | Error e -> Alcotest.fail e);
   Sys.remove path
+
+(* Ledger compatibility across the Mode API redesign: schema-v2 rows
+   written before the ooh mode existed keep parsing with their omitted
+   axes back at the defaults (so historical run_ids survive), and an ooh
+   row goes through the same codec byte-stably. *)
+let test_ledger_mode_compat () =
+  let legacy =
+    "{\"run_id\":\"feedc0de00000000\",\"mode\":\"sw-svt-mwait@cross-numa\",\
+     \"level\":\"l2\",\"workload\":\"rr\",\"vcpus\":2,\"seed\":5,\
+     \"status\":\"ok\",\"attempts\":1,\"wall_s\":0,\
+     \"metrics\":{\"per_op_us\":8.4}}"
+  in
+  (match Ledger.entry_of_line legacy with
+  | Error e -> Alcotest.fail e
+  | Ok e ->
+      checkb "legacy mode string parses" true
+        (e.Ledger.point.Spec.mode
+        = Mode.Sw_svt { wait = Mode.Mwait; placement = Mode.Cross_numa });
+      (* the axes a v2 row omits come back as their defaults *)
+      checks "fault defaults empty" "" e.Ledger.point.Spec.fault;
+      checki "cores default" 1 e.Ledger.point.Spec.cores;
+      checki "tenants default" 1 e.Ledger.point.Spec.tenants;
+      checks "policy defaults empty" "" e.Ledger.point.Spec.policy);
+  (* Every legacy mode spelling is still parsed by the one shared table. *)
+  List.iter
+    (fun s ->
+      checkb (s ^ " still parses") true (Result.is_ok (Spec.mode_of_string s)))
+    [ "baseline"; "sw-svt"; "sw-svt-polling"; "sw-svt-mutex@same-numa-core";
+      "hw-svt"; "hw-full-nesting" ];
+  (* An ooh row round-trips through the ledger codec byte-stably. *)
+  let point = Spec.point ~workload:"cpuid" ~seed:3 Mode.Ooh in
+  let e =
+    {
+      Ledger.run_id = Spec.run_id point;
+      point;
+      status = "ok";
+      error = None;
+      attempts = 1;
+      wall_s = 0.0;
+      metrics = [ ("per_op_us", 2.4) ];
+      data = [];
+    }
+  in
+  let line1 = Ledger.line_of_entry_crc e in
+  match Ledger.entry_of_line line1 with
+  | Error msg -> Alcotest.fail msg
+  | Ok e' ->
+      checkb "ooh point survives" true (e'.Ledger.point = point);
+      checks "ooh row byte-stable" line1 (Ledger.line_of_entry_crc e')
 
 let test_ledger_rejects_garbage () =
   let path = temp_ledger () in
@@ -804,6 +861,8 @@ let () =
       ( "ledger",
         [
           Alcotest.test_case "round trip" `Quick test_ledger_round_trip;
+          Alcotest.test_case "legacy/ooh mode compat" `Quick
+            test_ledger_mode_compat;
           Alcotest.test_case "rejects garbage" `Quick test_ledger_rejects_garbage;
           Alcotest.test_case "diff" `Quick test_ledger_diff;
         ] );

@@ -193,7 +193,12 @@ let test_nested_cpuid_reply_correct () =
             true
             (Int64.logand r.Svt_arch.Cpuid_db.ecx (Int64.shift_left 1L 5) = 0L)
       | None -> Alcotest.fail "cpuid must complete")
-    [ Mode.Baseline; Mode.sw_svt_default; Mode.Hw_svt ]
+    [ Mode.Baseline;
+      Mode.sw_svt_default;
+      Mode.Hw_svt;
+      Mode.Hw_full_nesting;
+      Mode.Ooh
+    ]
 
 let episode_us mode =
   let sys = System.create ~mode ~level:System.L2_nested () in
@@ -392,6 +397,53 @@ let test_full_nesting_upper_bound () =
   checkb "but is still virtualized (slower than ~1us)" true (full > 1.0);
   checkb "ordering: full < hw < base" true (full < hw && hw < base)
 
+(* Out-of-Hypervisor delegation (§3): a delegated exit lands directly in
+   L1 — no reflection, no transform — so it prices between the
+   full-nesting upper bound (which also skips the transform but needs no
+   per-exit dispatch) and HW SVt (which still round-trips through L0's
+   transform engine). *)
+let test_ooh_delegation_position () =
+  let ooh = episode_us Mode.Ooh in
+  let full = episode_us Mode.Hw_full_nesting in
+  let hw = episode_us Mode.Hw_svt in
+  checkb "ordering: full < ooh < hw" true (full < ooh && ooh < hw);
+  checkb "ooh cpuid episode ~2.4us" true (Float.abs (ooh -. 2.40) < 0.30)
+
+let test_ooh_delegated_residual_split () =
+  (* cpuid is in the delegated set: every exit of a pure-cpuid run must
+     take the direct path, none the residual one *)
+  let sys = System.create ~mode:Mode.Ooh ~level:System.L2_nested () in
+  let vcpu = System.vcpu0 sys in
+  Vcpu.spawn_program vcpu (fun v ->
+      for _ = 1 to 4 do
+        ignore (Guest.cpuid v ~leaf:1)
+      done);
+  System.run sys;
+  let m = System.metrics sys in
+  checki "all cpuid exits delegated" 4
+    (Svt_stats.Metrics.counter m "ooh_delegated_exits");
+  checki "no residual exits" 0
+    (Svt_stats.Metrics.counter m "ooh_residual_exits");
+  (* an external interrupt for L1 is residual: it reflects through L0 and
+     pays the delegation re-arm on top of the baseline episode *)
+  let sys = System.create ~mode:Mode.Ooh ~level:System.L2_nested () in
+  let vcpu = System.vcpu0 sys in
+  let serviced = ref false in
+  Vcpu.spawn_program vcpu (fun v ->
+      ignore (Guest.cpuid v ~leaf:1);
+      let sim = Proc.sim () in
+      ignore
+        (Simulator.schedule sim ~after:(Time.of_us 1) (fun () ->
+             Vcpu.enqueue_host_event v ~vector:0x31 (fun () -> serviced := true)));
+      (* a compute span covering the event's arrival: the drain point *)
+      Guest.compute_us v 10.0;
+      ignore (Guest.cpuid v ~leaf:1));
+  System.run sys;
+  let m = System.metrics sys in
+  checkb "interrupt serviced" true !serviced;
+  checkb "interrupt took the residual path" true
+    (Svt_stats.Metrics.counter m "ooh_residual_exits" >= 1)
+
 let test_nested_exit_metrics_recorded () =
   let sys = System.create ~mode:Mode.Baseline ~level:System.L2_nested () in
   let vcpu = System.vcpu0 sys in
@@ -502,6 +554,10 @@ let () =
             test_nested_shadowing_off_costs_more;
           Alcotest.test_case "full-nesting upper bound (section 3)" `Quick
             test_full_nesting_upper_bound;
+          Alcotest.test_case "ooh delegation position (section 3)" `Quick
+            test_ooh_delegation_position;
+          Alcotest.test_case "ooh delegated/residual split" `Quick
+            test_ooh_delegated_residual_split;
           Alcotest.test_case "context multiplexing (section 3.1)" `Quick
             test_hw_svt_multiplexed_contexts;
           Alcotest.test_case "exit metrics recorded" `Quick

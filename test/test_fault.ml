@@ -196,6 +196,27 @@ let test_e2e_corrupt_vmcs12_reflected () =
     (metric m "fault.entry-fail-reflected"
      >= metric m "fault.injected.corrupt-vmcs12")
 
+let test_e2e_ooh_delegation_fault_split () =
+  (* Under OoH the same corruption splits by field ownership: the picker
+     cycles a delegated field (GUEST_CR0) and two L0-owned ones (the link
+     pointer and SVT_VISOR), so a certain-rate run must show BOTH the
+     delegation-fault path (to L1, no L0) and the reflected entry-failure
+     path — and still complete. *)
+  let m = exec_metrics ~mode:"ooh" ~workload:"cpuid" "corrupt-vmcs12:1" in
+  checkb "workload completed" true (metric m "per_op_us" > 0.0);
+  checkb "delegated-field corruption is a delegation fault" true
+    (metric m "fault.delegation-fault-reflected" >= 1.0);
+  checkb "L0-owned-field corruption still entry-fails" true
+    (metric m "fault.entry-fail-reflected" >= 1.0);
+  checkb "every injection handled one way or the other" true
+    (metric m "fault.delegation-fault-reflected"
+     +. metric m "fault.entry-fail-reflected"
+     >= metric m "fault.injected.corrupt-vmcs12");
+  (* baseline never takes the delegation path *)
+  let b = exec_metrics ~mode:"baseline" ~workload:"cpuid" "corrupt-vmcs12:1" in
+  checkb "no delegation faults outside ooh" true
+    (metric b "fault.delegation-fault-reflected" = 0.0)
+
 let test_e2e_ring_faults_tolerated () =
   let m =
     exec_metrics ~workload:"rr" ~seed:3
@@ -257,7 +278,7 @@ let test_empty_plan_bit_identical () =
       let shim = summary_via_shim mode in
       let cfg = summary_via_config mode in
       checkb (Mode.name mode ^ ": identical summaries") true (shim = cfg))
-    [ Mode.Baseline; Mode.sw_svt_default; Mode.Hw_svt ]
+    [ Mode.Baseline; Mode.sw_svt_default; Mode.Hw_svt; Mode.Ooh ]
 
 let test_empty_plan_no_fault_artifacts () =
   let m = exec_metrics "" in
@@ -370,6 +391,43 @@ let test_config_normalizes_third_context () =
               c.System.Config.machine.Svt_hyp.Machine.smt_per_core
   | Error _ -> Alcotest.fail "multiplexed HW SVt config must validate"
 
+let test_config_rejects_ooh_misuse () =
+  (* delegation with nothing to delegate to: ooh at L0_native *)
+  let cfg = System.Config.make ~mode:Mode.Ooh ~level:System.L0_native () in
+  (match System.Config.validate cfg with
+  | Ok _ -> Alcotest.fail "ooh at L0 must be rejected"
+  | Error es ->
+      checkb "pinned error" true
+        (List.exists
+           (function
+             | System.Config.Ooh_needs_guest_level { level } ->
+                 level = System.L0_native
+             | _ -> false)
+           es));
+  (* ooh runs no SVt service thread: an explicit placement policy is a
+     contradiction, not a silently ignored knob *)
+  let cfg =
+    System.Config.make ~svt_policy:Mode.On_demand_donation ~mode:Mode.Ooh
+      ~level:System.L2_nested ()
+  in
+  (match System.Config.validate cfg with
+  | Ok _ -> Alcotest.fail "ooh with an SVt placement policy must be rejected"
+  | Error es ->
+      checkb "pinned error" true
+        (List.exists
+           (function
+             | System.Config.Ooh_has_no_svt_thread
+                 { policy = Mode.On_demand_donation } ->
+                 true
+             | _ -> false)
+           es));
+  (* the mode needs no SMT sibling: a 1-thread-per-core machine is fine *)
+  let cfg =
+    System.Config.make ~machine:smt1 ~mode:Mode.Ooh ~level:System.L2_nested ()
+  in
+  checkb "ooh validates without SMT" true
+    (Result.is_ok (System.Config.validate cfg))
+
 let test_config_legacy_shim_still_works () =
   let sys = System.create ~mode:Mode.Hw_svt ~level:System.L2_nested () in
   checkb "shim builds a system" true (System.n_vcpus sys = 1)
@@ -408,6 +466,8 @@ let () =
             test_e2e_certain_ring_drop_downgrades;
           Alcotest.test_case "corrupt vmcs12 reflected to L1" `Quick
             test_e2e_corrupt_vmcs12_reflected;
+          Alcotest.test_case "ooh delegation-fault split" `Quick
+            test_e2e_ooh_delegation_fault_split;
           Alcotest.test_case "ring faults tolerated" `Quick
             test_e2e_ring_faults_tolerated;
           Alcotest.test_case "irq faults recovered" `Quick
@@ -434,6 +494,8 @@ let () =
             test_config_of_config_raises_typed;
           Alcotest.test_case "normalizes third context" `Quick
             test_config_normalizes_third_context;
+          Alcotest.test_case "rejects ooh misuse" `Quick
+            test_config_rejects_ooh_misuse;
           Alcotest.test_case "legacy create shim" `Quick
             test_config_legacy_shim_still_works;
         ] );

@@ -93,6 +93,19 @@ let test_exec_deterministic () =
   checki "events equal" a.Fuzz.events b.Fuzz.events;
   checkb "nonzero coverage" true (Coverage.bits a.Fuzz.coverage > 0)
 
+let test_exec_four_mode_fingerprint () =
+  (* the differential harness now runs four modes — baseline, SW SVt,
+     HW SVt and OoH — and the 4-mode fingerprint must stay deterministic *)
+  Alcotest.(check int) "mode count" 4 (List.length Fuzz.modes);
+  checkb "ooh is in the differential set" true
+    (List.mem Svt_core.Mode.Ooh Fuzz.modes);
+  let rng = Prng.of_seed 33L in
+  let input = Gen.gen rng in
+  let a = Fuzz.exec ~master:11L input in
+  let b = Fuzz.exec ~master:11L input in
+  checkb "4-mode fingerprints equal" true
+    (a.Fuzz.fingerprint = b.Fuzz.fingerprint)
+
 let test_exec_clean_input_no_violation () =
   (* a plain cpuid program must pass all modes and agree across them *)
   let input =
@@ -327,6 +340,8 @@ let () =
       ( "exec",
         [
           Alcotest.test_case "deterministic" `Quick test_exec_deterministic;
+          Alcotest.test_case "four-mode fingerprint" `Quick
+            test_exec_four_mode_fingerprint;
           Alcotest.test_case "clean input passes" `Quick
             test_exec_clean_input_no_violation;
           Alcotest.test_case "detects deadlock" `Quick

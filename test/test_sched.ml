@@ -85,6 +85,36 @@ let test_policy_claims () =
   checkb "hw-svt always owns the core" true
     (c.Policy.whole_core && not c.Policy.donation)
 
+let test_ooh_claims_no_service_thread () =
+  (* OoH runs no SVt service thread: whatever the placement policy, its
+     footprint is the baseline's — one thread per vCPU, no core claim,
+     no pool, no donation. *)
+  List.iter
+    (fun policy ->
+      let c = Policy.claim ~mode:Mode.Ooh policy in
+      let b = Policy.claim ~mode:Mode.Baseline policy in
+      checkb (Policy.name policy ^ ": ooh claim = baseline claim") true (c = b);
+      checkb (Policy.name policy ^ ": single thread, nothing extra") true
+        (c.Policy.threads_per_vcpu = 1 && (not c.Policy.whole_core)
+        && c.Policy.pool_threads = 0 && not c.Policy.donation))
+    [ Policy.Dedicated_sibling;
+      Policy.On_demand_donation;
+      Policy.Shared_pool { threads = 2 } ]
+
+let test_ooh_admits_without_smt () =
+  (* the same smt=1 host that rejects sw-svt/dedicated-sibling takes an
+     ooh tenant: delegation needs no SMT sibling *)
+  let topo = Topology.create ~sockets:1 ~cores_per_socket:4 ~smt_per_core:1 () in
+  let host = Host.create ~topology:topo () in
+  (match
+     Host.add_tenant host
+       (Host.tenant_spec ~policy:Policy.Dedicated_sibling Mode.sw_svt_default)
+   with
+  | Ok () -> Alcotest.fail "dedicated sibling admitted on smt=1 host"
+  | Error _ -> ());
+  checkb "ooh tenant admitted on smt=1 host" true
+    (Host.add_tenant host (Host.tenant_spec Mode.Ooh) = Ok ())
+
 (* --- Admission ----------------------------------------------------------- *)
 
 let has_err pred = List.exists pred
@@ -283,9 +313,14 @@ let () =
         [
           Alcotest.test_case "parse round trip" `Quick test_policy_parse_round_trip;
           Alcotest.test_case "claims" `Quick test_policy_claims;
+          Alcotest.test_case "ooh claims no service thread" `Quick
+            test_ooh_claims_no_service_thread;
         ] );
       ( "admission",
-        [ Alcotest.test_case "typed errors" `Quick test_admission_errors ] );
+        [ Alcotest.test_case "typed errors" `Quick test_admission_errors;
+          Alcotest.test_case "ooh admits without smt" `Quick
+            test_ooh_admits_without_smt
+        ] );
       ( "consolidation",
         [
           Alcotest.test_case "dedicated-sibling capacity tax" `Quick
