@@ -1,13 +1,13 @@
 .PHONY: build test check fmt-check sweep-smoke trace-smoke fault-smoke \
-	resume-smoke sched-smoke fuzz-smoke ooh-smoke profile-smoke \
-	bench-engine bench-obs perf-check clean
+	resume-smoke sched-smoke cluster-smoke fuzz-smoke ooh-smoke \
+	profile-smoke bench-engine bench-obs perf-check clean
 
 # The default verification bundle: tier-1 tests plus the end-to-end
 # trace-export, fault-injection, crash/resume, consolidation-scheduler,
-# fuzzing, OoH-delegation and self-profiling smoke runs, and the perf
-# envelope gate.
-check: test trace-smoke fault-smoke resume-smoke sched-smoke fuzz-smoke \
-	ooh-smoke profile-smoke perf-check
+# cluster-fleet, fuzzing, OoH-delegation and self-profiling smoke runs,
+# and the perf envelope gate.
+check: test trace-smoke fault-smoke resume-smoke sched-smoke cluster-smoke \
+	fuzz-smoke ooh-smoke profile-smoke perf-check
 
 build:
 	dune build @all
@@ -99,6 +99,38 @@ sched-smoke: build
 		--jobs 2 --ledger _build/sched-j2.jsonl
 	cmp _build/sched-j1.jsonl _build/sched-j2.jsonl
 	@echo "sched-smoke: consolidation ledger byte-identical across jobs=1/2"
+
+# Determinism + fault-tolerance gate for the cluster layer (lib/cluster).
+# Three parts: (1) a fixed-seed host-crash fleet run must reproduce the
+# checked-in report table byte-for-byte — every evacuated tenant visibly
+# re-placed or typed-rejected; (2) a cluster-workload sweep must be
+# byte-identical across jobs=1/jobs=2; (3) the same sweep killed after 2
+# rows (--max-rows, exit 3) and resumed must match the uninterrupted
+# ledger. A diff anywhere means fleet state leaked into a PRNG stream,
+# the placement scan, or the fault rolls.
+CLUSTER_ARGS = --hosts 4 --tenants 10 \
+	--fault host-crash:0.02,host-degrade:0.01 --seed 42
+CLUSTER_AXES = --axis workload=cluster --axis mode=baseline,sw-svt \
+	--axis hosts=2 --axis tenants=4 --axis fault=host-crash:0.05 \
+	--axis seed=0,1 --deterministic --quiet
+cluster-smoke: build
+	rm -f _build/cluster-smoke.txt _build/cluster-j1.jsonl \
+		_build/cluster-j2.jsonl _build/cluster-cut.jsonl
+	dune exec bin/svt_sim.exe -- cluster $(CLUSTER_ARGS) \
+		--out _build/cluster-smoke.txt > /dev/null
+	cmp test/expected/cluster-smoke.expected _build/cluster-smoke.txt
+	dune exec bin/svt_sim.exe -- sweep $(CLUSTER_AXES) \
+		--jobs 1 --ledger _build/cluster-j1.jsonl
+	dune exec bin/svt_sim.exe -- sweep $(CLUSTER_AXES) \
+		--jobs 2 --ledger _build/cluster-j2.jsonl
+	cmp _build/cluster-j1.jsonl _build/cluster-j2.jsonl
+	dune exec bin/svt_sim.exe -- sweep $(CLUSTER_AXES) \
+		--jobs 2 --max-rows 2 --ledger _build/cluster-cut.jsonl; \
+		test $$? -eq 3
+	dune exec bin/svt_sim.exe -- sweep $(CLUSTER_AXES) \
+		--jobs 2 --resume --ledger _build/cluster-cut.jsonl
+	cmp _build/cluster-j1.jsonl _build/cluster-cut.jsonl
+	@echo "cluster-smoke: report matches expected; ledgers byte-identical across jobs=1/2 and interrupt+resume"
 
 # Determinism + soundness gate for the coverage-guided fuzzer (lib/fuzz):
 # the same fixed-seed batch run with 1 and 2 worker domains must produce

@@ -642,6 +642,54 @@ let sched () =
       (Mode.Ooh, Policy.default);
     ]
 
+(* ---------------------------------------------------------------- cluster *)
+
+(* The fault-tolerant fleet: the same four headline modes, each as 12
+   tenants submitted to a 4-host fleet under a crash+flap+degrade plan.
+   The interesting shape: every mode survives the same seeded fault
+   sequence (identical eviction counts), aggregate throughput keeps the
+   fig6 mode ordering, and no tenant is ever lost — placed + queued +
+   rejected always sums to the submissions. *)
+let cluster () =
+  header "cluster: 12 tenants on a faulty 4-host fleet";
+  let module Policy = Svt_sched.Policy in
+  let module Host = Svt_sched.Host in
+  let module Cluster = Svt_cluster.Cluster in
+  let horizon = Svt_engine.Time.of_ms (if quick then 5 else 20) in
+  let plan =
+    Svt_fault.Cluster_plan.of_string_exn
+      "host-crash:0.01,host-degrade:0.01,host-flap:0.02"
+  in
+  Printf.printf "   %-28s %9s %7s %7s %7s %7s %12s\n" "configuration"
+    "agg kops" "placed" "evict" "readm" "quar" "p99-exit(us)";
+  List.iter
+    (fun (mode, policy) ->
+      let fleet =
+        Cluster.create { Cluster.default_config with plan; seed = 42L }
+      in
+      for i = 0 to 11 do
+        ignore (Cluster.submit fleet (Host.tenant_spec ~policy ~seed:i mode))
+      done;
+      Cluster.run fleet ~horizon;
+      let r = Cluster.report fleet in
+      if not r.Cluster.r_conserved then failwith "cluster: tenant lost";
+      let label =
+        match mode with
+        | Svt_core.Mode.Sw_svt _ ->
+            Printf.sprintf "%s/%s" (Spec.mode_to_string mode) (Policy.name policy)
+        | _ -> Spec.mode_to_string mode
+      in
+      Printf.printf "   %-28s %9.1f %7d %7d %7d %7d %12.2f\n%!" label
+        r.Cluster.r_aggregate_kops r.Cluster.r_placed r.Cluster.r_evictions
+        r.Cluster.r_readmissions r.Cluster.r_quarantines
+        r.Cluster.r_survivor_p99_per_exit_us)
+    [
+      (Mode.Baseline, Policy.default);
+      (Mode.sw_svt_default, Svt_core.Mode.Dedicated_sibling);
+      (Mode.Hw_svt, Policy.default);
+      (Mode.Ooh, Policy.default);
+    ]
+
 (* ----------------------------------------------------------------- engine *)
 
 (* Engine/fuzz-harness throughput baseline (ROADMAP item 1): a fixed-seed
@@ -944,6 +992,7 @@ let () =
   if wanted "obs" then obs_overhead ();
   if wanted "faults" then faults ();
   if wanted "sched" then sched ();
+  if wanted "cluster" then cluster ();
   if wanted "engine" then engine ();
   if wanted "profile" then profile ();
   if wanted "perf-check" then perf_check ();

@@ -936,6 +936,164 @@ let sched_cmd =
     Term.(const run $ cores_arg $ smt_arg $ tenants_arg $ vcpus_arg
           $ horizon_ms $ quantum_us $ configs_arg $ verbose_arg)
 
+(* ---- fault-tolerant fleet (lib/cluster) ---- *)
+
+let cluster_cmd =
+  let module Policy = Svt_sched.Policy in
+  let module Host = Svt_sched.Host in
+  let module Cluster = Svt_cluster.Cluster in
+  let module Admission = Svt_cluster.Admission in
+  let hosts_arg =
+    Arg.(value & opt int 4 & info [ "hosts" ] ~docv:"N" ~doc:"Fleet size.")
+  in
+  let cores_arg =
+    Arg.(value & opt int 4 & info [ "cores" ] ~docv:"N" ~doc:"Cores per host.")
+  in
+  let smt_arg =
+    Arg.(value & opt int 2
+         & info [ "smt" ] ~docv:"N" ~doc:"Hardware threads per core.")
+  in
+  let tenants_arg =
+    Arg.(value & opt int 10
+         & info [ "tenants" ] ~docv:"N" ~doc:"Tenants submitted for admission.")
+  in
+  let vcpus_arg =
+    Arg.(value & opt int 1 & info [ "vcpus" ] ~docv:"N" ~doc:"vCPUs per tenant.")
+  in
+  let mode_arg =
+    let mode_conv =
+      Arg.conv
+        ( (fun s ->
+            Result.map_error (fun e -> `Msg e)
+              (Svt_campaign.Spec.mode_of_string s)),
+          fun ppf m -> Fmt.string ppf (Svt_campaign.Spec.mode_to_string m) )
+    in
+    Arg.(value & opt mode_conv Mode.sw_svt_default
+         & info [ "mode" ] ~docv:"MODE" ~doc:"Tenant run mode.")
+  in
+  let policy_arg =
+    let policy_conv =
+      Arg.conv
+        ( (fun s -> Result.map_error (fun e -> `Msg e) (Policy.of_string s)),
+          fun ppf p -> Fmt.string ppf (Policy.name p) )
+    in
+    Arg.(value & opt policy_conv Policy.Dedicated_sibling
+         & info [ "policy" ] ~docv:"POLICY"
+             ~doc:"Requested SVt-thread policy (the controller may degrade \
+                   it under pressure).")
+  in
+  let fault_arg =
+    Arg.(value & opt string ""
+         & info [ "fault" ] ~docv:"PLAN"
+             ~doc:"Cluster fault plan, e.g. host-crash:0.02,host-flap:0.05.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Fleet fault seed.")
+  in
+  let horizon_ms =
+    Arg.(value & opt int 20
+         & info [ "horizon-ms" ] ~docv:"MS" ~doc:"Fleet run length (virtual ms).")
+  in
+  let strategy_arg =
+    let strategy_conv =
+      Arg.conv
+        ( (fun s ->
+            Result.map_error (fun e -> `Msg e) (Admission.strategy_of_string s)),
+          Admission.pp_strategy )
+    in
+    Arg.(value & opt strategy_conv Admission.Bin_pack
+         & info [ "strategy" ] ~docv:"bin-pack|spread" ~doc:"Placement strategy.")
+  in
+  let overcommit_arg =
+    Arg.(value & opt float 1.5
+         & info [ "overcommit" ] ~docv:"X"
+             ~doc:"Committed gang threads per host may reach X times its \
+                   hardware threads.")
+  in
+  let quota_arg =
+    Arg.(value & opt int 8
+         & info [ "quota" ] ~docv:"N" ~doc:"Largest admissible tenant (vCPUs).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Also write the report to FILE (byte-stable: the smoke \
+                   gate diffs it).")
+  in
+  let run hosts cores smt tenants vcpus mode policy fault seed horizon_ms
+      strategy overcommit quota out =
+    let plan =
+      match Svt_fault.Cluster_plan.of_string fault with
+      | Ok p -> p
+      | Error e ->
+          Printf.eprintf "cluster: %s\n" e;
+          exit 2
+    in
+    let cfg =
+      {
+        Cluster.default_config with
+        n_hosts = hosts;
+        sockets = 1;
+        cores_per_socket = cores;
+        smt_per_core = smt;
+        plan;
+        seed = Int64.of_int seed;
+        admission =
+          {
+            Admission.default_config with
+            strategy;
+            overcommit;
+            quota_vcpus = quota;
+          };
+      }
+    in
+    let cluster =
+      match Cluster.validate_config cfg with
+      | Ok cfg -> Cluster.create cfg
+      | Error e ->
+          Printf.eprintf "cluster: %s\n" e;
+          exit 2
+    in
+    for i = 0 to tenants - 1 do
+      ignore
+        (Cluster.submit cluster
+           (Host.tenant_spec
+              ~name:(Printf.sprintf "t%d" i)
+              ~policy ~n_vcpus:vcpus ~seed:i mode))
+    done;
+    Cluster.run cluster ~horizon:(Time.of_ms horizon_ms);
+    let r = Cluster.report cluster in
+    let table = Fmt.str "@[<v>%a@]" Cluster.pp_report r in
+    print_string table;
+    print_newline ();
+    (match out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc table;
+        output_char oc '\n';
+        close_out oc);
+    if not r.Cluster.r_conserved then begin
+      Printf.eprintf "cluster: conservation violated (tenant lost)\n";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:"Run a fleet of SMT consolidation hosts behind the admission \
+             controller, with cluster-scope faults (host crash, degrade, \
+             flap), tenant evacuation and capped-backoff re-admission."
+       ~man:
+         [
+           `S Manpage.s_examples;
+           `P "svt_sim cluster --hosts 4 --tenants 10 --fault \
+               host-crash:0.02; svt_sim cluster --strategy spread \
+               --overcommit 1.0 --fault host-flap:0.08 --seed 7";
+         ])
+    Term.(const run $ hosts_arg $ cores_arg $ smt_arg $ tenants_arg
+          $ vcpus_arg $ mode_arg $ policy_arg $ fault_arg $ seed_arg
+          $ horizon_ms $ strategy_arg $ overcommit_arg $ quota_arg $ out_arg)
+
 (* ---- demos ---- *)
 
 (* Reproduce the §5.3 scenario: an interrupt for L1 arrives while L0₀
@@ -1160,5 +1318,5 @@ let () =
        (Cmd.group ~default info
           [ cpuid_cmd; rr_cmd; stream_cmd; ioping_cmd; fio_cmd; etc_cmd;
             tpcc_cmd; video_cmd; trace_cmd; profile_cmd; sweep_cmd;
-            sweep_diff_cmd; faults_cmd; fuzz_cmd; sched_cmd; fig6_cmd;
-            run_cmd; blocked_demo_cmd ]))
+            sweep_diff_cmd; faults_cmd; fuzz_cmd; sched_cmd; cluster_cmd;
+            fig6_cmd; run_cmd; blocked_demo_cmd ]))

@@ -95,10 +95,12 @@ let json_of_entry e =
        ("vcpus", Num (float_of_int e.point.Spec.vcpus));
        ("seed", Num (float_of_int e.point.Spec.seed));
        (* the consolidation topology rides on every row (schema v2);
-          old ledgers parse back with the single-stack defaults 1/2/1 *)
+          old ledgers parse back with the single-stack defaults 1/2/1.
+          Schema v3 adds the fleet size the same way (default 1). *)
        ("cores", Num (float_of_int e.point.Spec.cores));
        ("smt_per_core", Num (float_of_int e.point.Spec.smt));
        ("tenants", Num (float_of_int e.point.Spec.tenants));
+       ("hosts", Num (float_of_int e.point.Spec.hosts));
      ]
     @ (* emitted only when set, so fault-free ledgers stay byte-identical
          to the pre-fault-axis format *)
@@ -382,6 +384,7 @@ let entry_of_json j =
   let cores = int_or 1 "cores" in
   let smt = int_or 2 "smt_per_core" in
   let tenants = int_or 1 "tenants" in
+  let hosts = int_or 1 "hosts" in
   let policy = match field j "policy" with Some (Str s) -> s | _ -> "" in
   let* status = str_field j "status" in
   let error = match field j "error" with Some (Str m) -> Some m | _ -> None in
@@ -428,6 +431,7 @@ let entry_of_json j =
           smt;
           tenants;
           policy;
+          hosts;
         };
       status;
       error;

@@ -38,7 +38,7 @@ type result = {
 
 let workload_names =
   [ "cpuid"; "rr"; "stream"; "ioping"; "fio"; "etc"; "tpcc"; "video"; "spin";
-    "consolidate" ]
+    "consolidate"; "cluster" ]
 
 (* Default event fuel for campaign runs: far above any real workload
    (the largest sweep rows record ~10^5 events) but low enough that a
@@ -175,8 +175,64 @@ let consolidate_metrics (p : Spec.point) =
   Svt_sched.Host.fields r
   @ [ ("sim_now_us", Time.to_us_f (Svt_sched.Host.now host)) ]
 
+(* The fleet workload: [hosts] Sched.Hosts behind the admission
+   controller, [tenants] submissions of the point's mode/policy/vcpus,
+   cluster-scope faults from the point's plan. Like consolidate it is
+   horizon-bounded and host-shaped; the stack half of the fault axis
+   must be empty (stack faults strike inside one System — there is no
+   single System here to strike). *)
+let cluster_horizon = Time.of_ms 20
+
+let cluster_metrics (p : Spec.point) =
+  let stack_plan, cluster_plan =
+    match Svt_fault.Cluster_plan.split_of_string p.Spec.fault with
+    | Ok sp -> sp
+    | Error e -> failwith (Printf.sprintf "run %s: %s" (Spec.run_id p) e)
+  in
+  if not (Svt_fault.Plan.is_empty stack_plan) then
+    failwith
+      (Printf.sprintf
+         "run %s: cluster workload takes cluster-scope faults only (got %s)"
+         (Spec.run_id p)
+         (Svt_fault.Plan.to_string stack_plan));
+  let policy =
+    match p.Spec.policy with
+    | "" -> Svt_sched.Policy.default
+    | s -> (
+        match Svt_sched.Policy.of_string s with
+        | Ok pol -> pol
+        | Error e -> failwith (Printf.sprintf "run %s: %s" (Spec.run_id p) e))
+  in
+  let cluster =
+    Svt_cluster.Cluster.create
+      {
+        Svt_cluster.Cluster.default_config with
+        n_hosts = p.Spec.hosts;
+        sockets = 1;
+        cores_per_socket = p.Spec.cores;
+        smt_per_core = p.Spec.smt;
+        plan = cluster_plan;
+        seed = Spec.run_hash p;
+      }
+  in
+  let rng = Prng.of_seed (Spec.run_hash p) in
+  for i = 0 to p.Spec.tenants - 1 do
+    ignore
+      (Svt_cluster.Cluster.submit cluster
+         (Svt_sched.Host.tenant_spec
+            ~name:(Printf.sprintf "t%d" i)
+            ~policy ~n_vcpus:p.Spec.vcpus
+            ~seed:(Prng.int rng (1 lsl 30))
+            p.Spec.mode))
+  done;
+  Svt_cluster.Cluster.run cluster ~horizon:cluster_horizon;
+  let r = Svt_cluster.Cluster.report cluster in
+  Svt_cluster.Cluster.fields r
+  @ [ ("sim_now_us", Time.to_us_f (Svt_cluster.Cluster.now cluster)) ]
+
 let exec ?(max_sim_events = default_max_sim_events) ?max_sim_time p =
   if p.Spec.workload = "consolidate" then consolidate_metrics p
+  else if p.Spec.workload = "cluster" then cluster_metrics p
   else
   let sys = make_system ~max_sim_events ?max_sim_time p in
   (* Per-span-kind summaries ride along in every ledger row, so

@@ -23,19 +23,21 @@ type point = {
   smt : int; (* hardware threads per host core *)
   tenants : int; (* co-located guest stacks *)
   policy : string; (* canonical svt_policy name; "" = scheduler default *)
+  hosts : int; (* fleet size (lib/cluster); 1 = single host, pre-fleet *)
 }
 
 type t = point list
 
 let point ?(level = System.L2_nested) ?(workload = "cpuid") ?(vcpus = 1)
     ?(seed = 0) ?(fault = "") ?(cores = 1) ?(smt = 2) ?(tenants = 1)
-    ?(policy = "") mode =
-  { mode; level; workload; vcpus; seed; fault; cores; smt; tenants; policy }
+    ?(policy = "") ?(hosts = 1) mode =
+  { mode; level; workload; vcpus; seed; fault; cores; smt; tenants; policy;
+    hosts }
 
 let cartesian ?(modes = [ Mode.Baseline ]) ?(levels = [ System.L2_nested ])
     ?(workloads = [ "cpuid" ]) ?(vcpus = [ 1 ]) ?(seeds = [ 0 ])
     ?(faults = [ "" ]) ?(cores = [ 1 ]) ?(smts = [ 2 ]) ?(tenants = [ 1 ])
-    ?(policies = [ "" ]) () =
+    ?(policies = [ "" ]) ?(hosts = [ 1 ]) () =
   List.concat_map
     (fun mode ->
       List.concat_map
@@ -54,20 +56,24 @@ let cartesian ?(modes = [ Mode.Baseline ]) ?(levels = [ System.L2_nested ])
                                 (fun s ->
                                   List.concat_map
                                     (fun tn ->
-                                      List.map
+                                      List.concat_map
                                         (fun policy ->
-                                          {
-                                            mode;
-                                            level;
-                                            workload;
-                                            vcpus = n;
-                                            seed;
-                                            fault;
-                                            cores = c;
-                                            smt = s;
-                                            tenants = tn;
-                                            policy;
-                                          })
+                                          List.map
+                                            (fun h ->
+                                              {
+                                                mode;
+                                                level;
+                                                workload;
+                                                vcpus = n;
+                                                seed;
+                                                fault;
+                                                cores = c;
+                                                smt = s;
+                                                tenants = tn;
+                                                policy;
+                                                hosts = h;
+                                              })
+                                            hosts)
                                         policies)
                                     tenants)
                                 smts)
@@ -82,7 +88,7 @@ let cartesian ?(modes = [ Mode.Baseline ]) ?(levels = [ System.L2_nested ])
 let default_merge a b =
   { a with workload = b.workload; vcpus = b.vcpus; seed = b.seed;
     fault = b.fault; cores = b.cores; smt = b.smt; tenants = b.tenants;
-    policy = b.policy }
+    policy = b.policy; hosts = b.hosts }
 
 let zip ?(merge = default_merge) a b =
   if List.length a <> List.length b then
@@ -126,7 +132,8 @@ let canonical_key p =
   let base =
     if p.tenants = 1 then base else Printf.sprintf "%s;tenants=%d" base p.tenants
   in
-  if p.policy = "" then base else base ^ ";policy=" ^ p.policy
+  let base = if p.policy = "" then base else base ^ ";policy=" ^ p.policy in
+  if p.hosts = 1 then base else Printf.sprintf "%s;hosts=%d" base p.hosts
 
 (* FNV-1a over the canonical key, then a splitmix64 finalizer for
    diffusion (FNV alone keeps low-byte correlations between nearby keys,
@@ -191,12 +198,19 @@ let int_of_string_res what s =
   | None -> Error (Printf.sprintf "%s: %S is not an integer" what s)
 
 (* Parse and canonicalize one fault-plan axis value, so equivalent
-   spellings ("drop-ring:0.010" vs "drop-ring:0.01") share a run_id. *)
+   spellings ("drop-ring:0.010" vs "drop-ring:0.01") share a run_id.
+   The value may mix stack kinds and cluster kinds on one comma list;
+   the canonical combined form keeps stack entries first, so pure stack
+   plans canonicalize exactly as they always did. *)
 let fault_of_string s =
   (* "none" lets one axis mix fault-free and faulty points (the comma
      grammar cannot carry an empty value) *)
   if s = "none" then Ok ""
-  else Result.map Svt_fault.Plan.to_string (Svt_fault.Plan.of_string s)
+  else
+    Result.map
+      (fun (stack, cluster) ->
+        Svt_fault.Cluster_plan.combined_to_string stack cluster)
+      (Svt_fault.Cluster_plan.split_of_string s)
 
 (* Parse and canonicalize one svt-policy axis value, so "shared-pool"
    and "shared-pool:2" share a run_id; "default" lets one axis mix the
@@ -208,7 +222,7 @@ let policy_of_string s =
 let of_axes axes =
   let known =
     [ "mode"; "level"; "workload"; "vcpus"; "seed"; "fault"; "cores"; "smt";
-      "tenants"; "policy" ]
+      "tenants"; "policy"; "hosts" ]
   in
   match List.find_opt (fun (k, _) -> not (List.mem k known)) axes with
   | Some (k, _) ->
@@ -251,6 +265,10 @@ let of_axes axes =
       let* policies =
         map_result policy_of_string (or_default [ "" ] (collect_axis axes "policy"))
       in
+      let* hosts =
+        map_result (int_of_string_res "hosts")
+          (or_default [ "1" ] (collect_axis axes "hosts"))
+      in
       let positive what vs =
         match List.find_opt (fun n -> n < 1) vs with
         | Some n -> Error (Printf.sprintf "%s must be >= 1 (got %d)" what n)
@@ -260,8 +278,9 @@ let of_axes axes =
       let* cores = positive "cores" cores in
       let* smts = positive "smt" smts in
       let* tenants = positive "tenants" tenants in
+      let* hosts = positive "hosts" hosts in
       Ok
         (cartesian ~modes ~levels ~workloads ~vcpus ~seeds ~faults ~cores
-           ~smts ~tenants ~policies ()))
+           ~smts ~tenants ~policies ~hosts ()))
 
 let pp_point ppf p = Fmt.string ppf (canonical_key p)

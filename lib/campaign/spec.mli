@@ -23,6 +23,9 @@ type point = {
   policy : string;
       (** canonical {!Svt_core.Mode.svt_policy} name; [""] = scheduler
           default, and keeps pre-consolidation run_ids *)
+  hosts : int;
+      (** fleet size for the cluster workload (lib/cluster); 1 = one
+          host, and keeps pre-fleet run_ids *)
 }
 
 type t = point list
@@ -37,10 +40,11 @@ val point :
   ?smt:int ->
   ?tenants:int ->
   ?policy:string ->
+  ?hosts:int ->
   Svt_core.Mode.t ->
   point
 (** A single point; defaults: [L2_nested], ["cpuid"], 1 vCPU, seed 0,
-    no faults, 1 host core x 2 SMT, 1 tenant, default policy. *)
+    no faults, 1 host core x 2 SMT, 1 tenant, default policy, 1 host. *)
 
 val cartesian :
   ?modes:Svt_core.Mode.t list ->
@@ -53,10 +57,11 @@ val cartesian :
   ?smts:int list ->
   ?tenants:int list ->
   ?policies:string list ->
+  ?hosts:int list ->
   unit ->
   t
 (** Full cross product of the given axes (singleton defaults as in
-    {!point}). Order: modes outermost, policies innermost. *)
+    {!point}). Order: modes outermost, hosts innermost. *)
 
 val zip : ?merge:(point -> point -> point) -> t -> t -> t
 (** Pointwise combination of two equal-length specs (no cross product):
@@ -99,10 +104,12 @@ val level_of_string : string -> (Svt_core.System.level, string) result
 
 val parse_axis : string -> ((string * string list), string) result
 (** Parse one ["key=v1,v2,..."] argument; keys: mode, level, workload,
-    vcpus, seed, fault, cores, smt, tenants, policy. A fault value is a
-    {!Svt_fault.Plan} string (canonicalized), or ["none"] for the empty
-    plan; a policy value is a {!Svt_core.Mode.svt_policy} name
-    (canonicalized), or ["default"]. *)
+    vcpus, seed, fault, cores, smt, tenants, policy, hosts. A fault
+    value may mix {!Svt_fault.Plan} stack kinds and
+    {!Svt_fault.Cluster_kind} cluster kinds on one comma list
+    (canonicalized stack-first), or be ["none"] for the empty plan; a
+    policy value is a {!Svt_core.Mode.svt_policy} name (canonicalized),
+    or ["default"]. *)
 
 val of_axes : (string * string list) list -> (t, string) result
 (** Cartesian product of parsed axes; unknown keys, unparseable values

@@ -33,9 +33,23 @@ module Kind = struct
 end
 
 (* Virtual-clock backoff schedules for fault recovery: bounded
-   exponential, deterministic in the attempt number. *)
-let retry_backoff ~attempt = Time.of_ns (500 * (1 lsl min attempt 6))
-let watchdog_timeout ~attempt = Time.of_us (20 * (1 lsl min attempt 4))
+   exponential, deterministic in the attempt number. The ceiling is a
+   hard invariant, not a tuning knob: the cluster layer re-admits
+   evacuated tenants on the same curve, so an unbounded schedule would
+   park a tenant that happened to fail often essentially forever. The
+   attempt number is clamped below too — callers count attempts from 0
+   or 1, and a negative attempt must not turn the shift into UB. *)
+let retry_backoff_cap_attempt = 6
+let watchdog_cap_attempt = 4
+
+let retry_backoff ~attempt =
+  Time.of_ns (500 * (1 lsl min (max attempt 0) retry_backoff_cap_attempt))
+
+let watchdog_timeout ~attempt =
+  Time.of_us (20 * (1 lsl min (max attempt 0) watchdog_cap_attempt))
+
+let retry_backoff_max = retry_backoff ~attempt:retry_backoff_cap_attempt
+let watchdog_timeout_max = watchdog_timeout ~attempt:watchdog_cap_attempt
 
 let line_transfer (cm : Cost_model.t) (p : Mode.placement) =
   match p with

@@ -16,11 +16,24 @@ end
 
 val retry_backoff : attempt:int -> Svt_engine.Time.t
 (** Bounded exponential backoff (virtual ns) before re-posting after
-    channel backpressure: 500ns doubling, capped at attempt 6. *)
+    channel backpressure: 500 ns doubling. The curve is monotone
+    nondecreasing in [attempt] and hard-capped at
+    {!retry_backoff_max} (attempt 6 = 32 µs); attempts below 0 clamp
+    to 0. The cap is load-bearing: cluster tenant re-admission reuses
+    this curve, so unbounded growth would stall evacuated tenants
+    forever. *)
+
+val retry_backoff_max : Svt_engine.Time.t
+(** The hard ceiling of {!retry_backoff}: no attempt number, however
+    large, waits longer than this. *)
 
 val watchdog_timeout : attempt:int -> Svt_engine.Time.t
-(** Stall-watchdog deadline for the SVt resume wait: 20us doubling,
-    capped at attempt 4. *)
+(** Stall-watchdog deadline for the SVt resume wait: 20 µs doubling,
+    monotone nondecreasing and hard-capped at {!watchdog_timeout_max}
+    (attempt 4 = 320 µs); attempts below 0 clamp to 0. *)
+
+val watchdog_timeout_max : Svt_engine.Time.t
+(** The hard ceiling of {!watchdog_timeout}. *)
 
 val line_transfer :
   Svt_arch.Cost_model.t -> Mode.placement -> Svt_engine.Time.t

@@ -87,6 +87,8 @@ type t = {
   recorder : Recorder.t;
   mutable tenants : tenant list; (* admission order *)
   mutable n_tenants : int;
+  mutable admitted : int; (* monotone admission counter, never decremented *)
+  mutable throttle : float; (* grant scale in (0, 1]: degraded host < 1 *)
   mutable rounds : int;
   mutable cursor : int; (* rotating grant start, for fairness *)
   mutable busy_thread_quanta : int;
@@ -105,6 +107,8 @@ let create ?(quantum = Time.of_us 50) ~topology () =
     recorder = Recorder.create ~clock:(fun () -> !clock) ();
     tenants = [];
     n_tenants = 0;
+    admitted = 0;
+    throttle = 1.0;
     rounds = 0;
     cursor = 0;
     busy_thread_quanta = 0;
@@ -118,6 +122,17 @@ let now t = !(t.clock)
 let rounds t = t.rounds
 let obs t = t.recorder
 let n_tenants t = t.n_tenants
+let throttle t = t.throttle
+
+(* Quantum inflation: a degraded host's quanta buy less tenant progress.
+   [factor] multiplies every granted slice, so 0.25 means tenants
+   simulate a quarter of the usual entitlement per round while the host
+   clock ticks at full speed. Sleeping tenants still accrue full quanta
+   (idling needs no hardware, degraded or not). *)
+let set_throttle t factor =
+  if (not (Float.is_finite factor)) || factor <= 0.0 || factor > 1.0 then
+    invalid_arg "Host.set_throttle: factor must be in (0, 1]";
+  t.throttle <- factor
 
 let events t =
   List.fold_left
@@ -168,7 +183,7 @@ let host_errors t spec claim =
 let build_system t spec =
   let rng =
     Prng.create
-      (0x5c4ed lxor (spec.seed * 0x9E3779B9) lxor (t.n_tenants * 7919))
+      (0x5c4ed lxor (spec.seed * 0x9E3779B9) lxor (t.admitted * 7919))
   in
   let smt_host = Topology.smt_per_core t.topo in
   let internal_smt =
@@ -217,13 +232,13 @@ let add_tenant t spec =
       | Error errs -> Error errs
       | Ok (sys, counters) ->
           let name =
-            if spec.name = "" then Printf.sprintf "t%d" t.n_tenants
+            if spec.name = "" then Printf.sprintf "t%d" t.admitted
             else spec.name
           in
           let tn =
             {
               spec = { spec with name };
-              index = t.n_tenants;
+              index = t.admitted;
               sys;
               claim;
               wake_cost =
@@ -247,7 +262,30 @@ let add_tenant t spec =
           in
           t.tenants <- t.tenants @ [ tn ];
           t.n_tenants <- t.n_tenants + 1;
+          t.admitted <- t.admitted + 1;
           Ok ())
+
+(* ---- departure ---- *)
+
+type churn_error = Unknown_tenant of { name : string }
+
+let pp_churn_error ppf (Unknown_tenant { name }) =
+  Fmt.pf ppf "no tenant named %S is admitted" name
+
+(* Departure frees the tenant's gang from the next round on (placement
+   is recomputed each round from the live tenant list); its simulator
+   and accounting are dropped with it. The returned spec is what the
+   caller needs to re-admit the tenant elsewhere — the cluster's
+   evacuation path. The auto-name counter never rewinds, so a tenant
+   admitted after a removal cannot collide with a live name or reuse a
+   departed tenant's PRNG stream. *)
+let remove_tenant t ~name =
+  match List.find_opt (fun tn -> tn.spec.name = name) t.tenants with
+  | None -> Error (Unknown_tenant { name })
+  | Some tn ->
+      t.tenants <- List.filter (fun x -> x.spec.name <> name) t.tenants;
+      t.n_tenants <- t.n_tenants - 1;
+      Ok tn.spec
 
 (* ---- the round loop ---- *)
 
@@ -320,8 +358,15 @@ let episodes_total tn =
   done;
   !acc
 
-let run t ~horizon =
-  if t.tenants = [] then invalid_arg "Host.run: no tenants admitted";
+(* A tenant-less host still ticks: the clock jumps to the horizon so a
+   host revived mid-fleet stays in lockstep with its peers — tenants
+   admitted later start against the true host now and cannot collect
+   back-entitlement for the idle stretch. Rounds are not counted while
+   idle (occupancy is over scheduled rounds). *)
+let run_idle t ~horizon =
+  if Time.(now t < horizon) then t.clock := horizon
+
+let run_busy t ~horizon =
   let topo = t.topo in
   let smt = Topology.smt_per_core topo in
   let n_cores = Topology.n_cores topo in
@@ -419,7 +464,7 @@ let run t ~horizon =
             0.0 slots
           /. float_of_int (List.length slots)
         in
-        let slice = Time.scale t.quantum (1.0 /. factor) in
+        let slice = Time.scale t.quantum (t.throttle /. factor) in
         let pay = Time.min tn.debt slice in
         tn.debt <- Time.sub tn.debt pay;
         let eff = Time.sub slice pay in
@@ -498,6 +543,9 @@ let run t ~horizon =
             slots)
         granted
   done
+
+let run t ~horizon =
+  if t.tenants = [] then run_idle t ~horizon else run_busy t ~horizon
 
 (* ---- consolidation report ---- *)
 

@@ -46,12 +46,38 @@ val add_tenant : t -> tenant_spec -> (unit, Svt_core.System.Config.error list) r
 (** Build and admit one tenant stack. Host-level feasibility (the gang
     plus any service pool must fit the topology; [Dedicated_sibling]
     needs SMT ≥ 2) and the stack's own {!Svt_core.System.Config.validate}
-    are both reported in the config-error vocabulary. *)
+    are both reported in the config-error vocabulary. Admission is legal
+    at any point, including between {!run} calls: a late tenant starts
+    with zero entitlement at the current host clock. Auto-names count a
+    monotone admission index that never rewinds, so names and PRNG
+    streams stay unique across {!remove_tenant} churn. *)
+
+type churn_error = Unknown_tenant of { name : string }
+
+val remove_tenant : t -> name:string -> (tenant_spec, churn_error) result
+(** Remove the named tenant, freeing its gang from the next scheduling
+    round on and dropping its simulator state. Returns the departing
+    tenant's spec — what a cluster needs to re-admit it elsewhere after
+    an evacuation. *)
+
+val pp_churn_error : Format.formatter -> churn_error -> unit
 
 val run : t -> horizon:Svt_engine.Time.t -> unit
 (** Advance the host clock to [horizon] (or until every tenant program
     finishes — the standard shapes never do). Callable repeatedly to
-    extend the run. *)
+    extend the run. With no tenants admitted the host idles: the clock
+    jumps to [horizon] without counting rounds, keeping a revived
+    fleet member's clock in lockstep so later admissions collect no
+    back-entitlement. *)
+
+val set_throttle : t -> float -> unit
+(** Quantum inflation for a degraded host: every subsequent granted
+    slice is scaled by this factor in (0, 1] (1.0 = healthy, the
+    default) while the host clock ticks at full speed. Sleeping tenants
+    still accrue full quanta. Raises [Invalid_argument] outside
+    (0, 1]. *)
+
+val throttle : t -> float
 
 type tenant_report = {
   tenant : string;

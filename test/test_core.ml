@@ -49,6 +49,41 @@ let test_wait_only_polling_steals () =
   checkb "mwait does not" false (Wait.steals_cycles Mode.Mwait);
   checkb "mutex does not" false (Wait.steals_cycles Mode.Mutex)
 
+(* The backoff curves are a shared contract: channel re-posts, the SW
+   SVt stall watchdog AND cluster tenant re-admission all ride them.
+   Property: monotone nondecreasing in the attempt number, hard-capped
+   at the exported maxima (so no attempt count, however pathological,
+   can stall a retrier unboundedly), and total on negative attempts. *)
+let test_backoff_monotone_and_capped () =
+  let curves =
+    [
+      ("retry_backoff", (fun a -> Wait.retry_backoff ~attempt:a),
+       Wait.retry_backoff_max);
+      ("watchdog_timeout", (fun a -> Wait.watchdog_timeout ~attempt:a),
+       Wait.watchdog_timeout_max);
+    ]
+  in
+  List.iter
+    (fun (name, f, cap) ->
+      checkb (name ^ " cap positive") true Time.(cap > Time.zero);
+      (* negative attempts clamp to attempt 0 instead of shifting UB *)
+      checkb (name ^ " total below zero") true
+        (Time.equal (f (-5)) (f 0));
+      let prev = ref (f 0) in
+      for a = 0 to 128 do
+        let v = f a in
+        checkb (Printf.sprintf "%s monotone at %d" name a) true
+          Time.(v >= !prev);
+        checkb (Printf.sprintf "%s capped at %d" name a) true
+          Time.(v <= cap);
+        prev := v
+      done;
+      (* the ceiling is reached, and huge attempts sit exactly on it *)
+      checkb (name ^ " reaches its cap") true (Time.equal (f 128) cap);
+      checkb (name ^ " cap at max_int attempts") true
+        (Time.equal (f max_int) cap))
+    curves
+
 (* --- Channel ------------------------------------------------------------------ *)
 
 let make_channel () =
@@ -516,6 +551,8 @@ let () =
             test_wait_numa_order_of_magnitude;
           Alcotest.test_case "only polling steals cycles" `Quick
             test_wait_only_polling_steals;
+          Alcotest.test_case "backoff monotone and capped" `Quick
+            test_backoff_monotone_and_capped;
         ] );
       ( "channel",
         [

@@ -232,6 +232,98 @@ let test_deterministic_replay () =
       checkb (Printf.sprintf "field %s identical" ka) true (va = vb))
     fa fb
 
+(* --- Tenant churn & host degradation ------------------------------------- *)
+
+let tenant_names (r : Host.report) =
+  List.map (fun tr -> tr.Host.tenant) r.Host.tenant_reports
+
+let test_tenant_departure_and_readmission () =
+  let topo = Topology.create ~sockets:1 ~cores_per_socket:4 ~smt_per_core:2 () in
+  let host = Host.create ~topology:topo () in
+  for i = 0 to 2 do
+    match Host.add_tenant host (Host.tenant_spec ~seed:i Mode.Baseline) with
+    | Ok () -> ()
+    | Error _ -> Alcotest.fail (Printf.sprintf "tenant %d rejected" i)
+  done;
+  Host.run host ~horizon:(Time.of_ms 2);
+  (* unknown departures are a typed error, not an exception *)
+  (match Host.remove_tenant host ~name:"nobody" with
+  | Ok _ -> Alcotest.fail "removed a tenant that was never admitted"
+  | Error (Host.Unknown_tenant { name }) -> checks "unknown name" "nobody" name);
+  checki "unknown departure changed nothing" 3 (Host.n_tenants host);
+  (* a real departure returns the spec the cluster re-admits elsewhere *)
+  (match Host.remove_tenant host ~name:"t1" with
+  | Error e -> Alcotest.fail (Fmt.str "%a" Host.pp_churn_error e)
+  | Ok spec ->
+      checks "departing spec name" "t1" spec.Host.name;
+      checki "departing spec seed" 1 spec.Host.seed);
+  checki "two tenants remain" 2 (Host.n_tenants host);
+  (* the run continues over the survivors *)
+  Host.run host ~horizon:(Time.of_ms 4);
+  checkb "survivors only in the report" true
+    (tenant_names (Host.report host) = [ "t0"; "t2" ]);
+  (* mid-run admission: the auto-name counter never rewinds, so the
+     newcomer is t3, not a second t2 *)
+  (match Host.add_tenant host (Host.tenant_spec ~seed:9 Mode.Baseline) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "mid-run admission rejected");
+  Host.run host ~horizon:(Time.of_ms 6);
+  checkb "newcomer gets a fresh name" true
+    (tenant_names (Host.report host) = [ "t0"; "t2"; "t3" ])
+
+let test_idle_host_run_advances_clock () =
+  let topo = Topology.create ~sockets:1 ~cores_per_socket:2 ~smt_per_core:2 () in
+  let host = Host.create ~topology:topo () in
+  Host.run host ~horizon:(Time.of_ms 3);
+  checkb "idle host clock at horizon" true (Host.now host = Time.of_ms 3);
+  checki "idle host counts no rounds" 0 (Host.rounds host);
+  (* a tenant admitted after the idle stretch starts at the true host
+     now: no back-entitlement for time it was not present *)
+  (match Host.add_tenant host (Host.tenant_spec Mode.Baseline) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "post-idle admission rejected");
+  Host.run host ~horizon:(Time.of_ms 5);
+  checkb "clock advanced past the idle stretch" true
+    (Host.now host >= Time.of_ms 5);
+  checkb "rounds only cover the scheduled stretch" true
+    (Host.rounds host <= 41)
+
+let test_throttle_inflates_quantum () =
+  let run_throttled factor =
+    let topo =
+      Topology.create ~sockets:1 ~cores_per_socket:4 ~smt_per_core:2 ()
+    in
+    let host = Host.create ~topology:topo () in
+    for i = 0 to 3 do
+      match Host.add_tenant host (Host.tenant_spec ~seed:i Mode.Baseline) with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "tenant rejected"
+    done;
+    Host.set_throttle host factor;
+    Host.run host ~horizon:(Time.of_ms 10);
+    Host.report host
+  in
+  let healthy = run_throttled 1.0 in
+  let degraded = run_throttled 0.25 in
+  (* the host clock ticks at full speed either way; tenants on the
+     degraded host simulate far less within it *)
+  checkb "same elapsed host time" true
+    (healthy.Host.elapsed_ms = degraded.Host.elapsed_ms);
+  checkb "degraded aggregate well below healthy" true
+    (degraded.Host.aggregate_kops < 0.5 *. healthy.Host.aggregate_kops);
+  List.iter
+    (fun f ->
+      checkb
+        (Printf.sprintf "throttle %g rejected" f)
+        true
+        (let topo = Topology.create () in
+         let host = Host.create ~topology:topo () in
+         try
+           Host.set_throttle host f;
+           false
+         with Invalid_argument _ -> true))
+    [ 0.0; -1.0; 1.5; Float.nan ]
+
 (* --- Campaign identity & ledger schema ----------------------------------- *)
 
 let test_canonical_key_stability () =
@@ -332,6 +424,12 @@ let () =
           Alcotest.test_case "per-exit ordering (fig6)" `Quick
             test_per_exit_ordering_matches_fig6;
           Alcotest.test_case "deterministic replay" `Quick test_deterministic_replay;
+          Alcotest.test_case "tenant departure and readmission" `Quick
+            test_tenant_departure_and_readmission;
+          Alcotest.test_case "idle host run advances clock" `Quick
+            test_idle_host_run_advances_clock;
+          Alcotest.test_case "throttle inflates the quantum" `Quick
+            test_throttle_inflates_quantum;
         ] );
       ( "campaign-integration",
         [
