@@ -1,13 +1,13 @@
 .PHONY: build test check fmt-check sweep-smoke trace-smoke fault-smoke \
 	resume-smoke sched-smoke cluster-smoke fuzz-smoke ooh-smoke \
-	profile-smoke bench-engine bench-obs perf-check clean
+	arm-smoke profile-smoke bench-engine bench-obs perf-check clean
 
 # The default verification bundle: tier-1 tests plus the end-to-end
 # trace-export, fault-injection, crash/resume, consolidation-scheduler,
-# cluster-fleet, fuzzing, OoH-delegation and self-profiling smoke runs,
-# and the perf envelope gate.
+# cluster-fleet, fuzzing, OoH-delegation, ARM-backend and self-profiling
+# smoke runs, and the perf envelope gate.
 check: test trace-smoke fault-smoke resume-smoke sched-smoke cluster-smoke \
-	fuzz-smoke ooh-smoke profile-smoke perf-check
+	fuzz-smoke ooh-smoke arm-smoke profile-smoke perf-check
 
 build:
 	dune build @all
@@ -161,6 +161,22 @@ ooh-smoke: build
 	cmp _build/ooh-fig6-a.txt _build/ooh-fig6-b.txt
 	grep -q "^OoH" _build/ooh-fig6-a.txt
 	@echo "ooh-smoke: fig6 table byte-identical, OoH column present"
+
+# Determinism + calibration gate for the ARM NV/VHE backend: the ARM
+# fig6 table (with its per-exit latency profile) must be byte-identical
+# across two runs AND match the checked-in expected file — pinning the
+# cross-ISA claim (costlier baseline nested exits, larger SVt speedup)
+# byte-for-byte. HW SVt must be absent (no shadow VMCS on ARM), SW SVt
+# present.
+arm-smoke: build
+	rm -f _build/arm-fig6-a.txt _build/arm-fig6-b.txt
+	dune exec bin/svt_sim.exe -- fig6 --arch arm --out _build/arm-fig6-a.txt
+	dune exec bin/svt_sim.exe -- fig6 --arch arm --out _build/arm-fig6-b.txt
+	cmp _build/arm-fig6-a.txt _build/arm-fig6-b.txt
+	cmp test/expected/arm-fig6.expected _build/arm-fig6-a.txt
+	grep -q "^SW SVt" _build/arm-fig6-a.txt
+	! grep -q "^HW SVt" _build/arm-fig6-a.txt
+	@echo "arm-smoke: ARM fig6 + per-exit table byte-identical and matches expected"
 
 # End-to-end exercise of the self-profiler: run the fig6 cpuid workload
 # with the profiler sink + dispatch observer armed, emit folded stacks,

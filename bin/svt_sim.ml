@@ -53,6 +53,21 @@ let level_arg =
        & info [ "l"; "level" ] ~docv:"LEVEL"
            ~doc:"Where the guest under test runs: l0 (native), l1, l2 (nested).")
 
+let arch_conv =
+  let parse s =
+    match Svt_arch.Backend.of_string s with
+    | Ok k -> Ok k
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun ppf k -> Fmt.string ppf (Svt_arch.Backend.to_string k))
+
+let arch_arg =
+  Arg.(value & opt arch_conv Svt_arch.Backend.X86
+       & info [ "arch" ] ~docv:"ARCH"
+           ~doc:"Architecture backend: x86 (VMX, cached-VMCS nested state) \
+                 or arm (NV/VHE, memory-backed system-register image; no \
+                 shadow VMCS and no hw-svt mode).")
+
 let duration_ms =
   Arg.(value & opt int 100
        & info [ "duration-ms" ] ~docv:"MS" ~doc:"Run duration in simulated ms.")
@@ -495,10 +510,11 @@ let sweep_cmd =
   let axes =
     Arg.(value & opt_all axis_conv []
          & info [ "a"; "axis" ] ~docv:"KEY=V1,V2,..."
-             ~doc:"One campaign axis (repeatable): mode, level, workload, \
-                   vcpus or seed. The sweep is the cartesian product of all \
-                   axes; omitted axes default to mode=baseline, level=l2, \
-                   workload=cpuid, vcpus=1, seed=0.")
+             ~doc:"One campaign axis (repeatable): arch, mode, level, \
+                   workload, vcpus or seed. The sweep is the cartesian \
+                   product of all axes; omitted axes default to arch=x86, \
+                   mode=baseline, level=l2, workload=cpuid, vcpus=1, \
+                   seed=0.")
   in
   let jobs =
     Arg.(value & opt int (Svt_campaign.Pool.default_jobs ())
@@ -846,7 +862,7 @@ let sched_cmd =
          & info [ "v"; "per-tenant" ] ~doc:"Print the per-tenant table of \
                                             each configuration.")
   in
-  let run cores smt tenants vcpus horizon_ms quantum_us configs verbose =
+  let run arch cores smt tenants vcpus horizon_ms quantum_us configs verbose =
     let configs =
       if configs <> [] then configs
       else
@@ -890,7 +906,7 @@ let sched_cmd =
           else
             match
               Host.add_tenant host
-                (Host.tenant_spec ~policy ~n_vcpus:vcpus ~seed:i mode)
+                (Host.tenant_spec ~arch ~policy ~n_vcpus:vcpus ~seed:i mode)
             with
             | Ok () -> admit (i + 1)
             | Error errs -> Error errs
@@ -931,10 +947,11 @@ let sched_cmd =
          [
            `S Manpage.s_examples;
            `P "svt_sim sched --cores 4 --tenants 8; svt_sim sched -c \
-               baseline -c sw-svt/shared-pool:4 --tenants 16 -v";
+               baseline -c sw-svt/shared-pool:4 --tenants 16 -v; svt_sim \
+               sched --arch arm -c baseline -c sw-svt";
          ])
-    Term.(const run $ cores_arg $ smt_arg $ tenants_arg $ vcpus_arg
-          $ horizon_ms $ quantum_us $ configs_arg $ verbose_arg)
+    Term.(const run $ arch_arg $ cores_arg $ smt_arg $ tenants_arg
+          $ vcpus_arg $ horizon_ms $ quantum_us $ configs_arg $ verbose_arg)
 
 (* ---- fault-tolerant fleet (lib/cluster) ---- *)
 
@@ -1020,8 +1037,8 @@ let cluster_cmd =
              ~doc:"Also write the report to FILE (byte-stable: the smoke \
                    gate diffs it).")
   in
-  let run hosts cores smt tenants vcpus mode policy fault seed horizon_ms
-      strategy overcommit quota out =
+  let run arch hosts cores smt tenants vcpus mode policy fault seed
+      horizon_ms strategy overcommit quota out =
     let plan =
       match Svt_fault.Cluster_plan.of_string fault with
       | Ok p -> p
@@ -1057,7 +1074,7 @@ let cluster_cmd =
     for i = 0 to tenants - 1 do
       ignore
         (Cluster.submit cluster
-           (Host.tenant_spec
+           (Host.tenant_spec ~arch
               ~name:(Printf.sprintf "t%d" i)
               ~policy ~n_vcpus:vcpus ~seed:i mode))
     done;
@@ -1090,9 +1107,10 @@ let cluster_cmd =
                host-crash:0.02; svt_sim cluster --strategy spread \
                --overcommit 1.0 --fault host-flap:0.08 --seed 7";
          ])
-    Term.(const run $ hosts_arg $ cores_arg $ smt_arg $ tenants_arg
-          $ vcpus_arg $ mode_arg $ policy_arg $ fault_arg $ seed_arg
-          $ horizon_ms $ strategy_arg $ overcommit_arg $ quota_arg $ out_arg)
+    Term.(const run $ arch_arg $ hosts_arg $ cores_arg $ smt_arg
+          $ tenants_arg $ vcpus_arg $ mode_arg $ policy_arg $ fault_arg
+          $ seed_arg $ horizon_ms $ strategy_arg $ overcommit_arg
+          $ quota_arg $ out_arg)
 
 (* ---- demos ---- *)
 
@@ -1236,9 +1254,9 @@ let fig6_cmd =
          & info [ "o"; "out" ] ~docv:"FILE"
              ~doc:"Write the table to FILE instead of stdout.")
   in
-  let run out =
+  let run arch out =
     let rows =
-      Microbench.fig6
+      Microbench.fig6 ~arch
         ~modes:
           [ Mode.sw_svt_default; Mode.Hw_svt; Mode.Ooh; Mode.Hw_full_nesting ]
         ()
@@ -1253,6 +1271,24 @@ let fig6_cmd =
           (Printf.sprintf "%-16s %10.3f %14.2fx\n" r.Microbench.label
              r.Microbench.time_us r.Microbench.overhead_vs_l0))
       rows;
+    (* Per-exit latency profile: nested baseline vs this backend's SVt,
+       with the backend's own exit spellings. On ARM every baseline row
+       is costlier and every speedup larger — the claim the arm-smoke
+       gate pins byte-for-byte. *)
+    let exits = Microbench.per_exit_table ~arch () in
+    Buffer.add_string buf
+      (Printf.sprintf "\nper-exit L2 latency [%s]\n"
+         (Svt_arch.Backend.display_name arch));
+    Buffer.add_string buf
+      (Printf.sprintf "%-16s %12s %10s %9s\n" "exit" "baseline(us)"
+         "svt(us)" "speedup");
+    List.iter
+      (fun r ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-16s %12.3f %10.3f %8.2fx\n"
+             r.Microbench.exit_label r.Microbench.baseline_us
+             r.Microbench.svt_us r.Microbench.speedup))
+      exits;
     match out with
     | None -> print_string (Buffer.contents buf)
     | Some path ->
@@ -1263,9 +1299,10 @@ let fig6_cmd =
   Cmd.v
     (Cmd.info "fig6"
        ~doc:"The Figure 6 cpuid table across all run modes (baseline \
-             levels, SW/HW SVt, ooh, hw-full-nesting); byte-deterministic, \
+             levels, SW/HW SVt, ooh, hw-full-nesting) plus the per-exit \
+             latency profile of the selected backend; byte-deterministic, \
              for smoke-diffing.")
-    Term.(const run $ out_arg)
+    Term.(const run $ arch_arg $ out_arg)
 
 (* ---- run one campaign point ---- *)
 
@@ -1283,8 +1320,8 @@ let run_cmd =
   let seed_arg =
     Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"Workload seed.")
   in
-  let run mode level workload vcpus seed =
-    let p = Spec.point ~level ~workload ~vcpus ~seed mode in
+  let run arch mode level workload vcpus seed =
+    let p = Spec.point ~arch ~level ~workload ~vcpus ~seed mode in
     let metrics = Svt_campaign.Runner.exec p in
     Printf.printf "key    %s\n" (Spec.canonical_key p);
     Printf.printf "run_id %s\n" (Spec.run_id p);
@@ -1300,10 +1337,11 @@ let run_cmd =
          [
            `S Manpage.s_examples;
            `P "svt_sim run --mode ooh; svt_sim run --mode ooh -w rr; \
-               svt_sim run --mode sw-svt -w consolidate";
+               svt_sim run --arch arm --mode sw-svt; svt_sim run --mode \
+               sw-svt -w consolidate";
          ])
-    Term.(const run $ mode_arg $ level_arg $ workload_arg $ vcpus_arg
-          $ seed_arg)
+    Term.(const run $ arch_arg $ mode_arg $ level_arg $ workload_arg
+          $ vcpus_arg $ seed_arg)
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))

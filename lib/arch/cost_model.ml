@@ -94,6 +94,13 @@ type t = {
   (* --- guest software --- *)
   guest_syscall : Time.t; (* syscall + socket/block layer on the guest *)
   guest_cpuid : Time.t; (* native cpuid execution (Table 1 part ⓪) *)
+  svt_sysreg_direct : Time.t option;
+  (* Per-register trap-or-memory access under SVt: when the ISA keeps
+     nested state in a memory-backed system-register image (ARM NV/VHE),
+     the SVt service thread reads/writes that image directly instead of
+     taking an auxiliary trap — [Some cost_of_one_access]. [None] on
+     ISAs whose nested state is a cached VMCS (x86): there the SW SVt
+     prototype leaves the aux-trap path untouched (§5.2). *)
   per_reason : Exit_reason.t -> profile;
 }
 
@@ -170,7 +177,95 @@ let paper_machine =
     nested_disk_penalty = 4_000;
     guest_syscall = 1_800;
     guest_cpuid = 50;
+    svt_sysreg_direct = None;
     per_reason = paper_profiles;
+  }
+
+(* --- ARM NV/VHE (the second backend; paper §7, PAPERS.md timing model) ---
+
+   Nested state lives in a memory-backed system-register image (a
+   VNCR-style page), not a hardware-cached VMCS. Consequences encoded
+   below:
+   - exception entry/ERET must save/restore the sysreg file in software
+     (no VMCS autosave), so [trap_hw]/[resume_hw] and the world-switch
+     extras are dearer than VMX's;
+   - the vmcs12↔vmcs02 analogue is a memory-image copy with no cached
+     read port, so the transform constants grow while the "vmptrld"
+     analogue (re-pointing the VNCR page) shrinks to a register write;
+   - under SVt the service thread accesses the memory image directly
+     ([svt_sysreg_direct]), the per-register "memory" arm of the
+     trap-or-memory access model — baseline L1 takes the "trap" arm for
+     every access, which [Shadow.no_shadowing] inflates with the
+     unshadowed extra aux traps. *)
+
+let arm_profiles reason =
+  let open Exit_reason in
+  match reason with
+  | Cpuid -> { l0_pure = 200; l1_pure = 850; l1_aux_exits = 1; userspace = false }
+  | Msr_read -> { l0_pure = 220; l1_pure = 600; l1_aux_exits = 1; userspace = false }
+  | Msr_write -> { l0_pure = 280; l1_pure = 700; l1_aux_exits = 6; userspace = false }
+  | Ept_misconfig -> { l0_pure = 520; l1_pure = 1250; l1_aux_exits = 14; userspace = false }
+  | Ept_violation -> { l0_pure = 850; l1_pure = 1600; l1_aux_exits = 11; userspace = false }
+  | Io_instruction -> { l0_pure = 650; l1_pure = 1100; l1_aux_exits = 8; userspace = true }
+  | Hlt -> { l0_pure = 280; l1_pure = 500; l1_aux_exits = 7; userspace = false }
+  | External_interrupt -> { l0_pure = 380; l1_pure = 850; l1_aux_exits = 11; userspace = false }
+  | Interrupt_window -> { l0_pure = 300; l1_pure = 600; l1_aux_exits = 8; userspace = false }
+  | Eoi_induced | Apic_write | Apic_access ->
+      { l0_pure = 230; l1_pure = 450; l1_aux_exits = 5; userspace = false }
+  | Vmcall -> { l0_pure = 300; l1_pure = 450; l1_aux_exits = 0; userspace = false }
+  | Preemption_timer -> { l0_pure = 300; l1_pure = 500; l1_aux_exits = 1; userspace = false }
+  | r when is_vmx_instruction r ->
+      (* EL2 sysreg maintenance from virtual EL2; L0 handles it inline. *)
+      { l0_pure = 280; l1_pure = 0; l1_aux_exits = 0; userspace = false }
+  | _ -> { l0_pure = 300; l1_pure = 650; l1_aux_exits = 1; userspace = false }
+
+let arm_machine =
+  {
+    trap_hw = 520;
+    resume_hw = 520;
+    l1_world_extra = 430;
+    thread_switch = 50;
+    vmptrld = 140;
+    transform_base = 380;
+    transform_per_field = 30;
+    l0_reflect_decision = 380;
+    l0_inject_exit_info = 560;
+    l0_emulate_vmentry = 1150;
+    l0_emulate_aux = 300;
+    l0_ctx_mgmt_l2 = 1250;
+    l0_ctx_mgmt_l1 = 1600;
+    ctx_mgmt_single = 460;
+    ctxt_reg_access = 4;
+    ctxt_regs_per_switch = 25;
+    ring_write = 200;
+    ring_read = 100;
+    mwait_wake = 900; (* WFE wake from the event stream *)
+    mutex_wake = 2600;
+    poll_check = 12;
+    sw_prepare_resume = 320;
+    line_transfer_smt = 25;
+    line_transfer_core = 85;
+    line_transfer_numa = 900;
+    ooh_delegated_dispatch = 140;
+    ooh_vmcs_access = 60; (* a plain load from the VNCR page *)
+    ooh_delegation_setup = 700;
+    irq_inject = 300;
+    ipi_deliver = 650;
+    eoi_cost = 100; (* GIC EOI register write *)
+    vhost_kick = 1500;
+    vhost_wake = 1500;
+    vhost_per_byte = 0;
+    virtio_queue_op = 400;
+    nic_wire_latency = 5_500;
+    nic_bandwidth_gbps = 10.0;
+    disk_base_latency = 3_000;
+    disk_per_byte = 0;
+    disk_write_extra = 3_000;
+    nested_disk_penalty = 4_000;
+    guest_syscall = 1_800;
+    guest_cpuid = 45;
+    svt_sysreg_direct = Some 60;
+    per_reason = arm_profiles;
   }
 
 (* Number of VMCS fields each direction of a vmcs12↔vmcs02 transform

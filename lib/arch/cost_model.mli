@@ -75,6 +75,12 @@ type t = {
   nested_disk_penalty : Svt_engine.Time.t;
   guest_syscall : Svt_engine.Time.t;
   guest_cpuid : Svt_engine.Time.t;
+  svt_sysreg_direct : Svt_engine.Time.t option;
+      (** per-register trap-or-memory access under SVt: [Some c] when
+          the ISA keeps nested state in a memory-backed sysreg image the
+          SVt service thread can access directly at cost [c] (ARM
+          NV/VHE); [None] when it is a cached VMCS and the aux-trap path
+          stands (x86, §5.2) *)
   per_reason : Exit_reason.t -> profile;
 }
 
@@ -85,6 +91,15 @@ val paper_profiles : Exit_reason.t -> profile
 
 val paper_machine : t
 (** Calibrated against the paper's Table 1 and §6.1 findings. *)
+
+val arm_profiles : Exit_reason.t -> profile
+(** The per-reason profiles of {!arm_machine}. *)
+
+val arm_machine : t
+(** ARM NV/VHE: nested state in memory-backed system registers (no
+    VMCS caching, §7), dearer exception-based world switches, memory
+    transforms, and direct sysreg-image access under SVt
+    ([svt_sysreg_direct]). *)
 
 val transform_fields : int
 (** Fields a typical vmcs12↔vmcs02 transform direction rewrites. *)

@@ -117,6 +117,15 @@ let is_vmx_instruction = function
       true
   | _ -> false
 
+(* Every inhabitant, for per-backend exhaustiveness tests (no exit may
+   map to a degenerate cost-model entry or an empty spelling). *)
+let all =
+  [ Exception_nmi; External_interrupt; Interrupt_window; Cpuid; Hlt; Invlpg;
+    Rdtsc; Vmcall; Vmclear; Vmlaunch; Vmptrld; Vmptrst; Vmread; Vmresume;
+    Vmwrite; Vmxoff; Vmxon; Cr_access; Dr_access; Io_instruction; Msr_read;
+    Msr_write; Mwait_exit; Pause_exit; Ept_violation; Ept_misconfig; Invept;
+    Preemption_timer; Apic_access; Apic_write; Eoi_induced; Wbinvd; Xsetbv ]
+
 let equal = ( = )
 let compare = Stdlib.compare
 let pp ppf r = Fmt.string ppf (name r)

@@ -45,6 +45,9 @@ val is_vmx_instruction : t -> bool
 (** VMX instructions always belong to a (guest) hypervisor operating its
     own VM; L0 handles them itself rather than reflecting them deeper. *)
 
+val all : t list
+(** Every inhabitant, for per-backend exhaustiveness tests. *)
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val pp : Format.formatter -> t -> unit

@@ -103,9 +103,15 @@ let json_of_entry e =
        ("hosts", Num (float_of_int e.point.Spec.hosts));
      ]
     @ (* emitted only when set, so fault-free ledgers stay byte-identical
-         to the pre-fault-axis format *)
+         to the pre-fault-axis format. Schema v4 adds the arch the same
+         way: x86 rows (the only kind that existed before the axis) keep
+         their historical byte format, and legacy rows parse back as
+         x86. *)
     (match e.point.Spec.fault with "" -> [] | f -> [ ("fault", Str f) ])
     @ (match e.point.Spec.policy with "" -> [] | s -> [ ("policy", Str s) ])
+    @ (match e.point.Spec.arch with
+      | Svt_arch.Backend.X86 -> []
+      | a -> [ ("arch", Str (Spec.arch_to_string a)) ])
     @ [ ("status", Str e.status) ]
     @ (match e.error with None -> [] | Some m -> [ ("error", Str m) ])
     @ [
@@ -386,6 +392,13 @@ let entry_of_json j =
   let tenants = int_or 1 "tenants" in
   let hosts = int_or 1 "hosts" in
   let policy = match field j "policy" with Some (Str s) -> s | _ -> "" in
+  (* schema-v3 rows (and older) carry no arch field: they all ran on the
+     x86 backend, the only one that existed *)
+  let* arch =
+    match field j "arch" with
+    | Some (Str s) -> Spec.arch_of_string s
+    | _ -> Ok Svt_arch.Backend.X86
+  in
   let* status = str_field j "status" in
   let error = match field j "error" with Some (Str m) -> Some m | _ -> None in
   let* attempts = num_field j "attempts" in
@@ -421,7 +434,8 @@ let entry_of_json j =
       run_id;
       point =
         {
-          Spec.mode;
+          Spec.arch;
+          mode;
           level;
           workload;
           vcpus = int_of_float vcpus;

@@ -66,8 +66,9 @@ let make_system ?max_sim_events ?max_sim_time (p : Spec.point) =
     | Error e -> failwith (Printf.sprintf "run %s: %s" (Spec.run_id p) e)
   in
   System.of_config
-    (System.Config.make ~machine:config ~n_vcpus ~faults ~fault_seed
-       ?max_sim_events ?max_sim_time ~mode:p.Spec.mode ~level:p.Spec.level ())
+    (System.Config.make ~arch:p.Spec.arch ~machine:config ~n_vcpus ~faults
+       ~fault_seed ?max_sim_events ?max_sim_time ~mode:p.Spec.mode
+       ~level:p.Spec.level ())
 
 let workload_metrics (p : Spec.point) sys =
   match p.Spec.workload with
@@ -158,7 +159,7 @@ let consolidate_metrics (p : Spec.point) =
     let spec =
       Svt_sched.Host.tenant_spec
         ~name:(Printf.sprintf "t%d" i)
-        ~policy ~n_vcpus:p.Spec.vcpus
+        ~arch:p.Spec.arch ~policy ~n_vcpus:p.Spec.vcpus
         ~seed:(Prng.int rng (1 lsl 30))
         p.Spec.mode
     in
@@ -221,7 +222,7 @@ let cluster_metrics (p : Spec.point) =
       (Svt_cluster.Cluster.submit cluster
          (Svt_sched.Host.tenant_spec
             ~name:(Printf.sprintf "t%d" i)
-            ~policy ~n_vcpus:p.Spec.vcpus
+            ~arch:p.Spec.arch ~policy ~n_vcpus:p.Spec.vcpus
             ~seed:(Prng.int rng (1 lsl 30))
             p.Spec.mode))
   done;

@@ -9,8 +9,10 @@
 
 module Mode = Svt_core.Mode
 module System = Svt_core.System
+module Backend = Svt_arch.Backend
 
 type point = {
+  arch : Backend.kind; (* architecture backend; X86 = pre-arch-axis runs *)
   mode : Mode.t;
   level : System.level;
   workload : string;
@@ -28,62 +30,67 @@ type point = {
 
 type t = point list
 
-let point ?(level = System.L2_nested) ?(workload = "cpuid") ?(vcpus = 1)
-    ?(seed = 0) ?(fault = "") ?(cores = 1) ?(smt = 2) ?(tenants = 1)
-    ?(policy = "") ?(hosts = 1) mode =
-  { mode; level; workload; vcpus; seed; fault; cores; smt; tenants; policy;
-    hosts }
+let point ?(arch = Backend.X86) ?(level = System.L2_nested)
+    ?(workload = "cpuid") ?(vcpus = 1) ?(seed = 0) ?(fault = "") ?(cores = 1)
+    ?(smt = 2) ?(tenants = 1) ?(policy = "") ?(hosts = 1) mode =
+  { arch; mode; level; workload; vcpus; seed; fault; cores; smt; tenants;
+    policy; hosts }
 
-let cartesian ?(modes = [ Mode.Baseline ]) ?(levels = [ System.L2_nested ])
-    ?(workloads = [ "cpuid" ]) ?(vcpus = [ 1 ]) ?(seeds = [ 0 ])
-    ?(faults = [ "" ]) ?(cores = [ 1 ]) ?(smts = [ 2 ]) ?(tenants = [ 1 ])
-    ?(policies = [ "" ]) ?(hosts = [ 1 ]) () =
+let cartesian ?(archs = [ Backend.X86 ]) ?(modes = [ Mode.Baseline ])
+    ?(levels = [ System.L2_nested ]) ?(workloads = [ "cpuid" ])
+    ?(vcpus = [ 1 ]) ?(seeds = [ 0 ]) ?(faults = [ "" ]) ?(cores = [ 1 ])
+    ?(smts = [ 2 ]) ?(tenants = [ 1 ]) ?(policies = [ "" ]) ?(hosts = [ 1 ])
+    () =
   List.concat_map
-    (fun mode ->
+    (fun arch ->
       List.concat_map
-        (fun level ->
+        (fun mode ->
           List.concat_map
-            (fun workload ->
+            (fun level ->
               List.concat_map
-                (fun n ->
+                (fun workload ->
                   List.concat_map
-                    (fun seed ->
+                    (fun n ->
                       List.concat_map
-                        (fun fault ->
+                        (fun seed ->
                           List.concat_map
-                            (fun c ->
+                            (fun fault ->
                               List.concat_map
-                                (fun s ->
+                                (fun c ->
                                   List.concat_map
-                                    (fun tn ->
+                                    (fun s ->
                                       List.concat_map
-                                        (fun policy ->
-                                          List.map
-                                            (fun h ->
-                                              {
-                                                mode;
-                                                level;
-                                                workload;
-                                                vcpus = n;
-                                                seed;
-                                                fault;
-                                                cores = c;
-                                                smt = s;
-                                                tenants = tn;
-                                                policy;
-                                                hosts = h;
-                                              })
-                                            hosts)
-                                        policies)
-                                    tenants)
-                                smts)
-                            cores)
-                        faults)
-                    seeds)
-                vcpus)
-            workloads)
-        levels)
-    modes
+                                        (fun tn ->
+                                          List.concat_map
+                                            (fun policy ->
+                                              List.map
+                                                (fun h ->
+                                                  {
+                                                    arch;
+                                                    mode;
+                                                    level;
+                                                    workload;
+                                                    vcpus = n;
+                                                    seed;
+                                                    fault;
+                                                    cores = c;
+                                                    smt = s;
+                                                    tenants = tn;
+                                                    policy;
+                                                    hosts = h;
+                                                  })
+                                                hosts)
+                                            policies)
+                                        tenants)
+                                    smts)
+                                cores)
+                            faults)
+                        seeds)
+                    vcpus)
+                workloads)
+            levels)
+        modes)
+    archs
 
 let default_merge a b =
   { a with workload = b.workload; vcpus = b.vcpus; seed = b.seed;
@@ -117,9 +124,17 @@ let level_of_string = function
   | "l2" | "nested" -> Ok System.L2_nested
   | s -> Error (Printf.sprintf "unknown level %S" s)
 
+(* The arch string table lives with [Svt_arch.Backend] for the same
+   reason; the campaign layer only decides when the axis appears in the
+   key. *)
+let arch_to_string = Backend.to_string
+let arch_of_string = Backend.of_string
+
 (* The fault and consolidation suffixes appear only when set away from
    their defaults, so pre-existing points keep the run_ids (and derived
-   PRNG streams) they had before each axis existed. *)
+   PRNG streams) they had before each axis existed. The arch suffix
+   follows the same rule: x86 (the only backend that existed before the
+   axis) is elided, so every historical x86 run_id is preserved. *)
 let canonical_key p =
   let base =
     Printf.sprintf "mode=%s;level=%s;workload=%s;vcpus=%d;seed=%d"
@@ -133,7 +148,11 @@ let canonical_key p =
     if p.tenants = 1 then base else Printf.sprintf "%s;tenants=%d" base p.tenants
   in
   let base = if p.policy = "" then base else base ^ ";policy=" ^ p.policy in
-  if p.hosts = 1 then base else Printf.sprintf "%s;hosts=%d" base p.hosts
+  let base =
+    if p.hosts = 1 then base else Printf.sprintf "%s;hosts=%d" base p.hosts
+  in
+  if Backend.equal p.arch Backend.X86 then base
+  else base ^ ";arch=" ^ arch_to_string p.arch
 
 (* FNV-1a over the canonical key, then a splitmix64 finalizer for
    diffusion (FNV alone keeps low-byte correlations between nearby keys,
@@ -221,8 +240,8 @@ let policy_of_string s =
 
 let of_axes axes =
   let known =
-    [ "mode"; "level"; "workload"; "vcpus"; "seed"; "fault"; "cores"; "smt";
-      "tenants"; "policy"; "hosts" ]
+    [ "arch"; "mode"; "level"; "workload"; "vcpus"; "seed"; "fault"; "cores";
+      "smt"; "tenants"; "policy"; "hosts" ]
   in
   match List.find_opt (fun (k, _) -> not (List.mem k known)) axes with
   | Some (k, _) ->
@@ -232,6 +251,10 @@ let of_axes axes =
   | None -> (
       let or_default d = function [] -> d | vs -> vs in
       let ( let* ) = Result.bind in
+      let* archs =
+        map_result arch_of_string
+          (or_default [ "x86" ] (collect_axis axes "arch"))
+      in
       let* modes =
         map_result mode_of_string (or_default [ "baseline" ] (collect_axis axes "mode"))
       in
@@ -280,7 +303,7 @@ let of_axes axes =
       let* tenants = positive "tenants" tenants in
       let* hosts = positive "hosts" hosts in
       Ok
-        (cartesian ~modes ~levels ~workloads ~vcpus ~seeds ~faults ~cores
-           ~smts ~tenants ~policies ~hosts ()))
+        (cartesian ~archs ~modes ~levels ~workloads ~vcpus ~seeds ~faults
+           ~cores ~smts ~tenants ~policies ~hosts ()))
 
 let pp_point ppf p = Fmt.string ppf (canonical_key p)

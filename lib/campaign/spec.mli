@@ -9,6 +9,9 @@
     domain executes them. *)
 
 type point = {
+  arch : Svt_arch.Backend.kind;
+      (** architecture backend; [X86] is the default and is elided from
+          {!canonical_key}, so pre-arch-axis run_ids are preserved *)
   mode : Svt_core.Mode.t;
   level : Svt_core.System.level;
   workload : string;  (** registry name, e.g. ["cpuid"], ["rr"] *)
@@ -31,6 +34,7 @@ type point = {
 type t = point list
 
 val point :
+  ?arch:Svt_arch.Backend.kind ->
   ?level:Svt_core.System.level ->
   ?workload:string ->
   ?vcpus:int ->
@@ -43,10 +47,12 @@ val point :
   ?hosts:int ->
   Svt_core.Mode.t ->
   point
-(** A single point; defaults: [L2_nested], ["cpuid"], 1 vCPU, seed 0,
-    no faults, 1 host core x 2 SMT, 1 tenant, default policy, 1 host. *)
+(** A single point; defaults: x86, [L2_nested], ["cpuid"], 1 vCPU,
+    seed 0, no faults, 1 host core x 2 SMT, 1 tenant, default policy,
+    1 host. *)
 
 val cartesian :
+  ?archs:Svt_arch.Backend.kind list ->
   ?modes:Svt_core.Mode.t list ->
   ?levels:Svt_core.System.level list ->
   ?workloads:string list ->
@@ -61,7 +67,7 @@ val cartesian :
   unit ->
   t
 (** Full cross product of the given axes (singleton defaults as in
-    {!point}). Order: modes outermost, hosts innermost. *)
+    {!point}). Order: archs outermost, hosts innermost. *)
 
 val zip : ?merge:(point -> point -> point) -> t -> t -> t
 (** Pointwise combination of two equal-length specs (no cross product):
@@ -99,12 +105,21 @@ val mode_to_string : Svt_core.Mode.t -> string
 val mode_of_string : string -> (Svt_core.Mode.t, string) result
 (** @deprecated Thin shim over {!Svt_core.Mode.of_string}. *)
 
+val arch_to_string : Svt_arch.Backend.kind -> string
+(** Thin shim over {!Svt_arch.Backend.to_string} (the canonical table
+    lives with the backend). *)
+
+val arch_of_string : string -> (Svt_arch.Backend.kind, string) result
+(** Thin shim over {!Svt_arch.Backend.of_string}. *)
+
 val level_to_string : Svt_core.System.level -> string
 val level_of_string : string -> (Svt_core.System.level, string) result
 
 val parse_axis : string -> ((string * string list), string) result
-(** Parse one ["key=v1,v2,..."] argument; keys: mode, level, workload,
-    vcpus, seed, fault, cores, smt, tenants, policy, hosts. A fault
+(** Parse one ["key=v1,v2,..."] argument; keys: arch, mode, level,
+    workload, vcpus, seed, fault, cores, smt, tenants, policy, hosts.
+    An arch value is a {!Svt_arch.Backend} name ("x86" or "arm", plus
+    the aliases the backend table accepts). A fault
     value may mix {!Svt_fault.Plan} stack kinds and
     {!Svt_fault.Cluster_kind} cluster kinds on one comma list
     (canonicalized stack-first), or be ["none"] for the empty plan; a

@@ -259,7 +259,11 @@ let guarded_transform_entry t =
   let rec attempt budget =
     if budget = 0 then
       failwith "Nested: vmcs12 still invalid after repeated entry failures";
-    match Svt_vmcs.Checks.run ~n_hw_contexts:n_ctx t.vmcs12 with
+    match
+      Svt_vmcs.Checks.run
+        ~arch:(Svt_hyp.Machine.arch t.machine)
+        ~n_hw_contexts:n_ctx t.vmcs12
+    with
     | Error es ->
         (* the failure handler resets the offending fields, then retries *)
         reflect_check_failures t es;
@@ -635,7 +639,11 @@ let create ?injector ~machine ~mode ~vcpu ~l1_vm ~script () =
       Svt_fields.set_contexts vmcs01 ~visor:Svt_fields.invalid
         ~vm:Svt_fields.invalid ~nested:Svt_fields.invalid;
       Vcpu.set_hw_ctx vcpu 0);
-  (match Svt_vmcs.Checks.run ~n_hw_contexts:n_ctx vmcs02 with
+  (match
+     Svt_vmcs.Checks.run
+       ~arch:(Svt_hyp.Machine.arch machine)
+       ~n_hw_contexts:n_ctx vmcs02
+   with
   | Ok () -> ()
   | Error es ->
       failwith
@@ -744,7 +752,11 @@ let ooh_delegated_entry t =
   let rec attempt budget =
     if budget = 0 then
       failwith "Nested: vmcs12 still invalid after repeated delegation faults";
-    match Svt_vmcs.Checks.run ~n_hw_contexts:n_ctx t.vmcs12 with
+    match
+      Svt_vmcs.Checks.run
+        ~arch:(Svt_hyp.Machine.arch t.machine)
+        ~n_hw_contexts:n_ctx t.vmcs12
+    with
     | Error es ->
         reflect_check_failures t es;
         attempt (budget - 1)

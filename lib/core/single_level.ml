@@ -27,6 +27,12 @@ let aux_round_trip ~(cost : Cost_model.t) ~(mode : Mode.t) ~breakdown ~bucket
       Breakdown.charge breakdown bucket cost.l0_emulate_aux;
       Smt_core.activate core guest_ctx;
       Breakdown.charge breakdown bucket cost.thread_switch
+  | Mode.Sw_svt _ when cost.svt_sysreg_direct <> None ->
+      (* The trap-or-memory access model (ARM NV/VHE): the SVt service
+         thread reads/writes the memory-backed sysreg image directly, so
+         what would have been an auxiliary trap is a plain access. *)
+      Breakdown.charge breakdown bucket
+        (Option.get cost.svt_sysreg_direct)
   | Mode.Baseline | Mode.Sw_svt _ | Mode.Hw_full_nesting | Mode.Ooh ->
       Breakdown.charge breakdown bucket cost.trap_hw;
       Breakdown.charge breakdown bucket cost.l0_emulate_aux;

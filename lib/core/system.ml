@@ -47,6 +47,7 @@ let spurious_vector = 0xFF
 
 module Config = struct
   type t = {
+    arch : Svt_arch.Backend.kind;
     mode : Mode.t;
     level : level;
     n_vcpus : int;
@@ -73,6 +74,7 @@ module Config = struct
     | Dedicated_sibling_needs_smt of { smt_per_core : int }
     | Ooh_needs_guest_level of { level : level }
     | Ooh_has_no_svt_thread of { policy : Mode.svt_policy }
+    | Hw_svt_needs_shadow_vmcs of { arch : Svt_arch.Backend.kind }
 
   let pp_error ppf = function
     | Invalid_vcpus n -> Fmt.pf ppf "n_vcpus = %d (need at least 1)" n
@@ -108,14 +110,37 @@ module Config = struct
           "OoH runs no SVt service thread, so the %s SVt policy has \
            nothing to place (drop the policy or pick an SVt mode)"
           (Mode.svt_policy_name policy)
+    | Hw_svt_needs_shadow_vmcs { arch } ->
+        Fmt.pf ppf
+          "HW SVt's per-level hardware contexts extend the VMCS-caching \
+           machinery, but the %s backend keeps nested state in \
+           memory-backed system registers with no shadow VMCS to \
+           multiplex (use baseline, sw-svt or ooh)"
+          (Svt_arch.Backend.display_name arch)
 
-  let make ?(machine = Machine.paper_config) ?(n_vcpus = 1)
+  (* [arch] wins over the machine's when both are given: the cost table
+     follows the backend ([Machine.retarget]). An ISA without a shadow
+     VMCS has nothing for the shadowing policy to absorb, so the shadow
+     collapses to [no_shadowing] — the source of the extra auxiliary
+     traps that make ARM's baseline nested exits dearer (§7). *)
+  let make ?arch ?(machine = Machine.paper_config) ?(n_vcpus = 1)
       ?(shadow = Svt_vmcs.Shadow.hardware_shadowing_enabled)
       ?(multiplex_contexts = false) ?(svt_policy = Mode.default_svt_policy)
       ?(faults = Svt_fault.Plan.empty) ?(fault_seed = 0xFA17L) ?max_sim_events
       ?max_sim_time ~mode ~level () =
-    { mode; level; n_vcpus; machine; shadow; multiplex_contexts; svt_policy;
-      faults; fault_seed; max_sim_events; max_sim_time }
+    let machine =
+      match arch with
+      | None -> machine
+      | Some k when Svt_arch.Backend.equal k machine.Machine.arch -> machine
+      | Some k -> Machine.retarget k machine
+    in
+    let arch = machine.Machine.arch in
+    let shadow =
+      if Svt_arch.Backend.has_shadow_vmcs arch then shadow
+      else Svt_vmcs.Shadow.no_shadowing
+    in
+    { arch; mode; level; n_vcpus; machine; shadow; multiplex_contexts;
+      svt_policy; faults; fault_seed; max_sim_events; max_sim_time }
 
   (* Hardware threads the SVt-threads of this stack occupy, on top of the
      one thread per vCPU: the paper's dedicated sibling reserves one per
@@ -150,6 +175,13 @@ module Config = struct
       err
         (Insufficient_cores
            { n_vcpus = t.n_vcpus; cores; required_threads; available_threads });
+    (* Arch×mode combinations that do not exist: HW SVt's contexts
+       multiplex shadow-VMCS state, so a backend without one (ARM NV/VHE)
+       has no HW SVt design point at all. *)
+    (match t.mode with
+    | Mode.Hw_svt when not (Svt_arch.Backend.has_hw_svt t.arch) ->
+        err (Hw_svt_needs_shadow_vmcs { arch = t.arch })
+    | _ -> ());
     (match (t.mode, t.level) with
     | Mode.Hw_svt, (L1_leaf | L2_nested) when smt < 2 ->
         err (Svt_context_unprogrammable { mode = t.mode; smt_per_core = smt })
@@ -293,7 +325,7 @@ let of_config (c : Config.t) =
     | Ok c -> c
     | Error es -> raise (Invalid_config es)
   in
-  let { Config.mode; level; n_vcpus; machine = config; shadow;
+  let { Config.arch = _; mode; level; n_vcpus; machine = config; shadow;
         multiplex_contexts = _; svt_policy = _; faults; fault_seed;
         max_sim_events; max_sim_time } = c in
   let machine = Machine.create ~config () in
@@ -373,14 +405,15 @@ let of_config (c : Config.t) =
       { machine; mode; level; l1_vm; guest_vm = l2_vm; vcpus; nested; script;
         injector; fabric = None }
 
-let create ?(config = Machine.paper_config) ?(n_vcpus = 1)
+let create ?arch ?(config = Machine.paper_config) ?(n_vcpus = 1)
     ?(shadow = Svt_vmcs.Shadow.hardware_shadowing_enabled)
     ?(multiplex_contexts = false) ~mode ~level () =
   of_config
-    (Config.make ~machine:config ~n_vcpus ~shadow ~multiplex_contexts ~mode
-       ~level ())
+    (Config.make ?arch ~machine:config ~n_vcpus ~shadow ~multiplex_contexts
+       ~mode ~level ())
 
 let machine t = t.machine
+let arch t = Machine.arch t.machine
 let obs t = Machine.obs t.machine
 let probe t = Machine.probe t.machine
 let sim t = Machine.sim t.machine

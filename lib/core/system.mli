@@ -36,6 +36,11 @@ val spurious_vector : int
     bug where a guest silently ran with unprogrammed SVt fields. *)
 module Config : sig
   type t = {
+    arch : Svt_arch.Backend.kind;
+        (** the architecture backend; follows the machine config and
+            selects the cost table, exit spellings and nested-state
+            model. On a backend without a shadow VMCS (ARM NV/VHE) the
+            shadow policy collapses to [no_shadowing]. *)
     mode : Mode.t;
     level : level;
     n_vcpus : int;
@@ -79,10 +84,16 @@ module Config : sig
         (** OoH with an explicit SVt placement policy ([Shared_pool] or
             [On_demand_donation]): the mode runs no SVt service thread,
             so there is nothing for the policy to place *)
+    | Hw_svt_needs_shadow_vmcs of { arch : Svt_arch.Backend.kind }
+        (** HW SVt on a backend whose nested state is a memory image
+            rather than a cached VMCS (ARM NV/VHE): the per-level
+            hardware contexts extend the VMCS-caching machinery, so the
+            design point does not exist on that ISA *)
 
   val pp_error : Format.formatter -> error -> unit
 
   val make :
+    ?arch:Svt_arch.Backend.kind ->
     ?machine:Svt_hyp.Machine.config ->
     ?n_vcpus:int ->
     ?shadow:Svt_vmcs.Shadow.t ->
@@ -120,6 +131,7 @@ val of_config : Config.t -> t
     @raise Invalid_config when {!Config.validate} rejects it. *)
 
 val create :
+  ?arch:Svt_arch.Backend.kind ->
   ?config:Svt_hyp.Machine.config ->
   ?n_vcpus:int ->
   ?shadow:Svt_vmcs.Shadow.t ->
@@ -146,6 +158,10 @@ val probe : t -> Svt_obs.Probe.t
 
 val sim : t -> Svt_engine.Simulator.t
 val cost : t -> Svt_arch.Cost_model.t
+
+val arch : t -> Svt_arch.Backend.kind
+(** The architecture backend this stack was built for. *)
+
 val mode : t -> Mode.t
 val guest_vm : t -> Svt_hyp.Vm.t
 val vcpu : t -> int -> Svt_hyp.Vcpu.t

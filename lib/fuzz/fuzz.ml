@@ -65,7 +65,31 @@ let violation_to_string = function
 
 (* --- single-input execution ---------------------------------------------- *)
 
-let modes = [ Mode.Baseline; Mode.sw_svt_default; Mode.Hw_svt; Mode.Ooh ]
+(* The differential matrix: every input runs on every (arch, mode) point
+   and the semantic fingerprints must agree across ALL of them — the
+   guest-visible contract is ISA-independent (fingerprints fold values,
+   never timing), so an x86-vs-ARM mismatch is as much a bug as a
+   baseline-vs-SVt one. ARM has no HW SVt point (no shadow VMCS for its
+   per-level contexts to extend), so that cell does not exist. *)
+module Backend = Svt_arch.Backend
+
+let modes =
+  [
+    (Backend.X86, Mode.Baseline);
+    (Backend.X86, Mode.sw_svt_default);
+    (Backend.X86, Mode.Hw_svt);
+    (Backend.X86, Mode.Ooh);
+    (Backend.Arm, Mode.Baseline);
+    (Backend.Arm, Mode.sw_svt_default);
+    (Backend.Arm, Mode.Ooh);
+  ]
+
+(* x86 labels keep their historical spellings (violation classes and
+   ledger rows predate the arch axis); ARM points are "arm:"-prefixed. *)
+let point_label (arch, mode) =
+  if Backend.equal arch Backend.X86 then Mode.name mode
+  else Backend.to_string arch ^ ":" ^ Mode.name mode
+
 let default_budget = 300_000
 
 let fnv_prime = 0x100000001b3L
@@ -124,11 +148,11 @@ let run_op vcpu fp served = function
       Vcpu.enqueue_host_event vcpu ~vector (fun () -> incr served);
       Guest.compute_us vcpu 1.0
 
-let run_mode ~budget ~machine_seed ~fault_seed ~mode (input : Input.t) =
+let run_mode ~budget ~machine_seed ~fault_seed ~arch ~mode (input : Input.t) =
   let machine = { Machine.paper_config with Machine.seed = machine_seed } in
   let sys =
     System.of_config
-      (System.Config.make ~machine ~faults:input.Input.plan ~fault_seed
+      (System.Config.make ~arch ~machine ~faults:input.Input.plan ~fault_seed
          ~max_sim_events:budget ~mode ~level:System.L2_nested ())
   in
   let cov = Coverage.create () in
@@ -167,24 +191,24 @@ let exec ?(budget = default_budget) ~master (input : Input.t) =
   let fps = ref [] in
   let violation = ref None in
   List.iter
-    (fun mode ->
+    (fun ((arch, mode) as point) ->
+      let label = point_label point in
       let fp, cov, evs, fate =
-        run_mode ~budget ~machine_seed ~fault_seed ~mode input
+        run_mode ~budget ~machine_seed ~fault_seed ~arch ~mode input
       in
       ignore (Coverage.merge_into ~into:coverage cov : int);
       events := !events + evs;
       fingerprint := mix !fingerprint fp;
       (match fate with
-      | `Ok -> fps := (Mode.name mode, fp) :: !fps
+      | `Ok -> fps := (label, fp) :: !fps
       | `Deadlock ->
-          if !violation = None then
-            violation := Some (Deadlock { mode = Mode.name mode })
+          if !violation = None then violation := Some (Deadlock { mode = label })
       | `Exhausted ->
           if !violation = None then
-            violation := Some (Exhausted { mode = Mode.name mode })
+            violation := Some (Exhausted { mode = label })
       | `Crash message ->
           if !violation = None then
-            violation := Some (Crash { mode = Mode.name mode; message })))
+            violation := Some (Crash { mode = label; message })))
     modes;
   (* Mode-vs-mode divergence is only meaningful fault-free: an active
      plan legitimately perturbs what each mode observes (a dropped ring

@@ -29,9 +29,15 @@ val violation_class : violation -> string
 val same_class : violation -> violation -> bool
 val violation_to_string : violation -> string
 
-val modes : Svt_core.Mode.t list
-(** The modes every input runs under:
-    [[Baseline; sw_svt_default; Hw_svt; Ooh]]. *)
+val modes : (Svt_arch.Backend.kind * Svt_core.Mode.t) list
+(** The (arch, mode) points every input runs under: all four modes on
+    x86 plus baseline / SW SVt / OoH on ARM NV/VHE (ARM has no HW SVt
+    point — no shadow VMCS for its per-level contexts to extend). The
+    semantic fingerprint must agree across the whole matrix. *)
+
+val point_label : Svt_arch.Backend.kind * Svt_core.Mode.t -> string
+(** Label used in violations and ledger rows: x86 points keep their
+    historical bare mode names; ARM points are ["arm:"]-prefixed. *)
 
 val default_budget : int
 (** Per-mode simulator event budget (fuel). *)

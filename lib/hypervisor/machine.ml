@@ -10,6 +10,7 @@ type config = {
   smt_per_core : int;
   ram_gb : int;
   seed : int;
+  arch : Svt_arch.Backend.kind;
   cost : Svt_arch.Cost_model.t;
 }
 
@@ -20,8 +21,17 @@ let paper_config =
     smt_per_core = 2;
     ram_gb = 128;
     seed = 0x5EED;
+    arch = Svt_arch.Backend.X86;
     cost = Svt_arch.Cost_model.paper_machine;
   }
+
+(* The same testbed topology re-targeted at another ISA: the cost table
+   follows the backend, everything else (sockets, seed, RAM) is the
+   caller's to keep. *)
+let retarget kind config =
+  { config with arch = kind; cost = Svt_arch.Backend.cost_of kind }
+
+let arm_config = retarget Svt_arch.Backend.Arm paper_config
 
 type t = {
   sim : Simulator.t;
@@ -59,6 +69,7 @@ let create ?(config = paper_config) () =
 
 let sim t = t.sim
 let cost t = t.cost
+let arch t = t.config.arch
 let core t i = t.cores.(i)
 let n_cores t = Array.length t.cores
 

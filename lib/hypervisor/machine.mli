@@ -9,11 +9,20 @@ type config = {
   smt_per_core : int;
   ram_gb : int;
   seed : int;  (** PRNG seed: equal seeds give bit-identical simulations *)
+  arch : Svt_arch.Backend.kind;
   cost : Svt_arch.Cost_model.t;
 }
 
 val paper_config : config
-(** Table 4 with the calibrated {!Svt_arch.Cost_model.paper_machine}. *)
+(** Table 4 with the calibrated {!Svt_arch.Cost_model.paper_machine}
+    (arch [X86]). *)
+
+val retarget : Svt_arch.Backend.kind -> config -> config
+(** The same topology re-targeted at another ISA: [arch] and [cost]
+    follow the backend, everything else is preserved. *)
+
+val arm_config : config
+(** {!paper_config} re-targeted at the ARM NV/VHE backend. *)
 
 type t = {
   sim : Svt_engine.Simulator.t;
@@ -31,6 +40,9 @@ type t = {
 val create : ?config:config -> unit -> t
 val sim : t -> Svt_engine.Simulator.t
 val cost : t -> Svt_arch.Cost_model.t
+
+(** The machine's architecture backend. *)
+val arch : t -> Svt_arch.Backend.kind
 val core : t -> int -> Svt_arch.Smt_core.t
 val n_cores : t -> int
 

@@ -48,6 +48,7 @@ module Span = Svt_obs.Span
 
 type tenant_spec = {
   name : string;
+  arch : Svt_arch.Backend.kind;
   mode : Mode.t;
   policy : Policy.t;
   n_vcpus : int;
@@ -55,9 +56,10 @@ type tenant_spec = {
   seed : int;
 }
 
-let tenant_spec ?(name = "") ?(policy = Policy.default) ?(n_vcpus = 1)
-    ?(shape = Open_loop.cpu_bound) ?(seed = 0) mode =
-  { name; mode; policy; n_vcpus; shape; seed }
+let tenant_spec ?(name = "") ?(arch = Svt_arch.Backend.X86)
+    ?(policy = Policy.default) ?(n_vcpus = 1) ?(shape = Open_loop.cpu_bound)
+    ?(seed = 0) mode =
+  { name; arch; mode; policy; n_vcpus; shape; seed }
 
 type tenant = {
   spec : tenant_spec;
@@ -207,7 +209,7 @@ let build_system t spec =
        pool capacity, donation wakes — is charged by the round loop.
        Host-level feasibility of spec.policy is checked in
        [host_errors], against the host topology. *)
-    System.Config.make ~machine ~n_vcpus:spec.n_vcpus
+    System.Config.make ~arch:spec.arch ~machine ~n_vcpus:spec.n_vcpus
       ~svt_policy:Mode.default_svt_policy ~mode:spec.mode
       ~level:System.L2_nested ()
   in

@@ -19,6 +19,9 @@
 
 type tenant_spec = {
   name : string;
+  arch : Svt_arch.Backend.kind;
+      (** architecture backend of this tenant's stack: selects the cost
+          table its gang pricing is computed from (default [X86]) *)
   mode : Svt_core.Mode.t;
   policy : Policy.t;
   n_vcpus : int;
@@ -28,13 +31,14 @@ type tenant_spec = {
 
 val tenant_spec :
   ?name:string ->
+  ?arch:Svt_arch.Backend.kind ->
   ?policy:Policy.t ->
   ?n_vcpus:int ->
   ?shape:Svt_workloads.Open_loop.shape ->
   ?seed:int ->
   Svt_core.Mode.t ->
   tenant_spec
-(** Defaults: auto name ("t<index>" at admission), [Policy.default],
+(** Defaults: auto name ("t<index>" at admission), x86, [Policy.default],
     1 vCPU, {!Svt_workloads.Open_loop.cpu_bound}, seed 0. *)
 
 type t

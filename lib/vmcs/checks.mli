@@ -16,9 +16,17 @@ val pp_failure : Format.formatter -> failure -> unit
 
 val offending_field : failure -> Field.t
 
-val run : ?n_hw_contexts:int -> Vmcs.t -> (unit, failure list) result
+val run :
+  ?arch:Svt_arch.Backend.kind ->
+  ?n_hw_contexts:int ->
+  Vmcs.t ->
+  (unit, failure list) result
 (** All failures are reported, not just the first. [n_hw_contexts]
-    bounds the valid SVt context indices (default 2). *)
+    bounds the valid SVt context indices (default 2). [arch] (default
+    {!Svt_arch.Backend.default}, i.e. x86) selects which checks apply:
+    rules over fields that {!Field.valid_for} rejects on the backend
+    (the VMCS link pointer and the SVt µ-registers on ARM NV/VHE) are
+    skipped, as is the x86-only CR4.VMXE host check. *)
 
 val default_value : Field.t -> int64
 (** The value {!init_minimal} gives a field — the known-good state the

@@ -123,6 +123,25 @@ let is_svt = function Svt_visor | Svt_vm | Svt_nested -> true | _ -> false
    VM-entry-failure path. *)
 let is_ooh_delegated f = is_guest_state f || is_exit_info f
 
+(* Field validity, queried through the architecture backend. On x86/VMX
+   every field is a word of the cached VMCS. On ARM NV/VHE the nested
+   state is a memory-backed system-register image: most fields have a
+   direct sysreg analog (GUEST_RIP ↔ ELR_EL2, the controls ↔ HCR_EL2 and
+   friends), but the fields that encode the VMCS-caching machinery itself
+   do not exist — there is no link pointer to a second cached VMCS, no
+   port-I/O bitmaps (all ARM device access is MMIO through stage 2), and
+   no SVt µ-registers because HW SVt's per-level hardware contexts extend
+   exactly the caching machinery the ISA lacks. *)
+let valid_for (arch : Svt_arch.Backend.kind) f =
+  match arch with
+  | Svt_arch.Backend.X86 -> true
+  | Svt_arch.Backend.Arm -> (
+      match f with
+      | Vmcs_link_pointer | Io_bitmap_a | Io_bitmap_b | Svt_visor | Svt_vm
+      | Svt_nested ->
+          false
+      | _ -> true)
+
 let name f =
   match f with
   | Vpid -> "VPID"

@@ -34,6 +34,37 @@ val measure_cpuid :
 (** One bar of Figure 6. *)
 type fig6_row = { label : string; time_us : float; overhead_vs_l0 : float }
 
-val fig6 : ?modes:Svt_core.Mode.t list -> unit -> fig6_row list
+val fig6 :
+  ?arch:Svt_arch.Backend.kind ->
+  ?modes:Svt_core.Mode.t list ->
+  unit ->
+  fig6_row list
 (** Measure cpuid at L0/L1/L2 plus the given SVt modes (default SW and
-    HW SVt). *)
+    HW SVt). [arch] selects the backend; a mode the backend cannot run
+    (HW SVt on ARM NV/VHE) is dropped from the bar set. *)
+
+(** {2 Per-exit latency table} *)
+
+(** One row of the per-backend exit profile: the nested latency of one
+    driveable exit reason under baseline and SVt. *)
+type exit_row = {
+  reason : Svt_arch.Exit_reason.t;
+  exit_label : string;  (** the backend's own spelling of the exit *)
+  baseline_us : float;
+  svt_us : float;
+  speedup : float;
+}
+
+val exit_ops : (Svt_arch.Exit_reason.t * (Svt_hyp.Vcpu.t -> unit)) list
+(** The exit reasons the table can drive deterministically from a guest
+    loop (cpuid, wrmsr, port-I/O write, vmcall), with the operation that
+    produces each. *)
+
+val per_exit_table :
+  ?arch:Svt_arch.Backend.kind ->
+  ?svt:Svt_core.Mode.t ->
+  unit ->
+  exit_row list
+(** Nested (L2) per-exit latency under baseline vs [svt] (default SW
+    SVt) for every entry of {!exit_ops}, labelled with the backend's own
+    exit spellings ({!Svt_arch.Backend.exit_name}). *)

@@ -4,6 +4,7 @@
    context access instructions, and cost-model internals. *)
 
 module Reg = Svt_arch.Reg
+module Backend = Svt_arch.Backend
 module Regfile = Svt_arch.Regfile
 module Msr = Svt_arch.Msr
 module Cpuid_db = Svt_arch.Cpuid_db
@@ -279,6 +280,98 @@ let test_cost_model_transform_cost_scales () =
   checkb "more fields cost more" true (c16 > c8);
   checki "linear in fields" (8 * cm.transform_per_field) (c16 - c8)
 
+(* --- Arch backend ---------------------------------------------------------- *)
+
+let test_backend_string_tables () =
+  List.iter
+    (fun k ->
+      checkb (Backend.to_string k) true
+        (Backend.of_string (Backend.to_string k) = Ok k))
+    Backend.all;
+  List.iter
+    (fun (s, k) -> checkb s true (Backend.of_string s = Ok k))
+    [ ("x86", Backend.X86); ("x86_64", Backend.X86); ("vmx", Backend.X86);
+      ("intel", Backend.X86); ("arm", Backend.Arm); ("arm64", Backend.Arm);
+      ("aarch64", Backend.Arm); ("nv", Backend.Arm) ];
+  checkb "unknown rejected" true (Result.is_error (Backend.of_string "riscv"));
+  (* the deprecated shims must stay wired to the same tables *)
+  List.iter
+    (fun k ->
+      Alcotest.(check string) "name = to_string" (Backend.to_string k)
+        (Backend.name k) [@alert "-deprecated"];
+      (checkb "arch_of_string" true
+         (Backend.arch_of_string (Backend.to_string k) = Ok k))
+      [@alert "-deprecated"])
+    Backend.all
+
+(* Round trip over the whole arch x mode plane: both halves of any
+   point's textual identity must parse back, including through the
+   joint "arch:mode" spelling the fuzzer's point labels use. *)
+let backend_arch_mode_roundtrip =
+  let pairs =
+    List.concat_map
+      (fun a -> List.map (fun m -> (a, m)) Svt_core.Mode.all)
+      Backend.all
+  in
+  QCheck.Test.make ~name:"arch x mode string round trip" ~count:200
+    (QCheck.oneofl pairs)
+    (fun (a, m) ->
+      let s = Backend.to_string a ^ ":" ^ Svt_core.Mode.to_string m in
+      let i = String.index s ':' in
+      Backend.of_string (String.sub s 0 i) = Ok a
+      && Svt_core.Mode.of_string
+           (String.sub s (i + 1) (String.length s - i - 1))
+         = Ok m)
+
+(* Exhaustiveness: every exit reason on every backend must resolve to a
+   real cost-model entry (no silently free exits) and a nonempty
+   backend-native spelling. *)
+let test_backend_exit_exhaustive () =
+  List.iter
+    (fun k ->
+      let cm = Backend.cost_of k in
+      List.iter
+        (fun r ->
+          let label =
+            Printf.sprintf "%s/%s" (Backend.to_string k)
+              (Exit_reason.name r)
+          in
+          let p = Cost_model.profile cm r in
+          checkb (label ^ ": costed") true (p.Cost_model.l0_pure > 0);
+          checkb
+            (label ^ ": named")
+            true
+            (String.length (Backend.exit_name k r) > 0))
+        Exit_reason.all)
+    Backend.all
+
+let test_backend_capabilities () =
+  checkb "x86 has shadow vmcs" true (Backend.has_shadow_vmcs Backend.X86);
+  checkb "x86 has hw svt" true (Backend.has_hw_svt Backend.X86);
+  checkb "arm has no shadow vmcs" false (Backend.has_shadow_vmcs Backend.Arm);
+  checkb "arm has no hw svt" false (Backend.has_hw_svt Backend.Arm);
+  checkb "arm nested state is memory-backed" true
+    (Backend.nested_state_of Backend.Arm <> Backend.nested_state_of Backend.X86);
+  (* the trap-or-memory model: only ARM grants the SVt thread direct
+     sysreg-image access *)
+  checkb "x86 svt access is aux-trap" true
+    ((Backend.cost_of Backend.X86).Cost_model.svt_sysreg_direct = None);
+  checkb "arm svt access is memory" true
+    ((Backend.cost_of Backend.Arm).Cost_model.svt_sysreg_direct <> None)
+
+(* The per-exit recalibration behind the headline claim: on ARM every
+   driveable exit's baseline cost exceeds x86's (more auxiliary sysreg
+   round trips per episode, no shadow-VMCS shortcut). *)
+let test_backend_arm_costlier_baseline () =
+  let x86 = Backend.cost_of Backend.X86 and arm = Backend.cost_of Backend.Arm in
+  List.iter
+    (fun r ->
+      let px = Cost_model.profile x86 r and pa = Cost_model.profile arm r in
+      checkb (Exit_reason.name r) true
+        (pa.Cost_model.l1_aux_exits >= px.Cost_model.l1_aux_exits))
+    [ Exit_reason.Cpuid; Exit_reason.Msr_write; Exit_reason.Io_instruction;
+      Exit_reason.Vmcall ]
+
 let test_cost_model_wire_overhead () =
   let cm = Cost_model.paper_machine in
   (* 16 KB on a 10 Gb wire: >13.1us raw, plus per-MSS framing *)
@@ -349,5 +442,16 @@ let () =
           Alcotest.test_case "transform cost scales" `Quick
             test_cost_model_transform_cost_scales;
           Alcotest.test_case "wire framing overhead" `Quick test_cost_model_wire_overhead;
+        ] );
+      ( "backend",
+        [
+          Alcotest.test_case "string tables + aliases + shims" `Quick
+            test_backend_string_tables;
+          QCheck_alcotest.to_alcotest backend_arch_mode_roundtrip;
+          Alcotest.test_case "every exit costed and named on every backend"
+            `Quick test_backend_exit_exhaustive;
+          Alcotest.test_case "capability table" `Quick test_backend_capabilities;
+          Alcotest.test_case "arm baseline exits dearer" `Quick
+            test_backend_arm_costlier_baseline;
         ] );
     ]

@@ -350,6 +350,81 @@ let test_ledger_mode_compat () =
       checkb "ooh point survives" true (e'.Ledger.point = point);
       checks "ooh row byte-stable" line1 (Ledger.line_of_entry_crc e')
 
+(* Ledger compatibility across the arch-backend redesign (schema v4):
+   v3 rows carry no arch field and must keep parsing as x86 with their
+   canonical keys — and hence run_ids and derived PRNG streams —
+   unchanged; x86 rows must still serialize without an arch field; an
+   ARM row must round-trip byte-stably with one. *)
+let test_ledger_arch_compat () =
+  let legacy =
+    "{\"run_id\":\"feedc0de00000000\",\"mode\":\"sw-svt\",\"level\":\"l2\",\
+     \"workload\":\"cpuid\",\"vcpus\":1,\"seed\":0,\"status\":\"ok\",\
+     \"attempts\":1,\"wall_s\":0,\"metrics\":{\"per_op_us\":8.4}}"
+  in
+  (match Ledger.entry_of_line legacy with
+  | Error e -> Alcotest.fail e
+  | Ok e ->
+      checkb "v3 row defaults to x86" true
+        (Svt_arch.Backend.equal e.Ledger.point.Spec.arch Svt_arch.Backend.X86));
+  (* the historical x86 key spelling is pinned: no arch segment *)
+  let x86 = Spec.point ~workload:"cpuid" ~seed:3 Mode.Ooh in
+  checks "x86 canonical key unchanged"
+    "mode=ooh;level=l2;workload=cpuid;vcpus=1;seed=3"
+    (Spec.canonical_key x86);
+  let arm = Spec.point ~arch:Svt_arch.Backend.Arm ~workload:"cpuid" ~seed:3 Mode.Ooh in
+  checks "arm key appends the axis"
+    "mode=ooh;level=l2;workload=cpuid;vcpus=1;seed=3;arch=arm"
+    (Spec.canonical_key arm);
+  checkb "distinct run ids" true (Spec.run_id x86 <> Spec.run_id arm);
+  let entry point =
+    {
+      Ledger.run_id = Spec.run_id point;
+      point;
+      status = "ok";
+      error = None;
+      attempts = 1;
+      wall_s = 0.0;
+      metrics = [ ("per_op_us", 2.4) ];
+      data = [];
+    }
+  in
+  (* x86 rows keep the v3 wire format byte-for-byte: no arch key *)
+  let contains_sub s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let x86_line = Ledger.line_of_entry_crc (entry x86) in
+  checkb "x86 row has no arch field" false (contains_sub x86_line "arch");
+  (* an ARM row round-trips byte-stably with its arch field *)
+  let arm_line = Ledger.line_of_entry_crc (entry arm) in
+  match Ledger.entry_of_line arm_line with
+  | Error msg -> Alcotest.fail msg
+  | Ok e' ->
+      checkb "arm point survives" true (e'.Ledger.point = arm);
+      checks "arm row byte-stable" arm_line (Ledger.line_of_entry_crc e')
+
+(* An arch-axis sweep is byte-deterministic across worker counts: the
+   jobs=2 sharding may change scheduling but never the ledger rows. *)
+let test_ledger_arch_axis_jobs_deterministic () =
+  let spec =
+    Spec.cartesian
+      ~archs:[ Svt_arch.Backend.X86; Svt_arch.Backend.Arm ]
+      ~modes:[ Mode.Baseline; Mode.sw_svt_default ]
+      ~levels:[ System.L2_nested ] ()
+  in
+  let lines jobs =
+    (Campaign.execute ~jobs ~deterministic:true spec).Campaign.results
+    |> List.map (fun r ->
+           (* wall_s is host wall clock; the sweep's --deterministic pins
+              it at the ledger-writing layer, so pin it here too *)
+           Ledger.line_of_entry_crc
+             { (Ledger.entry_of_result r) with Ledger.wall_s = 0.0 })
+  in
+  let j1 = lines 1 and j2 = lines 2 in
+  checki "4 points" 4 (List.length j1);
+  List.iter2 (checks "row identical across jobs") j1 j2
+
 let test_ledger_rejects_garbage () =
   let path = temp_ledger () in
   let oc = open_out path in
@@ -863,6 +938,10 @@ let () =
           Alcotest.test_case "round trip" `Quick test_ledger_round_trip;
           Alcotest.test_case "legacy/ooh mode compat" `Quick
             test_ledger_mode_compat;
+          Alcotest.test_case "arch compat (schema v4)" `Quick
+            test_ledger_arch_compat;
+          Alcotest.test_case "arch axis byte-deterministic across jobs" `Quick
+            test_ledger_arch_axis_jobs_deterministic;
           Alcotest.test_case "rejects garbage" `Quick test_ledger_rejects_garbage;
           Alcotest.test_case "diff" `Quick test_ledger_diff;
         ] );

@@ -93,17 +93,28 @@ let test_exec_deterministic () =
   checki "events equal" a.Fuzz.events b.Fuzz.events;
   checkb "nonzero coverage" true (Coverage.bits a.Fuzz.coverage > 0)
 
-let test_exec_four_mode_fingerprint () =
-  (* the differential harness now runs four modes — baseline, SW SVt,
-     HW SVt and OoH — and the 4-mode fingerprint must stay deterministic *)
-  Alcotest.(check int) "mode count" 4 (List.length Fuzz.modes);
+let test_exec_matrix_fingerprint () =
+  (* the differential harness runs the full (arch, mode) matrix — four
+     modes on x86 plus baseline/SW SVt/OoH on ARM (no HW SVt there) —
+     and the folded fingerprint must stay deterministic *)
+  Alcotest.(check int) "point count" 7 (List.length Fuzz.modes);
   checkb "ooh is in the differential set" true
-    (List.mem Svt_core.Mode.Ooh Fuzz.modes);
+    (List.mem (Svt_arch.Backend.X86, Svt_core.Mode.Ooh) Fuzz.modes);
+  checkb "arm baseline is in the differential set" true
+    (List.mem (Svt_arch.Backend.Arm, Svt_core.Mode.Baseline) Fuzz.modes);
+  checkb "arm has no hw-svt point" true
+    (not (List.mem (Svt_arch.Backend.Arm, Svt_core.Mode.Hw_svt) Fuzz.modes));
+  checkb "x86 labels keep their historical spellings" true
+    (Fuzz.point_label (Svt_arch.Backend.X86, Svt_core.Mode.Ooh)
+    = Svt_core.Mode.name Svt_core.Mode.Ooh);
+  checkb "arm labels are prefixed" true
+    (Fuzz.point_label (Svt_arch.Backend.Arm, Svt_core.Mode.Baseline)
+    = "arm:" ^ Svt_core.Mode.name Svt_core.Mode.Baseline);
   let rng = Prng.of_seed 33L in
   let input = Gen.gen rng in
   let a = Fuzz.exec ~master:11L input in
   let b = Fuzz.exec ~master:11L input in
-  checkb "4-mode fingerprints equal" true
+  checkb "matrix fingerprints equal" true
     (a.Fuzz.fingerprint = b.Fuzz.fingerprint)
 
 let test_exec_clean_input_no_violation () =
@@ -340,8 +351,8 @@ let () =
       ( "exec",
         [
           Alcotest.test_case "deterministic" `Quick test_exec_deterministic;
-          Alcotest.test_case "four-mode fingerprint" `Quick
-            test_exec_four_mode_fingerprint;
+          Alcotest.test_case "arch-mode matrix fingerprint" `Quick
+            test_exec_matrix_fingerprint;
           Alcotest.test_case "clean input passes" `Quick
             test_exec_clean_input_no_violation;
           Alcotest.test_case "detects deadlock" `Quick
